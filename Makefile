@@ -1,0 +1,44 @@
+# Influence Maximization at Community Level — development targets.
+
+GO ?= go
+
+.PHONY: all build vet test race bench fuzz experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/ric/ ./internal/ris/ ./internal/diffusion/ ./internal/maxr/ ./internal/serve/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+fuzz:
+	$(GO) test ./internal/graph/ -fuzz FuzzReadEdgeList -fuzztime 30s
+	$(GO) test ./internal/graph/ -fuzz FuzzReadBinary -fuzztime 30s
+
+# Regenerate every table and figure at a laptop-friendly scale.
+experiments:
+	$(GO) run ./cmd/imcbench -experiment all -scale 0.1 \
+		-scalefor facebook=1.0,wikivote=0.3,pokec=0.05 \
+		-runs 2 -maxsamples 65536 -btroots 64
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/viralmarketing
+	$(GO) run ./examples/gridattack
+	$(GO) run ./examples/election
+	$(GO) run ./examples/budgeted
+	$(GO) run ./examples/ltmodel
+	$(GO) run ./examples/dks
+
+clean:
+	$(GO) clean ./...

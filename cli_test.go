@@ -1,0 +1,83 @@
+package imc_test
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI executes one of the repository's commands via `go run`,
+// returning combined output. These integration tests exercise the real
+// binaries end to end; skip them with -short.
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("go run %v: %v\n%s", args, err, buf.String())
+	}
+	return buf.String()
+}
+
+func TestCLIGengraphStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	out := runCLI(t, "./cmd/gengraph", "-dataset", "wikivote", "-scale", "0.02", "-stats")
+	for _, want := range []string{"dataset=wikivote", "nodes=142", "wcc="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stats output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIGraphRoundTripThroughImcrun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	dir := t.TempDir()
+	edge := filepath.Join(dir, "g.txt")
+	comm := filepath.Join(dir, "comm.json")
+	runCLI(t, "./cmd/gengraph", "-dataset", "facebook", "-scale", "0.05", "-out", edge)
+	out := runCLI(t, "./cmd/imcrun",
+		"-graph", edge, "-alg", "MAF", "-k", "3",
+		"-maxsamples", "4096", "-save-communities", comm)
+	if !strings.Contains(out, "algorithm  MAF") || !strings.Contains(out, "benefit") {
+		t.Fatalf("imcrun output:\n%s", out)
+	}
+	// Reload the saved partition on a second run.
+	out = runCLI(t, "./cmd/imcrun",
+		"-graph", edge, "-alg", "HBC", "-k", "3",
+		"-maxsamples", "4096", "-communities", comm)
+	if !strings.Contains(out, "algorithm  HBC") {
+		t.Fatalf("imcrun with -communities output:\n%s", out)
+	}
+}
+
+func TestCLIBinaryGraphFormat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "g.imcg")
+	runCLI(t, "./cmd/gengraph", "-dataset", "facebook", "-scale", "0.05", "-binary", "-out", bin)
+	out := runCLI(t, "./cmd/imcrun",
+		"-graph", bin, "-alg", "KS", "-k", "3", "-maxsamples", "4096")
+	if !strings.Contains(out, "algorithm  KS") {
+		t.Fatalf("imcrun on binary graph:\n%s", out)
+	}
+}
+
+func TestCLIImcbenchTable1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	out := runCLI(t, "./cmd/imcbench", "-experiment", "table1", "-scale", "0.02")
+	if !strings.Contains(out, "Table I") || !strings.Contains(out, "facebook") {
+		t.Fatalf("imcbench table1 output:\n%s", out)
+	}
+}

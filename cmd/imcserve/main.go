@@ -1,0 +1,70 @@
+// Command imcserve runs the IMC solver as a JSON-over-HTTP service.
+//
+// Usage:
+//
+//	imcserve -addr :8080
+//	curl localhost:8080/datasets
+//	curl -X POST localhost:8080/solve -d '{"dataset":"facebook","scale":0.1,"alg":"UBG","k":10}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"imc/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "imcserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr            = flag.String("addr", ":8080", "listen address")
+		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown deadline")
+	)
+	flag.Parse()
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           serve.New(logger).Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Info("listening", "addr", *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case sig := <-stop:
+		logger.Info("shutting down", "signal", sig.String())
+		ctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("graceful shutdown: %w", err)
+		}
+		<-errCh // drain the ListenAndServe result
+		return nil
+	}
+}

@@ -1,0 +1,94 @@
+// Budgeted: the cost-aware IMC variant — influencers charge fees
+// proportional to their reach, and the campaign has a dollar budget
+// instead of a head-count. Compares the budget-aware solver against
+// naively buying the biggest influencers until the money runs out.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"imc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	g, err := imc.BuildDataset("wikivote", 0.2, 31)
+	if err != nil {
+		return err
+	}
+	g = imc.ApplyWeights(g, imc.WeightedCascade, 0, 31)
+
+	part, err := imc.Louvain(g, 31)
+	if err != nil {
+		return err
+	}
+	part, err = part.SplitBySize(8, 31)
+	if err != nil {
+		return err
+	}
+	part.SetBoundedThresholds(2)
+	part.SetPopulationBenefits()
+
+	// Influencer pricing: $10 per follower (out-neighbor), minimum $10.
+	price := imc.DegreeCost(g, 10)
+	const budget = 3000.0
+	fmt.Printf("market: %d users, %d groups, campaign budget $%.0f\n",
+		g.NumNodes(), part.NumCommunities(), budget)
+
+	// Budget-aware seed selection.
+	res, err := imc.SolveBudgeted(g, part, price, budget, 20000, imc.PoolOptions{Seed: 31})
+	if err != nil {
+		return err
+	}
+	mc := imc.MCOptions{Iterations: 4000, Seed: 33}
+	smart, err := imc.EstimateBenefit(g, part, res.Seeds, mc)
+	if err != nil {
+		return err
+	}
+
+	// Naive plan: buy the most-followed influencers until broke.
+	nodes := make([]imc.NodeID, g.NumNodes())
+	for i := range nodes {
+		nodes[i] = imc.NodeID(i)
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		return g.OutDegree(nodes[i]) > g.OutDegree(nodes[j])
+	})
+	var naive []imc.NodeID
+	spent := 0.0
+	for _, v := range nodes {
+		if c := price(v); spent+c <= budget {
+			naive = append(naive, v)
+			spent += c
+		}
+	}
+	naiveValue, err := imc.EstimateBenefit(g, part, naive, mc)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\n%-26s %10s %12s %14s\n", "plan", "seeds", "spent", "group value")
+	fmt.Printf("%-26s %10d %11.0f$ %14.1f\n", "budget-aware (rate greedy)",
+		len(res.Seeds), budgetSpent(res.Seeds, price), smart)
+	fmt.Printf("%-26s %10d %11.0f$ %14.1f\n", "biggest-influencers-first",
+		len(naive), spent, naiveValue)
+	fmt.Println("\nThe rate greedy buys cheaper mid-tier users whose combined group")
+	fmt.Println("coverage beats a handful of expensive celebrities — the classic")
+	fmt.Println("budgeted-coverage effect, now under the community objective.")
+	return nil
+}
+
+func budgetSpent(seeds []imc.NodeID, price imc.CostFunc) float64 {
+	total := 0.0
+	for _, s := range seeds {
+		total += price(s)
+	}
+	return total
+}

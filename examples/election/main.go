@@ -1,0 +1,96 @@
+// Election: the paper's third motivating scenario — each community is a
+// state's population, a state is "won" when half its voters are
+// influenced, and winning a state yields its electoral votes. Electoral
+// votes are NOT proportional to population (small states are
+// over-weighted), which is exactly the benefit generality b_i that IMC
+// supports and plain spread maximization cannot see. The example
+// compares UBG against the KS knapsack baseline that ignores network
+// structure.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"imc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 12 "states" of varying population with mostly in-state social
+	// ties.
+	statePop := []int{60, 50, 45, 40, 35, 30, 25, 20, 15, 12, 10, 8}
+	// Electoral votes: deliberately non-proportional (floor of pop/8,
+	// plus 2 — the small-state bonus).
+	votes := make([]float64, len(statePop))
+	total := 0
+	for i, p := range statePop {
+		votes[i] = float64(p/8 + 2)
+		total += p
+	}
+
+	g, err := imc.SBM(total, len(statePop), 6, 0.8, 23)
+	if err != nil {
+		return err
+	}
+	g = imc.ApplyWeights(g, imc.WeightedCascade, 0, 23)
+
+	// Assign contiguous voter blocks to states in proportion to
+	// population (SBM blocks are round-robin, so remap by count).
+	sets := make([][]imc.NodeID, len(statePop))
+	next := 0
+	for i, p := range statePop {
+		for j := 0; j < p; j++ {
+			sets[i] = append(sets[i], imc.NodeID(next))
+			next++
+		}
+	}
+	part, err := imc.NewPartition(total, sets)
+	if err != nil {
+		return err
+	}
+	part.SetFractionThresholds(0.5)
+	totalVotes := 0.0
+	for i, v := range votes {
+		if err := part.SetBenefit(i, v); err != nil {
+			return err
+		}
+		totalVotes += v
+	}
+	fmt.Printf("electorate: %d voters, %d states, %.0f electoral votes\n",
+		total, len(statePop), totalVotes)
+
+	const influencers = 30
+	mc := imc.MCOptions{Iterations: 5000, Seed: 29}
+
+	sol, err := imc.Solve(g, part, imc.NewUBG(), imc.Options{K: influencers, Eps: 0.2, Delta: 0.2, Seed: 23})
+	if err != nil {
+		return err
+	}
+	ubgVotes, err := imc.EstimateBenefit(g, part, sol.Seeds, mc)
+	if err != nil {
+		return err
+	}
+
+	ksSeeds, err := imc.KS(g, part, influencers)
+	if err != nil {
+		return err
+	}
+	ksVotes, err := imc.EstimateBenefit(g, part, ksSeeds, mc)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\n%-28s %16s\n", "strategy", "expected votes")
+	fmt.Printf("%-28s %16.1f\n", "UBG (network-aware)", ubgVotes)
+	fmt.Printf("%-28s %16.1f\n", "KS (knapsack, no network)", ksVotes)
+	fmt.Printf("\nUBG exploits cross-state influence cascades that the knapsack\n")
+	fmt.Printf("baseline cannot model; the paper reports KS trailing every other\n")
+	fmt.Printf("method for the same reason.\n")
+	return nil
+}

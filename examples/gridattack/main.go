@@ -1,0 +1,94 @@
+// Grid attack: the paper's smart-grid vulnerability scenario (§I, ref
+// [7]) — an adversary uses a social network coupled to a power grid to
+// manipulate electricity demand. A geographic neighborhood destabilizes
+// only if enough of its residents are influenced simultaneously, so the
+// attacker's objective is exactly IMC with neighborhoods as disjoint
+// communities. This example sweeps the attacker's budget k and reports
+// how much of the grid each budget can destabilize, using the MAF
+// solver (the fast option an online attacker would favor).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"imc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Neighborhood-structured social graph: SBM blocks are geographic
+	// neighborhoods whose residents mostly befriend each other.
+	const (
+		residents     = 3000
+		neighborhoods = 150
+	)
+	g, err := imc.SBM(residents, neighborhoods, 5, 1.2, 11)
+	if err != nil {
+		return err
+	}
+	g = imc.ApplyWeights(g, imc.WeightedCascade, 0, 11)
+
+	// Ground-truth neighborhoods as communities: a neighborhood
+	// destabilizes when 40% of residents shift their demand. The grid
+	// damage is proportional to neighborhood population.
+	sets := make([][]imc.NodeID, neighborhoods)
+	for u := 0; u < residents; u++ {
+		b := u % neighborhoods
+		sets[b] = append(sets[b], imc.NodeID(u))
+	}
+	part, err := imc.NewPartition(residents, sets)
+	if err != nil {
+		return err
+	}
+	part.SetFractionThresholds(0.4)
+	part.SetPopulationBenefits()
+	fmt.Printf("grid: %d residents in %d neighborhoods (damage potential %.0f)\n",
+		residents, neighborhoods, part.TotalBenefit())
+
+	fmt.Printf("\n%8s %18s %14s\n", "budget", "est. damage", "selection")
+	for _, k := range []int{10, 25, 50, 100} {
+		sol, err := imc.Solve(g, part, imc.NewMAF(11), imc.Options{
+			K:          k,
+			Eps:        0.2,
+			Delta:      0.2,
+			Seed:       11,
+			MaxSamples: 1 << 16,
+		})
+		if err != nil {
+			return err
+		}
+		damage, err := imc.EstimateBenefit(g, part, sol.Seeds, imc.MCOptions{Iterations: 2000, Seed: 13})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%8d %12.1f (%4.1f%%) %14s\n",
+			k, damage, 100*damage/part.TotalBenefit(), sol.Elapsed.Round(1_000_000))
+	}
+	fmt.Println("\nDefensive reading: the curve shows how few compromised accounts")
+	fmt.Println("suffice to push whole neighborhoods over their demand threshold —")
+	fmt.Println("the quantity a grid operator must monitor, per the paper's threat model.")
+
+	// Trace one concrete cascade from a 10-account attack so the
+	// round-by-round mechanics are visible.
+	sol, err := imc.Solve(g, part, imc.NewMAF(11), imc.Options{
+		K: 10, Eps: 0.2, Delta: 0.2, Seed: 11, MaxSamples: 1 << 15,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nsample cascade from the 10-account attack:")
+	for _, round := range imc.TraceCascade(g, sol.Seeds, 99) {
+		if round.Round > 4 {
+			fmt.Println("  ... (cascade continues)")
+			break
+		}
+		fmt.Printf("  round %d: %d residents newly influenced\n", round.Round, len(round.Activated))
+	}
+	return nil
+}

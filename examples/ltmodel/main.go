@@ -1,0 +1,103 @@
+// LT model: the paper's noted extension — the whole pipeline (RIC
+// sampling, UBG, IMCAF) also runs under Linear Threshold diffusion.
+// This example solves the same instance under IC and LT and compares
+// the seed choices and what each seed set is worth under each model.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"imc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	g, err := imc.BuildDataset("wikivote", 0.2, 17)
+	if err != nil {
+		return err
+	}
+	g = imc.ApplyWeights(g, imc.WeightedCascade, 0, 17)
+
+	part, err := imc.Louvain(g, 17)
+	if err != nil {
+		return err
+	}
+	part, err = part.SplitBySize(8, 17)
+	if err != nil {
+		return err
+	}
+	part.SetBoundedThresholds(2)
+	part.SetPopulationBenefits()
+	fmt.Printf("instance: %d users, %d communities\n", g.NumNodes(), part.NumCommunities())
+
+	const k = 15
+	solve := func(model imc.Model) ([]imc.NodeID, error) {
+		sol, err := imc.Solve(g, part, imc.NewUBG(), imc.Options{
+			K: k, Eps: 0.2, Delta: 0.2, Seed: 17, Model: model, MaxSamples: 1 << 16,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return sol.Seeds, nil
+	}
+	icSeeds, err := solve(imc.IC)
+	if err != nil {
+		return err
+	}
+	ltSeeds, err := solve(imc.LT)
+	if err != nil {
+		return err
+	}
+
+	// Cross-evaluate: score both seed sets under both models.
+	score := func(seeds []imc.NodeID, model imc.Model) (float64, error) {
+		return imc.EstimateBenefit(g, part, seeds, imc.MCOptions{
+			Iterations: 4000, Seed: 19, Model: model,
+		})
+	}
+	fmt.Printf("\n%-22s %14s %14s\n", "seed set", "value under IC", "value under LT")
+	for _, row := range []struct {
+		name  string
+		seeds []imc.NodeID
+	}{
+		{"optimized for IC", icSeeds},
+		{"optimized for LT", ltSeeds},
+	} {
+		ic, err := score(row.seeds, imc.IC)
+		if err != nil {
+			return err
+		}
+		lt, err := score(row.seeds, imc.LT)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-22s %14.1f %14.1f\n", row.name, ic, lt)
+	}
+
+	overlap := 0
+	inIC := make(map[imc.NodeID]bool, len(icSeeds))
+	for _, s := range icSeeds {
+		inIC[s] = true
+	}
+	for _, s := range ltSeeds {
+		if inIC[s] {
+			overlap++
+		}
+	}
+	fmt.Printf("\nseed overlap: %d/%d\n", overlap, k)
+	if overlap == k {
+		fmt.Println("On this hub-dominated instance both models elect the same seeds —")
+		fmt.Println("the influencers that matter under IC matter under LT too. Sparser")
+		fmt.Println("or more modular graphs drive the two seed sets apart.")
+	} else {
+		fmt.Println("The models disagree on some seeds; each diagonal entry of the")
+		fmt.Println("table should (weakly) dominate its column.")
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+// Viral marketing: the paper's "collaborative-based" scenario — a
+// product (say, a team messaging app) is only adopted by a friend group
+// once enough members are influenced, so value accrues per *group*, not
+// per user. This example contrasts community-aware seeding (UBG) with
+// classic influence maximization (IM), which chases raw spread and
+// leaves groups half-converted.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"imc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A mid-sized social network with heavy-tailed degrees.
+	g, err := imc.BuildDataset("wikivote", 0.3, 7)
+	if err != nil {
+		return err
+	}
+	g = imc.ApplyWeights(g, imc.WeightedCascade, 0, 7)
+
+	// Friend groups from Louvain, capped at 8 people. A group adopts
+	// when half its members are influenced; revenue is proportional to
+	// group size.
+	part, err := imc.Louvain(g, 7)
+	if err != nil {
+		return err
+	}
+	part, err = part.SplitBySize(8, 7)
+	if err != nil {
+		return err
+	}
+	part.SetFractionThresholds(0.5)
+	part.SetPopulationBenefits()
+	fmt.Printf("network: %d users, %d friend groups, %0.f total group value\n",
+		g.NumNodes(), part.NumCommunities(), part.TotalBenefit())
+
+	const budget = 20 // free-product giveaways
+	mc := imc.MCOptions{Iterations: 5000, Seed: 99}
+
+	// Community-aware campaign.
+	sol, err := imc.Solve(g, part, imc.NewUBG(), imc.Options{K: budget, Eps: 0.2, Delta: 0.2, Seed: 7})
+	if err != nil {
+		return err
+	}
+	ubgValue, err := imc.EstimateBenefit(g, part, sol.Seeds, mc)
+	if err != nil {
+		return err
+	}
+
+	// Classic IM campaign: maximizes individual reach, oblivious to
+	// group thresholds.
+	imSeeds, err := imc.IM(g, part, budget, imc.RISOptions{Seed: 7})
+	if err != nil {
+		return err
+	}
+	imValue, err := imc.EstimateBenefit(g, part, imSeeds, mc)
+	if err != nil {
+		return err
+	}
+	imSpread, err := imc.EstimateSpread(g, imSeeds, mc)
+	if err != nil {
+		return err
+	}
+	ubgSpread, err := imc.EstimateSpread(g, sol.Seeds, mc)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\n%-24s %12s %12s\n", "campaign", "group value", "raw reach")
+	fmt.Printf("%-24s %12.1f %12.1f\n", "UBG (community-aware)", ubgValue, ubgSpread)
+	fmt.Printf("%-24s %12.1f %12.1f\n", "IM  (classic)", imValue, imSpread)
+	if ubgValue >= imValue {
+		fmt.Println("\nUBG converts at least as much group value as classic IM,")
+		fmt.Println("even when IM reaches a similar (or larger) number of users —")
+		fmt.Println("the collaborative objective rewards concentrating influence.")
+	} else {
+		fmt.Println("\nnote: on this draw IM edged out UBG; rerun with more")
+		fmt.Println("Monte-Carlo iterations or a different seed to average out noise.")
+	}
+	return nil
+}

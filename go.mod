@@ -1,0 +1,3 @@
+module imc
+
+go 1.22

@@ -1,0 +1,148 @@
+package imc_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"imc"
+)
+
+func TestFacadeKCoreNMIAndRMAT(t *testing.T) {
+	g, err := imc.RMAT(8, 1500, 0.57, 0.19, 0.19, 0.05, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 256 {
+		t.Fatalf("RMAT n = %d", g.NumNodes())
+	}
+	core := imc.KCore(g)
+	if len(core) != 256 {
+		t.Fatalf("core labels = %d", len(core))
+	}
+	lp, err := imc.LabelPropagation(g, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv, err := imc.Louvain(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmi := imc.NMI(lp, lv); nmi < 0 || nmi > 1 {
+		t.Fatalf("NMI = %g out of [0,1]", nmi)
+	}
+	if nmi := imc.NMI(lv, lv); math.Abs(nmi-1) > 1e-12 {
+		t.Fatalf("self NMI = %g", nmi)
+	}
+}
+
+func TestFacadeTraceAndDegreeDiscount(t *testing.T) {
+	b := imc.NewBuilder(4)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds := imc.TraceCascade(g, []imc.NodeID{0}, 1)
+	if len(rounds) != 3 {
+		t.Fatalf("trace rounds = %d, want 3", len(rounds))
+	}
+	seeds, err := imc.DegreeDiscount(g, 2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != 2 {
+		t.Fatalf("degree-discount seeds = %v", seeds)
+	}
+}
+
+func TestFacadeIMAndIMMSolvers(t *testing.T) {
+	g, err := imc.BarabasiAlbert(200, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g = imc.ApplyWeights(g, imc.WeightedCascade, 0, 0)
+	ssa, err := imc.SolveIM(g, imc.RISOptions{K: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imm, err := imc.SolveIMM(g, imc.RISOptions{K: 4, Seed: 7, MaxSamples: 1 << 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ssa.Seeds) != 4 || len(imm.Seeds) != 4 {
+		t.Fatalf("seed counts: ssa=%d imm=%d", len(ssa.Seeds), len(imm.Seeds))
+	}
+	if ssa.SpreadEstimate <= 0 || imm.SpreadEstimate <= 0 {
+		t.Fatal("spread estimates missing")
+	}
+}
+
+func TestFacadePartitionJSONRoundTrip(t *testing.T) {
+	part, err := imc.NewPartition(6, [][]imc.NodeID{{0, 1, 2}, {3, 4, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part.SetBoundedThresholds(2)
+	var buf bytes.Buffer
+	if err := imc.WritePartitionJSON(&buf, part); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"threshold\": 2") {
+		t.Fatalf("json missing threshold:\n%s", buf.String())
+	}
+	back, err := imc.ReadPartitionJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumCommunities() != 2 || back.Community(0).Threshold != 2 {
+		t.Fatal("partition JSON round trip mangled")
+	}
+}
+
+func TestFacadeBinaryGraphRoundTrip(t *testing.T) {
+	g, err := imc.ErdosRenyi(50, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := imc.WriteBinaryGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := imc.ReadBinaryGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEdges() != g.NumEdges() {
+		t.Fatal("binary round trip changed edges")
+	}
+}
+
+func TestFacadeBudgeted(t *testing.T) {
+	g, part := buildSmallInstance(t)
+	res, err := imc.SolveBudgeted(g, part, imc.UniformCost, 3, 2000, imc.PoolOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) > 3 {
+		t.Fatalf("budget exceeded: %v", res.Seeds)
+	}
+}
+
+func buildSmallInstance(t *testing.T) (*imc.Graph, *imc.Partition) {
+	t.Helper()
+	g, err := imc.BuildDataset("facebook", 0.05, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g = imc.ApplyWeights(g, imc.WeightedCascade, 0, 42)
+	part, err := imc.Louvain(g, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part.SetBoundedThresholds(2)
+	part.SetPopulationBenefits()
+	return g, part
+}

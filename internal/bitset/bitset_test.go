@@ -1,0 +1,177 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	s := New(0)
+	if s.Len() != 0 || s.Count() != 0 || s.Any() {
+		t.Fatalf("empty set misbehaves: len=%d count=%d any=%v", s.Len(), s.Count(), s.Any())
+	}
+}
+
+func TestSetTestClear(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Test(i) {
+			t.Fatalf("bit %d set before Set", i)
+		}
+		s.Set(i)
+		if !s.Test(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if got := s.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	s.Clear(64)
+	if s.Test(64) {
+		t.Fatal("bit 64 still set after Clear")
+	}
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count after clear = %d, want 7", got)
+	}
+}
+
+func TestOutOfRangeIgnored(t *testing.T) {
+	s := New(10)
+	s.Set(-1)
+	s.Set(10)
+	s.Set(100)
+	if s.Any() {
+		t.Fatal("out-of-range Set mutated the set")
+	}
+	if s.Test(-1) || s.Test(10) {
+		t.Fatal("out-of-range Test returned true")
+	}
+}
+
+func TestUnionAndCounts(t *testing.T) {
+	a := New(70)
+	b := New(70)
+	a.Set(0)
+	a.Set(69)
+	b.Set(69)
+	b.Set(33)
+	if got := a.UnionCount(b); got != 3 {
+		t.Fatalf("UnionCount = %d, want 3", got)
+	}
+	if got := a.NewlyCovered(b); got != 1 {
+		t.Fatalf("NewlyCovered = %d, want 1 (bit 33)", got)
+	}
+	a.Union(b)
+	if got := a.Count(); got != 3 {
+		t.Fatalf("Count after Union = %d, want 3", got)
+	}
+	if !a.Test(33) {
+		t.Fatal("Union did not import bit 33")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(10)
+	a.Set(3)
+	c := a.Clone()
+	c.Set(5)
+	if a.Test(5) {
+		t.Fatal("mutating clone affected original")
+	}
+	if !c.Test(3) {
+		t.Fatal("clone lost original bit")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Fatal("clone not Equal to original")
+	}
+}
+
+func TestOnesAndString(t *testing.T) {
+	s := New(100)
+	s.Set(2)
+	s.Set(64)
+	s.Set(99)
+	ones := s.Ones()
+	want := []int{2, 64, 99}
+	if len(ones) != len(want) {
+		t.Fatalf("Ones = %v, want %v", ones, want)
+	}
+	for i := range want {
+		if ones[i] != want[i] {
+			t.Fatalf("Ones = %v, want %v", ones, want)
+		}
+	}
+	if got := s.String(); got != "{2, 64, 99}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := New(128)
+	for i := 0; i < 128; i += 3 {
+		s.Set(i)
+	}
+	s.Reset()
+	if s.Any() || s.Count() != 0 {
+		t.Fatal("Reset left bits set")
+	}
+	if s.Len() != 128 {
+		t.Fatal("Reset changed capacity")
+	}
+}
+
+// Property: Count equals the number of distinct indices set.
+func TestQuickCountMatchesDistinctSets(t *testing.T) {
+	f := func(idx []uint16) bool {
+		s := New(1 << 16)
+		distinct := make(map[uint16]struct{})
+		for _, i := range idx {
+			s.Set(int(i))
+			distinct[i] = struct{}{}
+		}
+		return s.Count() == len(distinct)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: union is commutative in count and NewlyCovered decomposes
+// the union: |a ∪ b| = |a| + newly(a←b).
+func TestQuickUnionAlgebra(t *testing.T) {
+	build := func(idx []uint8) *Set {
+		s := New(256)
+		for _, i := range idx {
+			s.Set(int(i))
+		}
+		return s
+	}
+	f := func(x, y []uint8) bool {
+		a, b := build(x), build(y)
+		if a.UnionCount(b) != b.UnionCount(a) {
+			return false
+		}
+		return a.UnionCount(b) == a.Count()+a.NewlyCovered(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Ones round-trips through Set.
+func TestQuickOnesRoundTrip(t *testing.T) {
+	f := func(idx []uint8) bool {
+		s := New(256)
+		for _, i := range idx {
+			s.Set(int(i))
+		}
+		back := New(256)
+		for _, i := range s.Ones() {
+			back.Set(i)
+		}
+		return s.Equal(back)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,40 @@
+package community
+
+import (
+	"testing"
+
+	"imc/internal/gen"
+)
+
+// BenchmarkLouvain10K measures community detection on a 10K-node
+// block-structured graph — the setup cost of every experiment.
+func BenchmarkLouvain10K(b *testing.B) {
+	g, err := gen.SBM(10000, 500, 4, 1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Louvain(g, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSplitBySize measures the size-cap splitting pass.
+func BenchmarkSplitBySize(b *testing.B) {
+	g, err := gen.SBM(10000, 100, 4, 1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := Louvain(g, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.SplitBySize(8, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

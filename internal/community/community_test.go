@@ -1,0 +1,259 @@
+package community
+
+import (
+	"testing"
+	"testing/quick"
+
+	"imc/internal/gen"
+	"imc/internal/graph"
+)
+
+func mustNew(t *testing.T, n int, sets [][]graph.NodeID) *Partition {
+	t.Helper()
+	p, err := New(n, sets)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return p
+}
+
+func TestNewAndAccessors(t *testing.T) {
+	p := mustNew(t, 6, [][]graph.NodeID{{2, 0, 1}, {5, 3}})
+	if p.NumCommunities() != 2 || p.NumNodes() != 6 {
+		t.Fatalf("r=%d n=%d", p.NumCommunities(), p.NumNodes())
+	}
+	c0 := p.Community(0)
+	if len(c0.Members) != 3 || c0.Members[0] != 0 || c0.Members[2] != 2 {
+		t.Fatalf("members not sorted: %v", c0.Members)
+	}
+	if p.Of(4) != Unassigned {
+		t.Fatal("node 4 should be unassigned")
+	}
+	if p.Of(5) != 1 {
+		t.Fatalf("Of(5) = %d", p.Of(5))
+	}
+	if p.TotalBenefit() != 5 {
+		t.Fatalf("default total benefit = %g, want populations 3+2", p.TotalBenefit())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestNewRejectsOverlapAndOutOfRange(t *testing.T) {
+	if _, err := New(4, [][]graph.NodeID{{0, 1}, {1, 2}}); err == nil {
+		t.Fatal("want overlap error")
+	}
+	if _, err := New(4, [][]graph.NodeID{{0, 9}}); err == nil {
+		t.Fatal("want out-of-range error")
+	}
+	if _, err := New(4, nil); err == nil {
+		t.Fatal("want empty partition error")
+	}
+}
+
+func TestThresholdPolicies(t *testing.T) {
+	p := mustNew(t, 10, [][]graph.NodeID{{0}, {1, 2, 3}, {4, 5, 6, 7, 8, 9}})
+	p.SetBoundedThresholds(2)
+	if got := p.Community(0).Threshold; got != 1 {
+		t.Fatalf("bounded threshold of singleton = %d, want clamp to 1", got)
+	}
+	if got := p.Community(2).Threshold; got != 2 {
+		t.Fatalf("bounded threshold = %d", got)
+	}
+	p.SetFractionThresholds(0.5)
+	if got := p.Community(1).Threshold; got != 2 {
+		t.Fatalf("ceil(0.5·3) = %d, want 2", got)
+	}
+	if got := p.Community(2).Threshold; got != 3 {
+		t.Fatalf("ceil(0.5·6) = %d, want 3", got)
+	}
+	if h := p.MaxThreshold(); h != 3 {
+		t.Fatalf("MaxThreshold = %d", h)
+	}
+}
+
+func TestBenefitPolicies(t *testing.T) {
+	p := mustNew(t, 5, [][]graph.NodeID{{0, 1}, {2, 3, 4}})
+	p.SetUniformBenefits(4)
+	if p.TotalBenefit() != 8 || p.MinBenefit() != 4 {
+		t.Fatal("uniform benefits wrong")
+	}
+	p.SetPopulationBenefits()
+	if p.TotalBenefit() != 5 || p.MinBenefit() != 2 {
+		t.Fatal("population benefits wrong")
+	}
+	if err := p.SetBenefit(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if p.Community(1).Benefit != 10 {
+		t.Fatal("SetBenefit did not stick")
+	}
+	if err := p.SetBenefit(5, 1); err == nil {
+		t.Fatal("want index error")
+	}
+	if err := p.SetBenefit(0, -1); err == nil {
+		t.Fatal("want positivity error")
+	}
+	if err := p.SetThreshold(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetThreshold(0, 3); err == nil {
+		t.Fatal("want threshold range error")
+	}
+}
+
+func TestSplitBySize(t *testing.T) {
+	members := make([]graph.NodeID, 20)
+	for i := range members {
+		members[i] = graph.NodeID(i)
+	}
+	p := mustNew(t, 20, [][]graph.NodeID{members})
+	sp, err := p.SplitBySize(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.NumCommunities() != 3 {
+		t.Fatalf("split into %d communities, want ⌈20/8⌉ = 3", sp.NumCommunities())
+	}
+	for _, s := range sp.Sizes() {
+		if s > 8 {
+			t.Fatalf("community of size %d exceeds cap", s)
+		}
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.SplitBySize(0, 1); err == nil {
+		t.Fatal("want cap error")
+	}
+}
+
+func TestRandomPartition(t *testing.T) {
+	p, err := Random(100, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumCommunities() != 10 {
+		t.Fatalf("r = %d", p.NumCommunities())
+	}
+	total := 0
+	for _, s := range p.Sizes() {
+		if s == 0 {
+			t.Fatal("empty community in random partition")
+		}
+		total += s
+	}
+	if total != 100 {
+		t.Fatalf("random partition covers %d/100 nodes", total)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// r > n clamps.
+	if p2, err := Random(3, 10, 0); err != nil || p2.NumCommunities() != 3 {
+		t.Fatalf("Random(3,10): %v, r=%d", err, p2.NumCommunities())
+	}
+}
+
+func TestLouvainRecoversPlantedBlocks(t *testing.T) {
+	// Strong SBM: dense blocks, sparse across — Louvain must produce a
+	// partition with clearly positive modularity covering all nodes.
+	g, err := gen.SBM(200, 8, 6, 0.3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Louvain(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range p.Sizes() {
+		total += s
+	}
+	if total != 200 {
+		t.Fatalf("Louvain covers %d/200 nodes", total)
+	}
+	if q := Modularity(g, p); q < 0.3 {
+		t.Fatalf("modularity %g too low for planted blocks", q)
+	}
+	if p.NumCommunities() < 4 || p.NumCommunities() > 40 {
+		t.Fatalf("Louvain found %d communities on 8 planted blocks", p.NumCommunities())
+	}
+}
+
+func TestLouvainDeterministic(t *testing.T) {
+	g, err := gen.SBM(100, 5, 5, 0.4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := Louvain(g, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Louvain(g, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.NumCommunities() != p2.NumCommunities() {
+		t.Fatal("Louvain not deterministic in seed")
+	}
+	for u := graph.NodeID(0); u < 100; u++ {
+		for v := graph.NodeID(0); v < 100; v++ {
+			if (p1.Of(u) == p1.Of(v)) != (p2.Of(u) == p2.Of(v)) {
+				t.Fatalf("co-membership of %d,%d differs between runs", u, v)
+			}
+		}
+	}
+}
+
+func TestLouvainBeatsRandomModularity(t *testing.T) {
+	g, err := gen.SBM(150, 6, 5, 0.5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := Louvain(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := Random(150, lp.NumCommunities(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Modularity(g, lp) <= Modularity(g, rp) {
+		t.Fatalf("Louvain modularity %g not above random %g", Modularity(g, lp), Modularity(g, rp))
+	}
+}
+
+// Property: SplitBySize preserves the node universe and respects the
+// cap for any community layout.
+func TestQuickSplitPreservesNodes(t *testing.T) {
+	f := func(seed uint64, capRaw uint8) bool {
+		capSize := int(capRaw%10) + 1
+		p, err := Random(60, 4, seed)
+		if err != nil {
+			return false
+		}
+		sp, err := p.SplitBySize(capSize, seed)
+		if err != nil {
+			return false
+		}
+		if sp.Validate() != nil {
+			return false
+		}
+		total := 0
+		for _, s := range sp.Sizes() {
+			if s > capSize {
+				return false
+			}
+			total += s
+		}
+		return total == 60
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

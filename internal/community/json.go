@@ -1,0 +1,79 @@
+package community
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"imc/internal/graph"
+)
+
+// fileFormat is the JSON wire form of a Partition.
+type fileFormat struct {
+	NumNodes    int             `json:"numNodes"`
+	Communities []fileCommunity `json:"communities"`
+}
+
+type fileCommunity struct {
+	Members   []graph.NodeID `json:"members"`
+	Threshold int            `json:"threshold"`
+	Benefit   float64        `json:"benefit"`
+}
+
+// WriteJSON serializes the partition, including thresholds and
+// benefits, so experimental configurations are reproducible across
+// processes.
+func WriteJSON(w io.Writer, p *Partition) error {
+	ff := fileFormat{
+		NumNodes:    p.NumNodes(),
+		Communities: make([]fileCommunity, 0, p.NumCommunities()),
+	}
+	for i := 0; i < p.NumCommunities(); i++ {
+		c := p.Community(i)
+		ff.Communities = append(ff.Communities, fileCommunity{
+			Members:   c.Members,
+			Threshold: c.Threshold,
+			Benefit:   c.Benefit,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(ff); err != nil {
+		return fmt.Errorf("community: encode partition: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON deserializes a partition written by WriteJSON, validating
+// the result.
+func ReadJSON(r io.Reader) (*Partition, error) {
+	var ff fileFormat
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&ff); err != nil {
+		return nil, fmt.Errorf("community: decode partition: %w", err)
+	}
+	sets := make([][]graph.NodeID, 0, len(ff.Communities))
+	for _, c := range ff.Communities {
+		sets = append(sets, c.Members)
+	}
+	p, err := New(ff.NumNodes, sets)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range ff.Communities {
+		if c.Threshold != 0 {
+			if err := p.SetThreshold(i, c.Threshold); err != nil {
+				return nil, err
+			}
+		}
+		if c.Benefit != 0 {
+			if err := p.SetBenefit(i, c.Benefit); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,75 @@
+package community
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"imc/internal/graph"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := mustNew(t, 8, [][]graph.NodeID{{0, 1, 2}, {3, 4}, {6, 7}})
+	p.SetBoundedThresholds(2)
+	if err := p.SetBenefit(1, 9.5); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != 8 || back.NumCommunities() != 3 {
+		t.Fatalf("round trip shape: n=%d r=%d", back.NumNodes(), back.NumCommunities())
+	}
+	for i := 0; i < 3; i++ {
+		a, b := p.Community(i), back.Community(i)
+		if a.Threshold != b.Threshold || a.Benefit != b.Benefit {
+			t.Fatalf("community %d: %+v vs %+v", i, a, b)
+		}
+		if len(a.Members) != len(b.Members) {
+			t.Fatalf("community %d member count", i)
+		}
+		for j := range a.Members {
+			if a.Members[j] != b.Members[j] {
+				t.Fatalf("community %d member %d differs", i, j)
+			}
+		}
+	}
+	// Node 5 stays unassigned.
+	if back.Of(5) != Unassigned {
+		t.Fatal("unassigned node gained a community")
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("want decode error")
+	}
+	// Overlapping members.
+	bad := `{"numNodes":4,"communities":[{"members":[0,1],"threshold":1,"benefit":1},{"members":[1,2],"threshold":1,"benefit":1}]}`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Fatal("want overlap error")
+	}
+	// Threshold exceeding population.
+	bad2 := `{"numNodes":4,"communities":[{"members":[0,1],"threshold":5,"benefit":1}]}`
+	if _, err := ReadJSON(strings.NewReader(bad2)); err == nil {
+		t.Fatal("want threshold error")
+	}
+}
+
+func TestReadJSONDefaults(t *testing.T) {
+	// Omitted threshold/benefit fall back to New's defaults.
+	in := `{"numNodes":3,"communities":[{"members":[0,1,2]}]}`
+	p, err := ReadJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.Community(0)
+	if c.Threshold != 1 || c.Benefit != 3 {
+		t.Fatalf("defaults: %+v", c)
+	}
+}

@@ -1,0 +1,82 @@
+package community
+
+import (
+	"testing"
+
+	"imc/internal/gen"
+	"imc/internal/graph"
+)
+
+func TestLabelPropagationFindsPlantedBlocks(t *testing.T) {
+	g, err := gen.SBM(300, 10, 8, 0.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := LabelPropagation(g, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range p.Sizes() {
+		total += s
+	}
+	if total != 300 {
+		t.Fatalf("covers %d/300 nodes", total)
+	}
+	if q := Modularity(g, p); q < 0.2 {
+		t.Fatalf("modularity %g too low for strongly planted blocks", q)
+	}
+}
+
+func TestLabelPropagationDeterministic(t *testing.T) {
+	g, err := gen.SBM(150, 6, 5, 0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := LabelPropagation(g, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LabelPropagation(g, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumCommunities() != b.NumCommunities() {
+		t.Fatal("nondeterministic community count")
+	}
+	for u := graph.NodeID(0); u < 150; u++ {
+		for v := u + 1; v < 150; v++ {
+			if (a.Of(u) == a.Of(v)) != (b.Of(u) == b.Of(v)) {
+				t.Fatalf("co-membership of %d,%d differs", u, v)
+			}
+		}
+	}
+}
+
+func TestLabelPropagationIsolatedNodes(t *testing.T) {
+	// Two disconnected dyads plus an isolated node: labels stay put for
+	// the isolate, dyads merge.
+	b := graph.NewBuilder(5)
+	b.AddUndirected(0, 1, 1)
+	b.AddUndirected(2, 3, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := LabelPropagation(g, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Of(0) != p.Of(1) || p.Of(2) != p.Of(3) {
+		t.Fatal("dyads did not merge")
+	}
+	if p.Of(0) == p.Of(2) {
+		t.Fatal("disconnected dyads merged")
+	}
+	if p.Of(4) == p.Of(0) || p.Of(4) == p.Of(2) {
+		t.Fatal("isolated node joined a dyad")
+	}
+}

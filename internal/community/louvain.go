@@ -1,0 +1,267 @@
+package community
+
+import (
+	"sort"
+
+	"imc/internal/graph"
+	"imc/internal/xrand"
+)
+
+// Louvain detects communities with the Louvain modularity method
+// (Blondel et al. 2008) on the undirected projection of g: every
+// directed edge contributes weight 1 between its endpoints. The paper
+// partitions each dataset this way before capping community sizes.
+//
+// The result is a Partition covering all n nodes, with default
+// thresholds/benefits (adjust with Set* methods). seed breaks ties in
+// the node-visit order, making the output deterministic.
+func Louvain(g *graph.Graph, seed uint64) (*Partition, error) {
+	lg := projectUndirected(g)
+	n := g.NumNodes()
+	// membership[u] = community of original node u, refined level by level.
+	membership := make([]int32, n)
+	for i := range membership {
+		membership[i] = int32(i)
+	}
+	rng := xrand.New(seed)
+	const maxLevels = 12
+	for level := 0; level < maxLevels; level++ {
+		comm, improved := localMove(lg, rng.Split(uint64(level)))
+		if !improved {
+			break
+		}
+		// Re-map original nodes through this level's assignment.
+		for u := range membership {
+			membership[u] = comm[membership[u]]
+		}
+		var renumber []int32
+		lg, renumber = aggregate(lg, comm)
+		for u := range membership {
+			membership[u] = renumber[membership[u]]
+		}
+		if lg.n <= 1 {
+			break
+		}
+	}
+	return partitionFromMembership(n, membership)
+}
+
+// halfEdge is one endpoint of an undirected weighted edge in a level
+// graph.
+type halfEdge struct {
+	to int32
+	w  float64
+}
+
+// levelGraph is the working multigraph at one Louvain level.
+type levelGraph struct {
+	n        int
+	adj      [][]halfEdge
+	selfLoop []float64 // aggregated intra-community weight per super-node
+	total2   float64   // 2m: total degree mass including self loops
+}
+
+func projectUndirected(g *graph.Graph) *levelGraph {
+	n := g.NumNodes()
+	lg := &levelGraph{
+		n:        n,
+		adj:      make([][]halfEdge, n),
+		selfLoop: make([]float64, n),
+	}
+	agg := make(map[int64]float64)
+	for u := graph.NodeID(0); int(u) < n; u++ {
+		tos, _ := g.OutNeighbors(u)
+		for _, v := range tos {
+			a, b := u, v
+			if a > b {
+				a, b = b, a
+			}
+			agg[int64(a)*int64(n)+int64(b)]++
+		}
+	}
+	keys := make([]int64, 0, len(agg))
+	for k := range agg {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		w := agg[k]
+		a := int32(k / int64(n))
+		b := int32(k % int64(n))
+		lg.adj[a] = append(lg.adj[a], halfEdge{to: b, w: w})
+		lg.adj[b] = append(lg.adj[b], halfEdge{to: a, w: w})
+		lg.total2 += 2 * w
+	}
+	return lg
+}
+
+// localMove runs Louvain phase 1: greedy node moves maximizing the
+// modularity gain until a full pass makes no move. Returns the community
+// assignment (indices in [0, lg.n)) and whether any move happened.
+func localMove(lg *levelGraph, rng *xrand.RNG) ([]int32, bool) {
+	n := lg.n
+	comm := make([]int32, n)
+	degree := make([]float64, n)    // weighted degree incl. self loops
+	commTotal := make([]float64, n) // Σ_tot per community
+	neighW := make([]float64, n)    // scratch: weight from node to community
+	touched := make([]int32, 0, 64) // scratch: communities seen this node
+	for u := 0; u < n; u++ {
+		comm[u] = int32(u)
+		d := lg.selfLoop[u] * 2
+		for _, e := range lg.adj[u] {
+			d += e.w
+		}
+		degree[u] = d
+		commTotal[u] = d
+	}
+	if lg.total2 <= 0 {
+		return comm, false
+	}
+	order := rng.Perm(n)
+	anyMove := false
+	for pass := 0; pass < 32; pass++ {
+		moved := 0
+		for _, ui := range order {
+			u := int32(ui)
+			cu := comm[u]
+			// Tally edge weight from u to each adjacent community.
+			touched = touched[:0]
+			for _, e := range lg.adj[u] {
+				c := comm[e.to]
+				if neighW[c] == 0 {
+					touched = append(touched, c)
+				}
+				neighW[c] += e.w
+			}
+			commTotal[cu] -= degree[u]
+			best := cu
+			// Gain of staying, relative baseline.
+			bestGain := neighW[cu] - commTotal[cu]*degree[u]/lg.total2
+			for _, c := range touched {
+				if c == cu {
+					continue
+				}
+				gain := neighW[c] - commTotal[c]*degree[u]/lg.total2
+				if gain > bestGain+1e-12 {
+					bestGain = gain
+					best = c
+				}
+			}
+			commTotal[best] += degree[u]
+			if best != cu {
+				comm[u] = best
+				moved++
+			}
+			for _, c := range touched {
+				neighW[c] = 0
+			}
+		}
+		if moved == 0 {
+			break
+		}
+		anyMove = true
+	}
+	return comm, anyMove
+}
+
+// aggregate runs Louvain phase 2: collapse each community to a
+// super-node. Returns the next-level graph and the renumbering from the
+// phase-1 community IDs to compact super-node IDs.
+func aggregate(lg *levelGraph, comm []int32) (*levelGraph, []int32) {
+	renumber := make([]int32, lg.n)
+	for i := range renumber {
+		renumber[i] = -1
+	}
+	next := int32(0)
+	for _, c := range comm {
+		if renumber[c] == -1 {
+			renumber[c] = next
+			next++
+		}
+	}
+	out := &levelGraph{
+		n:        int(next),
+		adj:      make([][]halfEdge, next),
+		selfLoop: make([]float64, next),
+		total2:   lg.total2,
+	}
+	agg := make(map[int64]float64)
+	for u := 0; u < lg.n; u++ {
+		cu := renumber[comm[u]]
+		out.selfLoop[cu] += lg.selfLoop[u]
+		for _, e := range lg.adj[u] {
+			cv := renumber[comm[e.to]]
+			if cu == cv {
+				// Each undirected edge is seen from both endpoints;
+				// halve to count intra weight once.
+				out.selfLoop[cu] += e.w / 2
+				continue
+			}
+			a, b := cu, cv
+			if a > b {
+				a, b = b, a
+			}
+			// Seen from both endpoints: halve.
+			agg[int64(a)*int64(next)+int64(b)] += e.w / 2
+		}
+	}
+	keys := make([]int64, 0, len(agg))
+	for k := range agg {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		w := agg[k]
+		a := int32(k / int64(next))
+		b := int32(k % int64(next))
+		out.adj[a] = append(out.adj[a], halfEdge{to: b, w: w})
+		out.adj[b] = append(out.adj[b], halfEdge{to: a, w: w})
+	}
+	return out, renumber
+}
+
+func partitionFromMembership(n int, membership []int32) (*Partition, error) {
+	groups := make(map[int32][]graph.NodeID)
+	for u, c := range membership {
+		groups[c] = append(groups[c], graph.NodeID(u))
+	}
+	ids := make([]int32, 0, len(groups))
+	for c := range groups {
+		ids = append(ids, c)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	sets := make([][]graph.NodeID, 0, len(ids))
+	for _, c := range ids {
+		sets = append(sets, groups[c])
+	}
+	return New(n, sets)
+}
+
+// Modularity computes the undirected-projection modularity of a
+// partition, useful for tests and reports.
+func Modularity(g *graph.Graph, p *Partition) float64 {
+	lg := projectUndirected(g)
+	if lg.total2 <= 0 {
+		return 0
+	}
+	intra := 0.0
+	degTot := make([]float64, p.NumCommunities())
+	for u := 0; u < lg.n; u++ {
+		cu := p.Of(graph.NodeID(u))
+		d := lg.selfLoop[u] * 2
+		for _, e := range lg.adj[u] {
+			d += e.w
+			if cu != Unassigned && p.Of(graph.NodeID(e.to)) == cu {
+				intra += e.w // counted from both sides => 2×
+			}
+		}
+		if cu != Unassigned {
+			degTot[cu] += d
+		}
+	}
+	q := intra / lg.total2
+	for _, d := range degTot {
+		q -= (d / lg.total2) * (d / lg.total2)
+	}
+	return q
+}

@@ -1,0 +1,65 @@
+package community
+
+import (
+	"math"
+
+	"imc/internal/graph"
+)
+
+// NMI computes the normalized mutual information between two
+// partitions of the same node universe — the standard measure for
+// comparing community detections (1 = identical up to relabeling,
+// 0 = independent). Unassigned nodes are skipped; the score is
+// normalized by the arithmetic mean of the two entropies.
+func NMI(a, b *Partition) float64 {
+	if a.NumNodes() != b.NumNodes() {
+		return 0
+	}
+	n := 0
+	joint := make(map[[2]int32]int)
+	countA := make(map[int32]int)
+	countB := make(map[int32]int)
+	for u := 0; u < a.NumNodes(); u++ {
+		ca, cb := a.Of(graph.NodeID(u)), b.Of(graph.NodeID(u))
+		if ca == Unassigned || cb == Unassigned {
+			continue
+		}
+		n++
+		joint[[2]int32{ca, cb}]++
+		countA[ca]++
+		countB[cb]++
+	}
+	if n == 0 {
+		return 0
+	}
+	fn := float64(n)
+	mi := 0.0
+	for key, c := range joint {
+		pxy := float64(c) / fn
+		px := float64(countA[key[0]]) / fn
+		py := float64(countB[key[1]]) / fn
+		mi += pxy * math.Log(pxy/(px*py))
+	}
+	entropy := func(counts map[int32]int) float64 {
+		h := 0.0
+		for _, c := range counts {
+			p := float64(c) / fn
+			h -= p * math.Log(p)
+		}
+		return h
+	}
+	ha, hb := entropy(countA), entropy(countB)
+	if ha+hb == 0 {
+		// Both partitions are a single community: identical by
+		// definition.
+		return 1
+	}
+	nmi := 2 * mi / (ha + hb)
+	if nmi < 0 {
+		nmi = 0
+	}
+	if nmi > 1 {
+		nmi = 1
+	}
+	return nmi
+}

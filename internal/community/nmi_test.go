@@ -1,0 +1,76 @@
+package community
+
+import (
+	"math"
+	"testing"
+
+	"imc/internal/gen"
+	"imc/internal/graph"
+)
+
+func TestNMIIdenticalPartitions(t *testing.T) {
+	p := mustNew(t, 6, [][]graph.NodeID{{0, 1, 2}, {3, 4, 5}})
+	if got := NMI(p, p); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("NMI(p, p) = %g, want 1", got)
+	}
+	// Identical up to relabeling.
+	q := mustNew(t, 6, [][]graph.NodeID{{3, 4, 5}, {0, 1, 2}})
+	if got := NMI(p, q); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("NMI under relabeling = %g, want 1", got)
+	}
+}
+
+func TestNMISingleCommunityEdgeCase(t *testing.T) {
+	p := mustNew(t, 4, [][]graph.NodeID{{0, 1, 2, 3}})
+	if got := NMI(p, p); got != 1 {
+		t.Fatalf("NMI of trivial partitions = %g, want 1", got)
+	}
+}
+
+func TestNMIOrthogonalPartitions(t *testing.T) {
+	// Rows vs columns of a 2×2 grid: mutual information zero.
+	rows := mustNew(t, 4, [][]graph.NodeID{{0, 1}, {2, 3}})
+	cols := mustNew(t, 4, [][]graph.NodeID{{0, 2}, {1, 3}})
+	if got := NMI(rows, cols); got > 1e-9 {
+		t.Fatalf("NMI of orthogonal partitions = %g, want 0", got)
+	}
+}
+
+func TestNMIMismatchedUniverse(t *testing.T) {
+	p := mustNew(t, 4, [][]graph.NodeID{{0, 1}})
+	q := mustNew(t, 5, [][]graph.NodeID{{0, 1}})
+	if NMI(p, q) != 0 {
+		t.Fatal("mismatched universes should score 0")
+	}
+}
+
+func TestNMILouvainRecoversPlantedBetterThanRandom(t *testing.T) {
+	g, err := gen.SBM(240, 8, 7, 0.3, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ground truth: the planted blocks (round-robin assignment).
+	sets := make([][]graph.NodeID, 8)
+	for u := 0; u < 240; u++ {
+		sets[u%8] = append(sets[u%8], graph.NodeID(u))
+	}
+	truth, err := New(240, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	louvain, err := Louvain(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := Random(240, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nmiL, nmiR := NMI(truth, louvain), NMI(truth, random)
+	if nmiL < 0.7 {
+		t.Fatalf("Louvain NMI vs planted truth = %g, want ≥ 0.7", nmiL)
+	}
+	if nmiL <= nmiR {
+		t.Fatalf("Louvain NMI %g not above random %g", nmiL, nmiR)
+	}
+}

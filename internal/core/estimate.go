@@ -1,0 +1,97 @@
+// Package core implements the paper's Section V: the IMC Algorithmic
+// Framework (IMCAF, Alg. 5) that wraps any α-approximate MAXR solver
+// into an α(1−ε)-approximate IMC algorithm with probability ≥ 1−δ, and
+// the Estimate verification procedure (Alg. 6) built on the
+// Dagum–Karp–Luby–Ross stopping rule.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"imc/internal/community"
+	"imc/internal/diffusion"
+	"imc/internal/graph"
+	"imc/internal/ric"
+	"imc/internal/xrand"
+)
+
+// EstimateResult is the outcome of the Estimate procedure.
+type EstimateResult struct {
+	// Benefit is the estimated c(S) (or ν(S) in fractional mode).
+	Benefit float64
+	// Samples is the number of RIC samples drawn.
+	Samples int
+	// Converged reports whether the stopping rule triggered before
+	// TMax; a false value corresponds to Alg. 6 returning −1.
+	Converged bool
+}
+
+// EstimateOptions configures the Estimate procedure.
+type EstimateOptions struct {
+	// Eps is ε′, the relative error target.
+	Eps float64
+	// Delta is δ′, the failure probability.
+	Delta float64
+	// TMax caps the number of samples (Alg. 6's T_max).
+	TMax int
+	// Model selects the propagation model for fresh samples.
+	Model diffusion.Model
+	// Seed drives the fresh sample stream.
+	Seed uint64
+	// Fractional switches the per-sample statistic from the 0/1
+	// indicator X_g(S) to min(|I_g(S)|/h_g, 1) — estimating ν(S)
+	// instead of c(S). Used by the ν-guided UBG stop rule.
+	Fractional bool
+}
+
+// Estimate implements the paper's Alg. 6: draw fresh RIC samples until
+// the influenced mass reaches the stopping-rule threshold, returning an
+// estimate of c(S) with relative error ≤ ε′ with probability ≥ 1−δ′.
+func Estimate(g *graph.Graph, part *community.Partition, seeds []graph.NodeID, opts EstimateOptions) (EstimateResult, error) {
+	if opts.Eps <= 0 || opts.Eps >= 1 {
+		return EstimateResult{}, fmt.Errorf("core: estimate eps %g out of (0, 1)", opts.Eps)
+	}
+	if opts.Delta <= 0 || opts.Delta >= 1 {
+		return EstimateResult{}, fmt.Errorf("core: estimate delta %g out of (0, 1)", opts.Delta)
+	}
+	if opts.TMax < 1 {
+		return EstimateResult{}, fmt.Errorf("core: estimate TMax %d must be ≥ 1", opts.TMax)
+	}
+	gen, err := ric.NewGenerator(g, part, opts.Model)
+	if err != nil {
+		return EstimateResult{}, err
+	}
+	inSeed := make([]bool, g.NumNodes())
+	for _, s := range seeds {
+		if s >= 0 && int(s) < len(inSeed) {
+			inSeed[s] = true
+		}
+	}
+	root := xrand.New(opts.Seed)
+	// Λ' = 1 + 4(e−2)·ln(2/δ')·(1+ε')/ε'².
+	lambda := 1 + 4*(math.E-2)*math.Log(2/opts.Delta)*(1+opts.Eps)/(opts.Eps*opts.Eps)
+	mass := 0.0
+	for t := 1; t <= opts.TMax; t++ {
+		rng := root.Split(uint64(t))
+		if opts.Fractional {
+			mass += gen.FractionalInfluence(rng, inSeed)
+		} else if gen.Influenced(rng, inSeed) {
+			mass++
+		}
+		if mass >= lambda {
+			return EstimateResult{
+				Benefit:   part.TotalBenefit() * lambda / float64(t),
+				Samples:   t,
+				Converged: true,
+			}, nil
+		}
+	}
+	// Alg. 6 returns −1 here; we surface the best-effort mean with
+	// Converged=false so callers can fall through to pool doubling.
+	return EstimateResult{
+		Benefit:   part.TotalBenefit() * mass / float64(opts.TMax),
+		Samples:   opts.TMax,
+		Converged: false,
+	}, nil
+}

@@ -1,0 +1,386 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"math"
+	"time"
+
+	"imc/internal/community"
+	"imc/internal/diffusion"
+	"imc/internal/graph"
+	"imc/internal/maxr"
+	"imc/internal/ric"
+)
+
+// StopReason explains why IMCAF terminated.
+type StopReason int
+
+const (
+	// StopCondition means the Alg. 5 statistical check passed: the
+	// candidate's estimated quality certifies the α(1−ε) guarantee.
+	StopCondition StopReason = iota + 1
+	// StopPsiCap means the pool reached the worst-case bound Ψ (eq. 22),
+	// which alone certifies the guarantee (Theorem 6).
+	StopPsiCap
+	// StopSampleCap means the configured MaxSamples safety cap was hit
+	// before either statistical certificate; the result is best-effort.
+	StopSampleCap
+)
+
+// String implements fmt.Stringer.
+func (s StopReason) String() string {
+	switch s {
+	case StopCondition:
+		return "stop-condition"
+	case StopPsiCap:
+		return "psi-cap"
+	case StopSampleCap:
+		return "sample-cap"
+	default:
+		return fmt.Sprintf("StopReason(%d)", int(s))
+	}
+}
+
+// Options configures one IMCAF run.
+type Options struct {
+	// K is the seed budget.
+	K int
+	// Eps is the total approximation slack ε ∈ (0, 1); the paper's
+	// experiments use 0.2.
+	Eps float64
+	// Delta is the total failure probability δ ∈ (0, 1); default 0.2.
+	Delta float64
+	// Model selects IC (default) or LT.
+	Model diffusion.Model
+	// Seed drives all randomness.
+	Seed uint64
+	// Workers bounds sample-generation parallelism; 0 = GOMAXPROCS.
+	Workers int
+	// MaxSamples is a practical safety cap on |R| (Ψ can be astronomically
+	// large for weak α). 0 defaults to 1<<20.
+	MaxSamples int
+	// NuGuided switches to the paper's UBG integration (§V-B end):
+	// stop-and-stare against the submodular ν objective with
+	// maxr.GreedyNu as the selector, yielding the
+	// (c(S_ν)/ν(S_ν))·(1−1/e−ε) guarantee. Solver is ignored when set.
+	NuGuided bool
+	// Logger, when non-nil, receives per-round progress (pool size,
+	// candidate quality, stop checks) at Debug level.
+	Logger *slog.Logger
+}
+
+func (o Options) normalized() (Options, error) {
+	if o.K < 1 {
+		return o, fmt.Errorf("core: K=%d must be ≥ 1", o.K)
+	}
+	if o.Eps <= 0 || o.Eps >= 1 {
+		return o, fmt.Errorf("core: Eps %g out of (0, 1)", o.Eps)
+	}
+	if o.Delta <= 0 || o.Delta >= 1 {
+		return o, fmt.Errorf("core: Delta %g out of (0, 1)", o.Delta)
+	}
+	if o.Model == 0 {
+		o.Model = diffusion.IC
+	}
+	if o.MaxSamples <= 0 {
+		o.MaxSamples = 1 << 20
+	}
+	return o, nil
+}
+
+// Solution is the outcome of an IMCAF run.
+type Solution struct {
+	// Seeds is the selected seed set.
+	Seeds []graph.NodeID
+	// CHat is the pool estimate ĉ_R(Seeds) at termination.
+	CHat float64
+	// EstimatedBenefit is the independent Estimate-procedure value when
+	// the stop condition fired (0 when terminated by a cap).
+	EstimatedBenefit float64
+	// Samples is the final pool size |R|.
+	Samples int
+	// Doublings counts pool-doubling rounds.
+	Doublings int
+	// Stopped records why the loop ended.
+	Stopped StopReason
+	// Alpha is the solver's approximation guarantee used in Ψ.
+	Alpha float64
+	// Elapsed is the wall-clock solve time.
+	Elapsed time.Duration
+	// SandwichRatio is ĉ_R/ν̂_R of the returned seeds (UBG's empirical
+	// factor); 0 when ν̂_R is 0.
+	SandwichRatio float64
+}
+
+// Solve runs the IMC Algorithmic Framework (paper Alg. 5) with the
+// given MAXR solver: generate Λ RIC samples, repeatedly solve MAXR and
+// verify the candidate with the Estimate procedure, doubling the pool
+// until a statistical certificate or the Ψ bound is reached.
+func Solve(g *graph.Graph, part *community.Partition, solver maxr.Solver, opts Options) (Solution, error) {
+	opts, err := opts.normalized()
+	if err != nil {
+		return Solution{}, err
+	}
+	if err := compatible(g, part, opts.K); err != nil {
+		return Solution{}, err
+	}
+	start := time.Now()
+
+	pool, err := ric.NewPool(g, part, ric.PoolOptions{Model: opts.Model, Seed: opts.Seed, Workers: opts.Workers})
+	if err != nil {
+		return Solution{}, err
+	}
+
+	// Alg. 5 line 1: split ε, δ for the Ψ bound (paper setting:
+	// ε1 = ε2 = ε/2, δ1 = δ2 = δ/2).
+	eps1, eps2 := opts.Eps/2, opts.Eps/2
+	delta1, delta2 := opts.Delta/2, opts.Delta/2
+	// Alg. 5 line 3: split ε for the stop stage (paper setting ε/4 each;
+	// ε ≥ ε1+ε2+ε3+ε1ε2 holds).
+	se1, se2, se3 := opts.Eps/4, opts.Eps/4, opts.Eps/4
+
+	alpha := solver.Guarantee(pool, opts.K)
+	if opts.NuGuided {
+		alpha = 1 - 1/math.E
+	}
+	psi := PsiBound(g, part, opts.K, alpha, eps1, eps2, delta1, delta2)
+
+	// Alg. 5 line 4: Λ = (1+ε1)(1+ε2)·(3/ε3²)·ln(3/(2δ)). (The paper's
+	// typography is ambiguous about the ε3 exponent; we use the SSA
+	// form, see DESIGN.md.)
+	lambda := (1 + se1) * (1 + se2) * 3 / (se3 * se3) * math.Log(3/(2*opts.Delta))
+	initial := int(math.Ceil(lambda))
+	if initial < 1 {
+		initial = 1
+	}
+	if initial > opts.MaxSamples {
+		initial = opts.MaxSamples
+	}
+	if err := pool.Generate(initial); err != nil {
+		return Solution{}, err
+	}
+
+	// Checkpoint count for the union bound over stop stages. Ψ can be
+	// infinite when the solver's guarantee is vacuous (e.g. MAF with
+	// h > k), in which case the doubling schedule is bounded by
+	// MaxSamples instead.
+	checkpoints := math.Log2(psi / lambda)
+	if math.IsInf(checkpoints, 1) || math.IsNaN(checkpoints) {
+		checkpoints = math.Log2(float64(opts.MaxSamples) / lambda)
+	}
+	if checkpoints < 1 {
+		checkpoints = 1
+	}
+	estDelta := opts.Delta / (3 * checkpoints)
+	if estDelta >= 1 {
+		estDelta = 0.5
+	}
+	if estDelta < 1e-9 {
+		estDelta = 1e-9
+	}
+
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.New(discardHandler{})
+	}
+	logger.Debug("imcaf start",
+		"k", opts.K, "alpha", alpha, "psi", psi, "lambda", lambda,
+		"initialSamples", initial)
+
+	sol := Solution{Alpha: alpha, Stopped: StopSampleCap}
+	doublings := 0
+	for {
+		seeds, chat, ratio, err := runSolver(pool, solver, opts)
+		if err != nil {
+			return Solution{}, err
+		}
+		sol.Seeds = seeds
+		sol.CHat = chat
+		sol.SandwichRatio = ratio
+		sol.Samples = pool.NumSamples()
+		sol.Doublings = doublings
+
+		// Alg. 5 line 8: enough influenced samples for a reliable check?
+		coverage := influencedMass(pool, seeds, opts.NuGuided)
+		logger.Debug("imcaf round",
+			"round", doublings, "samples", pool.NumSamples(),
+			"chat", chat, "coverage", coverage)
+		if coverage >= lambda {
+			tmax := int(float64(pool.NumSamples()) * (1 + se2) / (1 - se2) * (se3 * se3) / (se2 * se2))
+			if tmax < 1 {
+				tmax = 1
+			}
+			est, err := Estimate(g, part, seeds, EstimateOptions{
+				Eps:        se2,
+				Delta:      estDelta,
+				TMax:       tmax,
+				Model:      opts.Model,
+				Seed:       opts.Seed ^ 0x5e5e5e5e5e5e5e5e ^ uint64(doublings)<<32,
+				Fractional: opts.NuGuided,
+			})
+			if err != nil {
+				return Solution{}, err
+			}
+			objective := chat
+			if opts.NuGuided {
+				objective = pool.NuHat(seeds)
+			}
+			logger.Debug("imcaf estimate check",
+				"round", doublings, "estimate", est.Benefit,
+				"converged", est.Converged, "objective", objective)
+			if est.Converged && objective <= (1+se1)*est.Benefit {
+				sol.EstimatedBenefit = est.Benefit
+				sol.Stopped = StopCondition
+				break
+			}
+		}
+
+		if float64(pool.NumSamples()) >= psi {
+			sol.Stopped = StopPsiCap
+			break
+		}
+		if pool.NumSamples()*2 > opts.MaxSamples {
+			sol.Stopped = StopSampleCap
+			break
+		}
+		if err := pool.Double(); err != nil {
+			return Solution{}, err
+		}
+		doublings++
+	}
+	sol.Elapsed = time.Since(start)
+	logger.Debug("imcaf done",
+		"stopped", sol.Stopped.String(), "samples", sol.Samples,
+		"chat", sol.CHat, "elapsed", sol.Elapsed)
+	return sol, nil
+}
+
+// discardHandler drops every record; it stands in when no Logger is
+// configured so call sites stay unconditional.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+// SolveFixed runs a MAXR solver against a fixed-size pool, skipping the
+// adaptive stop machinery. Benchmarks and examples that want direct
+// control over sampling effort use this entry point.
+func SolveFixed(g *graph.Graph, part *community.Partition, solver maxr.Solver, k, numSamples int, opts Options) (Solution, error) {
+	if numSamples < 1 {
+		return Solution{}, fmt.Errorf("core: numSamples=%d must be ≥ 1", numSamples)
+	}
+	opts.K = k
+	if opts.Eps == 0 {
+		opts.Eps = 0.2
+	}
+	if opts.Delta == 0 {
+		opts.Delta = 0.2
+	}
+	opts, err := opts.normalized()
+	if err != nil {
+		return Solution{}, err
+	}
+	if err := compatible(g, part, k); err != nil {
+		return Solution{}, err
+	}
+	start := time.Now()
+	pool, err := ric.NewPool(g, part, ric.PoolOptions{Model: opts.Model, Seed: opts.Seed, Workers: opts.Workers})
+	if err != nil {
+		return Solution{}, err
+	}
+	if err := pool.Generate(numSamples); err != nil {
+		return Solution{}, err
+	}
+	seeds, chat, ratio, err := runSolver(pool, solver, opts)
+	if err != nil {
+		return Solution{}, err
+	}
+	return Solution{
+		Seeds:         seeds,
+		CHat:          chat,
+		Samples:       pool.NumSamples(),
+		Stopped:       StopSampleCap,
+		Alpha:         solver.Guarantee(pool, k),
+		Elapsed:       time.Since(start),
+		SandwichRatio: ratio,
+	}, nil
+}
+
+// runSolver executes the configured selection step: the MAXR solver, or
+// greedy-on-ν when NuGuided.
+func runSolver(pool *ric.Pool, solver maxr.Solver, opts Options) (seeds []graph.NodeID, chat, ratio float64, err error) {
+	if opts.NuGuided {
+		seeds, err = maxr.GreedyNu(pool, opts.K)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		chat = pool.CHat(seeds)
+	} else {
+		var res maxr.Result
+		res, err = solver.Solve(pool, opts.K)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		seeds, chat = res.Seeds, res.CHat
+	}
+	ratio = maxr.SandwichRatio(pool, seeds)
+	return seeds, chat, ratio, nil
+}
+
+// influencedMass returns the Alg. 5 line-8 statistic: the influenced
+// sample count (or, in ν-guided mode, the fractional sum).
+func influencedMass(pool *ric.Pool, seeds []graph.NodeID, fractional bool) float64 {
+	st := pool.NewState()
+	for _, s := range seeds {
+		st.Add(s)
+	}
+	if fractional {
+		return st.FractionalSum()
+	}
+	return float64(st.InfluencedCount())
+}
+
+// PsiBound computes Ψ (paper eq. 22): the worst-case number of RIC
+// samples certifying an α(1−ε) guarantee, using the optimum lower bound
+// c(S*) ≥ βk/h (β = min benefit, h = max threshold).
+func PsiBound(g *graph.Graph, part *community.Partition, k int, alpha, eps1, eps2, delta1, delta2 float64) float64 {
+	b := part.TotalBenefit()
+	beta := part.MinBenefit()
+	h := float64(part.MaxThreshold())
+	if beta <= 0 || h <= 0 || alpha <= 0 {
+		return math.Inf(1)
+	}
+	n := float64(g.NumNodes())
+	lnBinom := lnChoose(n, float64(k))
+	t1 := 2 * math.Log(1/delta1) / (eps1 * eps1)
+	t2 := 3 * (lnBinom + math.Log(1/delta2)) / (alpha * alpha * eps2 * eps2)
+	lead := b * h / (beta * float64(k))
+	return lead * math.Max(t1, t2)
+}
+
+// lnChoose returns ln C(n, k) via log-gamma.
+func lnChoose(n, k float64) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	lg := func(x float64) float64 {
+		v, _ := math.Lgamma(x + 1)
+		return v
+	}
+	return lg(n) - lg(k) - lg(n-k)
+}
+
+// compatible validates (graph, partition, budget) agreement.
+func compatible(g *graph.Graph, part *community.Partition, k int) error {
+	if g.NumNodes() != part.NumNodes() {
+		return fmt.Errorf("core: graph has %d nodes but partition covers %d", g.NumNodes(), part.NumNodes())
+	}
+	if k > g.NumNodes() {
+		return fmt.Errorf("core: K=%d exceeds node count %d", k, g.NumNodes())
+	}
+	return part.Validate()
+}

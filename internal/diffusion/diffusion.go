@@ -1,0 +1,366 @@
+// Package diffusion implements forward information-propagation models
+// (Independent Cascade and Linear Threshold) and Monte-Carlo estimators
+// for influence spread and community benefit.
+//
+// The forward simulators are the ground truth against which the RIC
+// sampling machinery is validated, and they power the paper's Fig. 8
+// ratio measurements, which estimate c(S) and ν(S) by Monte Carlo.
+package diffusion
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"imc/internal/community"
+	"imc/internal/graph"
+	"imc/internal/xrand"
+)
+
+// Model selects the propagation model.
+type Model int
+
+const (
+	// IC is the Independent Cascade model (the paper's primary model).
+	IC Model = iota + 1
+	// LT is the Linear Threshold model (the paper's noted extension).
+	LT
+)
+
+// String implements fmt.Stringer.
+func (m Model) String() string {
+	switch m {
+	case IC:
+		return "IC"
+	case LT:
+		return "LT"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Simulator runs forward cascades over one graph, reusing scratch
+// buffers between runs. It is NOT safe for concurrent use; create one
+// per goroutine.
+type Simulator struct {
+	g     *graph.Graph
+	model Model
+
+	active []bool
+	queue  []graph.NodeID
+	// LT scratch: accumulated incoming active weight and threshold draw.
+	ltWeight []float64
+	ltThresh []float64
+}
+
+// NewSimulator returns a simulator for g under the given model.
+func NewSimulator(g *graph.Graph, model Model) *Simulator {
+	n := g.NumNodes()
+	s := &Simulator{
+		g:      g,
+		model:  model,
+		active: make([]bool, n),
+		queue:  make([]graph.NodeID, 0, n),
+	}
+	if model == LT {
+		s.ltWeight = make([]float64, n)
+		s.ltThresh = make([]float64, n)
+	}
+	return s
+}
+
+// Run simulates one cascade from seeds and returns the set of activated
+// nodes as a reusable boolean slice (valid until the next Run) plus the
+// activation count.
+func (s *Simulator) Run(seeds []graph.NodeID, rng *xrand.RNG) ([]bool, int) {
+	switch s.model {
+	case LT:
+		return s.runLT(seeds, rng)
+	default:
+		return s.runIC(seeds, rng)
+	}
+}
+
+func (s *Simulator) runIC(seeds []graph.NodeID, rng *xrand.RNG) ([]bool, int) {
+	for i := range s.active {
+		s.active[i] = false
+	}
+	s.queue = s.queue[:0]
+	count := 0
+	for _, u := range seeds {
+		if u < 0 || int(u) >= s.g.NumNodes() || s.active[u] {
+			continue
+		}
+		s.active[u] = true
+		count++
+		s.queue = append(s.queue, u)
+	}
+	for head := 0; head < len(s.queue); head++ {
+		u := s.queue[head]
+		tos, ws := s.g.OutNeighbors(u)
+		for i, v := range tos {
+			if s.active[v] {
+				continue
+			}
+			if rng.Bernoulli(ws[i]) {
+				s.active[v] = true
+				count++
+				s.queue = append(s.queue, v)
+			}
+		}
+	}
+	return s.active, count
+}
+
+func (s *Simulator) runLT(seeds []graph.NodeID, rng *xrand.RNG) ([]bool, int) {
+	n := s.g.NumNodes()
+	for i := 0; i < n; i++ {
+		s.active[i] = false
+		s.ltWeight[i] = 0
+		s.ltThresh[i] = rng.Float64()
+	}
+	s.queue = s.queue[:0]
+	count := 0
+	for _, u := range seeds {
+		if u < 0 || int(u) >= n || s.active[u] {
+			continue
+		}
+		s.active[u] = true
+		count++
+		s.queue = append(s.queue, u)
+	}
+	for head := 0; head < len(s.queue); head++ {
+		u := s.queue[head]
+		tos, ws := s.g.OutNeighbors(u)
+		for i, v := range tos {
+			if s.active[v] {
+				continue
+			}
+			s.ltWeight[v] += ws[i]
+			if s.ltWeight[v] >= s.ltThresh[v] {
+				s.active[v] = true
+				count++
+				s.queue = append(s.queue, v)
+			}
+		}
+	}
+	return s.active, count
+}
+
+// TraceRound is one discrete round of a traced cascade.
+type TraceRound struct {
+	// Round numbers rounds from 0 (the seeding round).
+	Round int
+	// Activated lists the nodes newly activated this round, ascending.
+	Activated []graph.NodeID
+}
+
+// Trace simulates one IC cascade and records which nodes activate in
+// which round — the discrete-round semantics of the model made
+// observable for debugging, teaching, and the examples' narrations.
+func Trace(g *graph.Graph, seeds []graph.NodeID, rng *xrand.RNG) []TraceRound {
+	n := g.NumNodes()
+	active := make([]bool, n)
+	var rounds []TraceRound
+	frontier := make([]graph.NodeID, 0, len(seeds))
+	for _, u := range seeds {
+		if u >= 0 && int(u) < n && !active[u] {
+			active[u] = true
+			frontier = append(frontier, u)
+		}
+	}
+	sortNodes(frontier)
+	round := 0
+	for len(frontier) > 0 {
+		rounds = append(rounds, TraceRound{Round: round, Activated: append([]graph.NodeID(nil), frontier...)})
+		var next []graph.NodeID
+		for _, u := range frontier {
+			tos, ws := g.OutNeighbors(u)
+			for i, v := range tos {
+				if !active[v] && rng.Bernoulli(ws[i]) {
+					active[v] = true
+					next = append(next, v)
+				}
+			}
+		}
+		sortNodes(next)
+		frontier = next
+		round++
+	}
+	return rounds
+}
+
+func sortNodes(s []graph.NodeID) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+// CommunityBenefit scores an activation outcome against a partition:
+// the sum of b_i over communities with at least h_i active members.
+func CommunityBenefit(p *community.Partition, active []bool) float64 {
+	benefit := 0.0
+	for i := 0; i < p.NumCommunities(); i++ {
+		c := p.Community(i)
+		hits := 0
+		for _, u := range c.Members {
+			if active[u] {
+				hits++
+				if hits >= c.Threshold {
+					break
+				}
+			}
+		}
+		if hits >= c.Threshold {
+			benefit += c.Benefit
+		}
+	}
+	return benefit
+}
+
+// FractionalBenefit scores ν-style fractional credit: Σ b_i · min(
+// active_i/h_i, 1). This is the Monte-Carlo estimator of the paper's
+// ν(S) upper-bound function (eq. 6), used in Fig. 8.
+func FractionalBenefit(p *community.Partition, active []bool) float64 {
+	total := 0.0
+	for i := 0; i < p.NumCommunities(); i++ {
+		c := p.Community(i)
+		hits := 0
+		for _, u := range c.Members {
+			if active[u] {
+				hits++
+			}
+		}
+		frac := float64(hits) / float64(c.Threshold)
+		if frac > 1 {
+			frac = 1
+		}
+		total += c.Benefit * frac
+	}
+	return total
+}
+
+// MCOptions configures Monte-Carlo estimation.
+type MCOptions struct {
+	// Iterations is the number of cascades to average. Must be ≥ 1.
+	Iterations int
+	// Seed drives the whole estimate deterministically.
+	Seed uint64
+	// Workers bounds parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// Model selects IC (default) or LT.
+	Model Model
+}
+
+func (o MCOptions) normalized() (MCOptions, error) {
+	if o.Iterations < 1 {
+		return o, errors.New("diffusion: Iterations must be ≥ 1")
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Model == 0 {
+		o.Model = IC
+	}
+	return o, nil
+}
+
+// EstimateSpread Monte-Carlo-estimates the expected number of activated
+// nodes for the seed set.
+func EstimateSpread(g *graph.Graph, seeds []graph.NodeID, opts MCOptions) (float64, error) {
+	return mcAverage(g, seeds, opts, func(active []bool, count int) float64 {
+		return float64(count)
+	})
+}
+
+// EstimateBenefit Monte-Carlo-estimates c(S): the expected benefit of
+// influenced communities.
+func EstimateBenefit(g *graph.Graph, p *community.Partition, seeds []graph.NodeID, opts MCOptions) (float64, error) {
+	return mcAverage(g, seeds, opts, func(active []bool, count int) float64 {
+		return CommunityBenefit(p, active)
+	})
+}
+
+// EstimateFractionalBenefit Monte-Carlo-estimates ν(S) (eq. 6).
+func EstimateFractionalBenefit(g *graph.Graph, p *community.Partition, seeds []graph.NodeID, opts MCOptions) (float64, error) {
+	return mcAverage(g, seeds, opts, func(active []bool, count int) float64 {
+		return FractionalBenefit(p, active)
+	})
+}
+
+// mcAverage fans iterations out over a bounded worker pool. Stream i of
+// the seed RNG drives iteration i, so results are independent of
+// scheduling.
+func mcAverage(g *graph.Graph, seeds []graph.NodeID, opts MCOptions, score func(active []bool, count int) float64) (float64, error) {
+	opts, err := opts.normalized()
+	if err != nil {
+		return 0, err
+	}
+	root := xrand.New(opts.Seed)
+	workers := opts.Workers
+	if workers > opts.Iterations {
+		workers = opts.Iterations
+	}
+	partial := make([]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sim := NewSimulator(g, opts.Model)
+			sum := 0.0
+			for it := w; it < opts.Iterations; it += workers {
+				rng := root.Split(uint64(it))
+				active, count := sim.Run(seeds, rng)
+				sum += score(active, count)
+			}
+			partial[w] = sum
+		}(w)
+	}
+	wg.Wait()
+	total := 0.0
+	for _, s := range partial {
+		total += s
+	}
+	return total / float64(opts.Iterations), nil
+}
+
+// StoppingRuleResult reports a Dagum–Karp–Luby–Ross estimate.
+type StoppingRuleResult struct {
+	// Mean is the estimated expectation of the sampled variable.
+	Mean float64
+	// Samples is the number of draws consumed.
+	Samples int
+	// Converged is false if MaxSamples was hit before the stopping
+	// condition (the estimate is then the best effort running mean).
+	Converged bool
+}
+
+// StoppingRule estimates the mean of a [0, 1]-valued random variable to
+// within relative error eps with probability ≥ 1−delta using the
+// Stopping Rule Algorithm of Dagum, Karp, Luby and Ross (SIAM J.
+// Comput. 2000, §2.1) — the engine of the paper's Estimate procedure
+// (Alg. 6). sample must return draws in [0, 1].
+func StoppingRule(sample func(*xrand.RNG) float64, eps, delta float64, maxSamples int, rng *xrand.RNG) (StoppingRuleResult, error) {
+	if eps <= 0 || eps >= 1 {
+		return StoppingRuleResult{}, fmt.Errorf("diffusion: eps %g out of (0, 1)", eps)
+	}
+	if delta <= 0 || delta >= 1 {
+		return StoppingRuleResult{}, fmt.Errorf("diffusion: delta %g out of (0, 1)", delta)
+	}
+	if maxSamples < 1 {
+		return StoppingRuleResult{}, errors.New("diffusion: maxSamples must be ≥ 1")
+	}
+	// Υ = 1 + 4(e−2)·ln(2/δ)·(1+ε)/ε².
+	upsilon := 1 + 4*(math.E-2)*math.Log(2/delta)*(1+eps)/(eps*eps)
+	sum := 0.0
+	for t := 1; t <= maxSamples; t++ {
+		sum += sample(rng)
+		if sum >= upsilon {
+			return StoppingRuleResult{Mean: upsilon / float64(t), Samples: t, Converged: true}, nil
+		}
+	}
+	mean := sum / float64(maxSamples)
+	return StoppingRuleResult{Mean: mean, Samples: maxSamples, Converged: false}, nil
+}

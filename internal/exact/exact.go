@@ -1,0 +1,262 @@
+// Package exact computes ground-truth IMC quantities by exhaustive
+// enumeration. It is exponential in both the edge count (2^m live-edge
+// worlds) and the seed budget (C(n,k) candidate sets), so it only
+// applies to toy instances — which is exactly its purpose: the test
+// suite uses it to certify the RIC estimator's unbiasedness and the
+// solvers' near-optimality where the truth is computable.
+package exact
+
+import (
+	"fmt"
+
+	"imc/internal/community"
+	"imc/internal/diffusion"
+	"imc/internal/graph"
+)
+
+// MaxEdges bounds the live-edge enumeration (2^MaxEdges worlds).
+const MaxEdges = 22
+
+// Benefit computes c(S) exactly by enumerating every deterministic
+// world of the live-edge model.
+func Benefit(g *graph.Graph, part *community.Partition, seeds []graph.NodeID) (float64, error) {
+	m := g.NumEdges()
+	if m > MaxEdges {
+		return 0, fmt.Errorf("exact: %d edges exceeds enumeration bound %d", m, MaxEdges)
+	}
+	edges := g.Edges()
+	n := g.NumNodes()
+	adj := make([][]graph.NodeID, n)
+	active := make([]bool, n)
+	queue := make([]graph.NodeID, 0, n)
+	total := 0.0
+	for mask := 0; mask < 1<<m; mask++ {
+		pr := 1.0
+		for i := range adj {
+			adj[i] = adj[i][:0]
+		}
+		for i, e := range edges {
+			if mask&(1<<i) != 0 {
+				pr *= e.Weight
+				adj[e.From] = append(adj[e.From], e.To)
+			} else {
+				pr *= 1 - e.Weight
+			}
+			if pr == 0 {
+				break
+			}
+		}
+		if pr == 0 {
+			continue
+		}
+		for i := range active {
+			active[i] = false
+		}
+		queue = queue[:0]
+		for _, s := range seeds {
+			if s >= 0 && int(s) < n && !active[s] {
+				active[s] = true
+				queue = append(queue, s)
+			}
+		}
+		for head := 0; head < len(queue); head++ {
+			for _, v := range adj[queue[head]] {
+				if !active[v] {
+					active[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+		total += pr * diffusion.CommunityBenefit(part, active)
+	}
+	return total, nil
+}
+
+// Spread computes the expected activation count exactly, by the same
+// enumeration.
+func Spread(g *graph.Graph, seeds []graph.NodeID) (float64, error) {
+	m := g.NumEdges()
+	if m > MaxEdges {
+		return 0, fmt.Errorf("exact: %d edges exceeds enumeration bound %d", m, MaxEdges)
+	}
+	edges := g.Edges()
+	n := g.NumNodes()
+	adj := make([][]graph.NodeID, n)
+	active := make([]bool, n)
+	queue := make([]graph.NodeID, 0, n)
+	total := 0.0
+	for mask := 0; mask < 1<<m; mask++ {
+		pr := 1.0
+		for i := range adj {
+			adj[i] = adj[i][:0]
+		}
+		for i, e := range edges {
+			if mask&(1<<i) != 0 {
+				pr *= e.Weight
+				adj[e.From] = append(adj[e.From], e.To)
+			} else {
+				pr *= 1 - e.Weight
+			}
+		}
+		if pr == 0 {
+			continue
+		}
+		for i := range active {
+			active[i] = false
+		}
+		queue = queue[:0]
+		count := 0
+		for _, s := range seeds {
+			if s >= 0 && int(s) < n && !active[s] {
+				active[s] = true
+				count++
+				queue = append(queue, s)
+			}
+		}
+		for head := 0; head < len(queue); head++ {
+			for _, v := range adj[queue[head]] {
+				if !active[v] {
+					active[v] = true
+					count++
+					queue = append(queue, v)
+				}
+			}
+		}
+		total += pr * float64(count)
+	}
+	return total, nil
+}
+
+// MaxLTWorlds bounds the Linear Threshold live-edge enumeration
+// (∏(d_in(v)+1) worlds).
+const MaxLTWorlds = 1 << 22
+
+// BenefitLT computes c(S) under the Linear Threshold model exactly, by
+// enumerating the live-edge worlds of the LT model: independently for
+// each node, at most one incoming edge is live — edge (u, v) with
+// probability w(u,v), none with probability 1 − Σ_u w(u,v).
+func BenefitLT(g *graph.Graph, part *community.Partition, seeds []graph.NodeID) (float64, error) {
+	n := g.NumNodes()
+	worlds := 1.0
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		worlds *= float64(g.InDegree(v) + 1)
+		if worlds > MaxLTWorlds {
+			return 0, fmt.Errorf("exact: LT world count exceeds %d", MaxLTWorlds)
+		}
+	}
+	// choice[v] ∈ [0, d_in(v)]: which in-edge is live (d_in = none).
+	choice := make([]int, n)
+	active := make([]bool, n)
+	queue := make([]graph.NodeID, 0, n)
+	total := 0.0
+	for {
+		// Probability of this world and its live adjacency.
+		pr := 1.0
+		for v := graph.NodeID(0); int(v) < n; v++ {
+			froms, ws, _ := g.InNeighbors(v)
+			sum := 0.0
+			for _, w := range ws {
+				sum += w
+			}
+			if choice[v] < len(froms) {
+				pr *= ws[choice[v]]
+			} else {
+				none := 1 - sum
+				if none < 0 {
+					none = 0
+				}
+				pr *= none
+			}
+			if pr == 0 {
+				break
+			}
+		}
+		if pr > 0 {
+			for i := range active {
+				active[i] = false
+			}
+			queue = queue[:0]
+			for _, s := range seeds {
+				if s >= 0 && int(s) < n && !active[s] {
+					active[s] = true
+					queue = append(queue, s)
+				}
+			}
+			for head := 0; head < len(queue); head++ {
+				u := queue[head]
+				// Forward scan: v activates if its chosen in-edge
+				// source is u.
+				tos, _ := g.OutNeighbors(u)
+				for _, v := range tos {
+					if active[v] {
+						continue
+					}
+					froms, _, _ := g.InNeighbors(v)
+					if choice[v] < len(froms) && froms[choice[v]] == u {
+						active[v] = true
+						queue = append(queue, v)
+					}
+				}
+			}
+			total += pr * diffusion.CommunityBenefit(part, active)
+		}
+		// Advance the mixed-radix counter.
+		v := 0
+		for v < n {
+			choice[v]++
+			if choice[v] <= g.InDegree(graph.NodeID(v)) {
+				break
+			}
+			choice[v] = 0
+			v++
+		}
+		if v == n {
+			break
+		}
+	}
+	return total, nil
+}
+
+// Optimum finds the optimal seed set of size k by exhaustive search
+// over all C(n, k) candidates, scoring each with Benefit.
+func Optimum(g *graph.Graph, part *community.Partition, k int) ([]graph.NodeID, float64, error) {
+	n := g.NumNodes()
+	if k < 1 || k > n {
+		return nil, 0, fmt.Errorf("exact: k=%d out of [1, %d]", k, n)
+	}
+	var (
+		best      []graph.NodeID
+		bestValue = -1.0
+		current   = make([]graph.NodeID, 0, k)
+		firstErr  error
+	)
+	var recurse func(start int)
+	recurse = func(start int) {
+		if firstErr != nil {
+			return
+		}
+		if len(current) == k {
+			v, err := Benefit(g, part, current)
+			if err != nil {
+				firstErr = err
+				return
+			}
+			if v > bestValue {
+				bestValue = v
+				best = append(best[:0], current...)
+			}
+			return
+		}
+		// Prune: not enough nodes left to fill the set.
+		for i := start; i <= n-(k-len(current)); i++ {
+			current = append(current, graph.NodeID(i))
+			recurse(i + 1)
+			current = current[:len(current)-1]
+		}
+	}
+	recurse(0)
+	if firstErr != nil {
+		return nil, 0, firstErr
+	}
+	return append([]graph.NodeID(nil), best...), bestValue, nil
+}

@@ -1,0 +1,13 @@
+package expt
+
+import "imc/internal/gen"
+
+// defaultDatasets returns the four benefit-vs-k datasets used by the
+// Fig. 5/6 sweeps (pokec is reserved for the runtime figure by default;
+// pass Config.Datasets to include it).
+func defaultDatasets() []string {
+	return []string{"facebook", "wikivote", "epinions", "dblp"}
+}
+
+// registry re-exports the dataset registry for Table I.
+func registry() map[string]gen.Dataset { return gen.Registry() }

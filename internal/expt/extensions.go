@@ -1,0 +1,42 @@
+package expt
+
+import "fmt"
+
+// Extensions compares the library's beyond-the-paper variants against
+// the paper's solvers on one benefit-vs-k sweep: UBG with local-search
+// refinement (UBG+LS) and degree-discount (DD) alongside UBG, MAF and
+// IM. Not a paper figure; it quantifies what the extension knobs buy.
+func Extensions(cfg Config) ([]Row, error) {
+	cfg = cfg.normalized()
+	datasets := cfg.Datasets
+	if datasets == nil {
+		datasets = []string{"facebook", "wikivote"}
+	}
+	ks := cfg.Ks
+	if ks == nil {
+		ks = []int{10, 30}
+	}
+	algs := []string{AlgUBG, AlgUBGLS, AlgMAF, AlgDD, AlgIM}
+	var rows []Row
+	for _, ds := range datasets {
+		inst, err := BuildInstance(InstanceConfig{
+			Dataset: ds,
+			Scale:   cfg.scaleOf(ds),
+			Bounded: true,
+			Seed:    cfg.Run.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range ks {
+			for _, alg := range algs {
+				row, err := runCell(cfg.Checkpoint, inst, alg, k, cfg.Run, "ext:"+ds, fmt.Sprintf("k=%d", k))
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}

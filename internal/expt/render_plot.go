@@ -1,0 +1,95 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"imc/internal/plot"
+)
+
+// RenderRowsPlot draws one ASCII chart per panel. The plotted metric is
+// chosen per panel: benefit when any row has one, then runtime, then
+// the Fig. 8 ratio.
+func RenderRowsPlot(w io.Writer, title string, rows []Row) error {
+	if _, err := fmt.Fprintln(w, title); err != nil {
+		return err
+	}
+	type panelData struct {
+		xs     []string
+		xIdx   map[string]int
+		series map[string][]float64
+		algs   []string
+	}
+	var panelOrder []string
+	panels := make(map[string]*panelData)
+	metric := metricFor(rows)
+	for _, r := range rows {
+		p, ok := panels[r.Panel]
+		if !ok {
+			p = &panelData{xIdx: make(map[string]int), series: make(map[string][]float64)}
+			panels[r.Panel] = p
+			panelOrder = append(panelOrder, r.Panel)
+		}
+		if _, ok := p.xIdx[r.X]; !ok {
+			p.xIdx[r.X] = len(p.xs)
+			p.xs = append(p.xs, r.X)
+			for alg := range p.series {
+				p.series[alg] = append(p.series[alg], math.NaN())
+			}
+		}
+		if _, ok := p.series[r.Alg]; !ok {
+			ys := make([]float64, len(p.xs))
+			for i := range ys {
+				ys[i] = math.NaN()
+			}
+			p.series[r.Alg] = ys
+			p.algs = append(p.algs, r.Alg)
+		}
+		// Rows may arrive before later x positions exist; normalize
+		// lengths first.
+		for alg, ys := range p.series {
+			for len(ys) < len(p.xs) {
+				ys = append(ys, math.NaN())
+			}
+			p.series[alg] = ys
+		}
+		p.series[r.Alg][p.xIdx[r.X]] = metric(r)
+	}
+	for _, name := range panelOrder {
+		p := panels[name]
+		series := make([]plot.Series, 0, len(p.algs))
+		for _, alg := range p.algs {
+			series = append(series, plot.Series{Name: alg, Y: p.series[alg]})
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		if err := plot.Chart(w, "panel "+name, p.xs, series, 48, 12); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// metricFor picks which Row field to plot: benefit if any row carries
+// one, else runtime, else ratio.
+func metricFor(rows []Row) func(Row) float64 {
+	anyBenefit, anyRuntime := false, false
+	for _, r := range rows {
+		if r.Benefit != 0 {
+			anyBenefit = true
+		}
+		if r.RuntimeSec != 0 {
+			anyRuntime = true
+		}
+	}
+	switch {
+	case anyBenefit:
+		return func(r Row) float64 { return r.Benefit }
+	case anyRuntime:
+		return func(r Row) float64 { return r.RuntimeSec }
+	default:
+		return func(r Row) float64 { return r.Ratio }
+	}
+}

@@ -1,0 +1,72 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// WriteReport runs the complete evaluation (Table I and Figs. 4–8) and
+// renders one self-contained Markdown report — the machine-generated
+// counterpart of EXPERIMENTS.md. Budget accordingly: this executes
+// every experiment at the configured scale.
+func WriteReport(w io.Writer, cfg Config) error {
+	cfg = cfg.normalized()
+	start := time.Now()
+	fmt.Fprintf(w, "# IMC evaluation report\n\n")
+	fmt.Fprintf(w, "Configuration: scale=%g, runs=%d, seed=%d, ε=δ=%g, maxSamples=%d.\n\n",
+		cfg.Scale, cfg.Run.Runs, cfg.Run.Seed, cfg.Run.Eps, cfg.Run.MaxSamples)
+
+	t1, err := Table1(cfg)
+	if err != nil {
+		return fmt.Errorf("expt: report table1: %w", err)
+	}
+	fmt.Fprintf(w, "## Table I — datasets\n\n")
+	fmt.Fprintln(w, "| dataset | type | generator | nodes (paper) | edges (paper) |")
+	fmt.Fprintln(w, "|---|---|---|---|---|")
+	for _, r := range t1 {
+		typ := "undirected"
+		if r.Directed {
+			typ = "directed"
+		}
+		fmt.Fprintf(w, "| %s | %s | %s | %d (%d) | %d (%d) |\n",
+			r.Name, typ, r.Family, r.Nodes, r.PaperNodes, r.Edges, r.PaperEdges)
+	}
+	fmt.Fprintln(w)
+
+	sections := []struct {
+		title string
+		run   func(Config) ([]Row, error)
+	}{
+		{"Fig. 4 — benefit vs community structure", Fig4},
+		{"Fig. 5 — benefit vs k (regular thresholds)", Fig5},
+		{"Fig. 6 — benefit vs k (bounded thresholds)", Fig6},
+		{"Fig. 7 — selection runtime", Fig7},
+		{"Fig. 8 — UBG sandwich ratio", Fig8},
+	}
+	for _, sec := range sections {
+		rows, err := sec.run(cfg)
+		if err != nil {
+			return fmt.Errorf("expt: report %s: %w", sec.title, err)
+		}
+		fmt.Fprintf(w, "## %s\n\n", sec.title)
+		fmt.Fprintln(w, "| panel | x | algorithm | benefit | runtime (s) | ratio |")
+		fmt.Fprintln(w, "|---|---|---|---|---|---|")
+		for _, r := range rows {
+			fmt.Fprintf(w, "| %s | %s | %s | %.2f | %.3f | %.3f |\n",
+				r.Panel, r.X, r.Alg, r.Benefit, r.RuntimeSec, r.Ratio)
+		}
+		fmt.Fprintln(w)
+		if wins := WinCount(rows); len(wins) > 0 {
+			fmt.Fprint(w, "Wins (best benefit per cell, ties shared):")
+			for _, alg := range append(AllAlgorithms, AlgUBGLS, AlgDD) {
+				if n := wins[alg]; n > 0 {
+					fmt.Fprintf(w, " %s=%d", alg, n)
+				}
+			}
+			fmt.Fprint(w, "\n\n")
+		}
+	}
+	fmt.Fprintf(w, "_Generated in %s._\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,205 @@
+package expt
+
+import (
+	"fmt"
+	"time"
+
+	"imc/internal/baselines"
+	"imc/internal/core"
+	"imc/internal/diffusion"
+	"imc/internal/graph"
+	"imc/internal/maxr"
+	"imc/internal/ris"
+	"imc/internal/stats"
+)
+
+// Algorithm names accepted by RunAlg, matching the paper's legends.
+// AlgUBGLS is the extension variant: UBG followed by 1-swap local
+// search (not in the paper; exposed for ablations).
+const (
+	AlgUBG   = "UBG"
+	AlgMAF   = "MAF"
+	AlgMB    = "MB"
+	AlgHBC   = "HBC"
+	AlgKS    = "KS"
+	AlgIM    = "IM"
+	AlgUBGLS = "UBG+LS"
+	AlgDD    = "DD"
+)
+
+// AllAlgorithms lists every algorithm in the paper's plotting order.
+var AllAlgorithms = []string{AlgUBG, AlgMAF, AlgMB, AlgHBC, AlgKS, AlgIM}
+
+// RunConfig tunes how algorithms are executed and evaluated.
+type RunConfig struct {
+	// Eps, Delta are the paper's ε = δ = 0.2 defaults.
+	Eps, Delta float64
+	// Seed drives the run; run i of Runs uses Seed+i.
+	Seed uint64
+	// Runs averages this many independent repetitions (paper: 10).
+	Runs int
+	// MaxSamples caps the IMCAF pool (default 1<<17).
+	MaxSamples int
+	// EvalTMax caps the benefit-evaluation sample budget (default 1<<17).
+	EvalTMax int
+	// BTMaxRoots caps BT's root scan inside MB (0 = all roots).
+	BTMaxRoots int
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Model selects the propagation model (IC default, LT extension).
+	Model diffusion.Model
+}
+
+func (c RunConfig) normalized() RunConfig {
+	if c.Eps == 0 {
+		c.Eps = 0.2
+	}
+	if c.Delta == 0 {
+		c.Delta = 0.2
+	}
+	if c.Runs < 1 {
+		c.Runs = 1
+	}
+	if c.MaxSamples <= 0 {
+		c.MaxSamples = 1 << 17
+	}
+	if c.EvalTMax <= 0 {
+		c.EvalTMax = 1 << 17
+	}
+	if c.Model == 0 {
+		c.Model = diffusion.IC
+	}
+	return c
+}
+
+// AlgResult is one algorithm's averaged outcome on one instance.
+type AlgResult struct {
+	// Alg names the algorithm.
+	Alg string
+	// Benefit is the expected benefit of influenced communities of the
+	// selected seeds, averaged over runs (Dagum-estimated, as in the
+	// paper's evaluation protocol).
+	Benefit float64
+	// BenefitCI95 is the 95% confidence half-width across runs (0 for a
+	// single run).
+	BenefitCI95 float64
+	// Runtime is the mean wall-clock seed-selection time.
+	Runtime time.Duration
+	// SandwichRatio is the mean ĉ_R/ν̂_R of UBG runs (0 otherwise).
+	SandwichRatio float64
+	// Seeds is the seed set of the final run (reported for inspection;
+	// the Benefit average is across runs).
+	Seeds []graph.NodeID
+}
+
+// RunAlg executes one algorithm on an instance with budget k, averaging
+// over cfg.Runs repetitions. Selection time is measured; seed quality
+// is then scored with the same Dagum estimator for every algorithm so
+// comparisons are apples-to-apples.
+func RunAlg(inst *Instance, alg string, k int, cfg RunConfig) (AlgResult, error) {
+	cfg = cfg.normalized()
+	out := AlgResult{Alg: alg}
+	var acc stats.Running
+	for run := 0; run < cfg.Runs; run++ {
+		seedBase := cfg.Seed + uint64(run)*1_000_003
+		seeds, elapsed, ratio, err := selectSeeds(inst, alg, k, cfg, seedBase)
+		if err != nil {
+			return AlgResult{}, fmt.Errorf("expt: %s run %d: %w", alg, run, err)
+		}
+		benefit, err := evaluateBenefit(inst, seeds, cfg, seedBase)
+		if err != nil {
+			return AlgResult{}, fmt.Errorf("expt: %s run %d eval: %w", alg, run, err)
+		}
+		acc.Add(benefit)
+		out.Runtime += elapsed
+		out.SandwichRatio += ratio
+		out.Seeds = seeds
+	}
+	out.Benefit = acc.Mean()
+	out.BenefitCI95 = acc.CI95()
+	out.Runtime /= time.Duration(cfg.Runs)
+	out.SandwichRatio /= float64(cfg.Runs)
+	return out, nil
+}
+
+func selectSeeds(inst *Instance, alg string, k int, cfg RunConfig, seed uint64) ([]graph.NodeID, time.Duration, float64, error) {
+	opts := core.Options{
+		K:          k,
+		Eps:        cfg.Eps,
+		Delta:      cfg.Delta,
+		Seed:       seed,
+		Workers:    cfg.Workers,
+		MaxSamples: cfg.MaxSamples,
+		Model:      cfg.Model,
+	}
+	switch alg {
+	case AlgUBG:
+		sol, err := core.Solve(inst.G, inst.Part, maxr.UBG{}, opts)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return sol.Seeds, sol.Elapsed, sol.SandwichRatio, nil
+	case AlgUBGLS:
+		sol, err := core.Solve(inst.G, inst.Part, maxr.Refined{Base: maxr.UBG{}}, opts)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return sol.Seeds, sol.Elapsed, sol.SandwichRatio, nil
+	case AlgMAF:
+		sol, err := core.Solve(inst.G, inst.Part, maxr.MAF{Seed: seed}, opts)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return sol.Seeds, sol.Elapsed, 0, nil
+	case AlgMB:
+		solver := maxr.MB{MAF: maxr.MAF{Seed: seed}, BT: maxr.BT{MaxRoots: cfg.BTMaxRoots}}
+		sol, err := core.Solve(inst.G, inst.Part, solver, opts)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return sol.Seeds, sol.Elapsed, 0, nil
+	case AlgHBC:
+		start := time.Now()
+		seeds, err := baselines.HBC(inst.G, inst.Part, k)
+		return seeds, time.Since(start), 0, err
+	case AlgKS:
+		start := time.Now()
+		seeds, err := baselines.KS(inst.G, inst.Part, k)
+		return seeds, time.Since(start), 0, err
+	case AlgDD:
+		start := time.Now()
+		seeds, err := baselines.DegreeDiscount(inst.G, k, 0.01)
+		return seeds, time.Since(start), 0, err
+	case AlgIM:
+		start := time.Now()
+		seeds, err := baselines.IM(inst.G, inst.Part, k, ris.Options{
+			Eps:        cfg.Eps,
+			Delta:      cfg.Delta,
+			Seed:       seed,
+			Workers:    cfg.Workers,
+			MaxSamples: cfg.MaxSamples,
+			Model:      cfg.Model,
+		})
+		return seeds, time.Since(start), 0, err
+	default:
+		return nil, 0, 0, fmt.Errorf("unknown algorithm %q (valid: %v)", alg, AllAlgorithms)
+	}
+}
+
+// evaluateBenefit scores a seed set with the Dagum stopping-rule
+// estimator (the paper scores baselines the same way).
+func evaluateBenefit(inst *Instance, seeds []graph.NodeID, cfg RunConfig, seed uint64) (float64, error) {
+	est, err := core.Estimate(inst.G, inst.Part, seeds, core.EstimateOptions{
+		Eps:   cfg.Eps,
+		Delta: cfg.Delta,
+		TMax:  cfg.EvalTMax,
+		Seed:  seed ^ 0x0f0f0f0f0f0f0f0f,
+		Model: cfg.Model,
+	})
+	if err != nil {
+		return 0, err
+	}
+	// Non-convergence means the benefit is too small to certify within
+	// the budget; the running mean is still the best available score.
+	return est.Benefit, nil
+}

@@ -1,0 +1,62 @@
+package graph
+
+import (
+	"testing"
+
+	"imc/internal/xrand"
+)
+
+func benchEdges(n, m int) []Edge {
+	rng := xrand.New(1)
+	edges := make([]Edge, 0, m)
+	for i := 0; i < m; i++ {
+		edges = append(edges, Edge{
+			From:   NodeID(rng.Intn(n)),
+			To:     NodeID(rng.Intn(n)),
+			Weight: rng.Float64(),
+		})
+	}
+	return edges
+}
+
+// BenchmarkBuild100K measures CSR construction from 100K edges.
+func BenchmarkBuild100K(b *testing.B) {
+	edges := benchEdges(10000, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FromEdges(10000, edges); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkApplyWeightedCascade measures the paper's weight assignment.
+func BenchmarkApplyWeightedCascade(b *testing.B) {
+	g, err := FromEdges(10000, benchEdges(10000, 100000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ApplyWeights(g, WeightedCascade, 0, 0)
+	}
+}
+
+// BenchmarkNeighborScan measures a full forward+reverse adjacency scan
+// (the inner loop of every sampler).
+func BenchmarkNeighborScan(b *testing.B) {
+	g, err := FromEdges(10000, benchEdges(10000, 100000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	sum := 0
+	for i := 0; i < b.N; i++ {
+		for u := NodeID(0); int(u) < g.NumNodes(); u++ {
+			tos, _ := g.OutNeighbors(u)
+			froms, _, _ := g.InNeighbors(u)
+			sum += len(tos) + len(froms)
+		}
+	}
+	_ = sum
+}

@@ -1,0 +1,130 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"imc/internal/xrand"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddEdge(0, 1, 0.5)
+	b.AddEdge(0, 2, 0.125)
+	b.AddEdge(4, 3, 1)
+	b.AddEdge(3, 0, 0.25)
+	g := mustBuild(t, b)
+
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+		t.Fatalf("shape changed: %s -> %s", g, back)
+	}
+	for _, e := range g.Edges() {
+		if back.Weight(e.From, e.To) != e.Weight {
+			t.Fatalf("edge %v lost", e)
+		}
+	}
+	// Reverse CSR must be rebuilt consistently.
+	for v := NodeID(0); int(v) < back.NumNodes(); v++ {
+		if back.InDegree(v) != g.InDegree(v) {
+			t.Fatalf("in-degree of %d changed", v)
+		}
+	}
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1, 0.5)
+	g := mustBuild(t, b)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte(nil), good...)
+	bad[0] = 'X'
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("want magic error")
+	}
+	// Bad version.
+	bad = append([]byte(nil), good...)
+	bad[4] = 99
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("want version error")
+	}
+	// Truncated.
+	if _, err := ReadBinary(bytes.NewReader(good[:len(good)-3])); err == nil {
+		t.Fatal("want truncation error")
+	}
+	// Out-of-range target: flip the single edge target to 200.
+	bad = append([]byte(nil), good...)
+	// layout: 4 magic + 4 version + 8 n + 8 m + (n+1)*4 offsets = 24+16.
+	targetPos := 4 + 4 + 8 + 8 + 4*4
+	bad[targetPos] = 200
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("want target-range error")
+	}
+}
+
+func TestBinaryEmptyGraph(t *testing.T) {
+	g := mustBuild(t, NewBuilder(4))
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != 4 || back.NumEdges() != 0 {
+		t.Fatalf("empty graph mangled: %s", back)
+	}
+}
+
+// Property: binary round trip is the identity on random graphs.
+func TestQuickBinaryRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 5 + rng.Intn(30)
+		b := NewBuilder(n)
+		m := rng.Intn(4 * n)
+		for i := 0; i < m; i++ {
+			b.AddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)), rng.Float64())
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			return false
+		}
+		back, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+			return false
+		}
+		ea, eb := g.Edges(), back.Edges()
+		for i := range ea {
+			if ea[i] != eb[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,155 @@
+package graph
+
+// Components computes connectivity structure: weakly and strongly
+// connected components. The dataset reports use WCC counts (as SNAP's
+// own statistics pages do), and the DkS reduction's correctness rests
+// on copy classes being strongly connected.
+
+// WeaklyConnectedComponents labels each node with a component ID in
+// [0, count) ignoring edge direction, and returns the labels and the
+// component count.
+func WeaklyConnectedComponents(g *Graph) ([]int32, int) {
+	n := g.NumNodes()
+	label := make([]int32, n)
+	for i := range label {
+		label[i] = -1
+	}
+	queue := make([]NodeID, 0, n)
+	next := int32(0)
+	for start := 0; start < n; start++ {
+		if label[start] != -1 {
+			continue
+		}
+		label[start] = next
+		queue = append(queue[:0], NodeID(start))
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			tos, _ := g.OutNeighbors(u)
+			for _, v := range tos {
+				if label[v] == -1 {
+					label[v] = next
+					queue = append(queue, v)
+				}
+			}
+			froms, _, _ := g.InNeighbors(u)
+			for _, v := range froms {
+				if label[v] == -1 {
+					label[v] = next
+					queue = append(queue, v)
+				}
+			}
+		}
+		next++
+	}
+	return label, int(next)
+}
+
+// StronglyConnectedComponents labels each node with its SCC ID in
+// [0, count) using an iterative Tarjan algorithm (safe for deep
+// graphs), and returns the labels and the SCC count. IDs are assigned
+// in reverse topological order of the condensation.
+func StronglyConnectedComponents(g *Graph) ([]int32, int) {
+	n := g.NumNodes()
+	const unvisited = -1
+	var (
+		index   = make([]int32, n)
+		lowlink = make([]int32, n)
+		onStack = make([]bool, n)
+		label   = make([]int32, n)
+		stack   = make([]NodeID, 0, n)
+		counter int32
+		nextSCC int32
+	)
+	for i := range index {
+		index[i] = unvisited
+		label[i] = -1
+	}
+
+	// Explicit DFS frames: node plus the offset into its out-edge list.
+	type frame struct {
+		node NodeID
+		edge int32
+	}
+	frames := make([]frame, 0, 64)
+
+	for start := 0; start < n; start++ {
+		if index[start] != unvisited {
+			continue
+		}
+		frames = append(frames[:0], frame{node: NodeID(start)})
+		index[start] = counter
+		lowlink[start] = counter
+		counter++
+		stack = append(stack, NodeID(start))
+		onStack[start] = true
+
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			u := f.node
+			tos, _ := g.OutNeighbors(u)
+			advanced := false
+			for int(f.edge) < len(tos) {
+				v := tos[f.edge]
+				f.edge++
+				if index[v] == unvisited {
+					index[v] = counter
+					lowlink[v] = counter
+					counter++
+					stack = append(stack, v)
+					onStack[v] = true
+					frames = append(frames, frame{node: v})
+					advanced = true
+					break
+				}
+				if onStack[v] && index[v] < lowlink[u] {
+					lowlink[u] = index[v]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// u is finished: pop its SCC if it is a root.
+			if lowlink[u] == index[u] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					label[w] = nextSCC
+					if w == u {
+						break
+					}
+				}
+				nextSCC++
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := frames[len(frames)-1].node
+				if lowlink[u] < lowlink[parent] {
+					lowlink[parent] = lowlink[u]
+				}
+			}
+		}
+	}
+	return label, int(nextSCC)
+}
+
+// LargestComponentSize returns the node count of the biggest component
+// given a labeling from either components function.
+func LargestComponentSize(label []int32, count int) int {
+	if count == 0 {
+		return 0
+	}
+	sizes := make([]int, count)
+	for _, c := range label {
+		if c >= 0 {
+			sizes[c]++
+		}
+	}
+	best := 0
+	for _, s := range sizes {
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}

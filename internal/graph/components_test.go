@@ -1,0 +1,175 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"imc/internal/xrand"
+)
+
+func buildFromPairs(t *testing.T, n int, pairs [][2]int32) *Graph {
+	t.Helper()
+	b := NewBuilder(n)
+	for _, p := range pairs {
+		b.AddEdge(p[0], p[1], 1)
+	}
+	return mustBuild(t, b)
+}
+
+func TestWCCTwoIslands(t *testing.T) {
+	g := buildFromPairs(t, 6, [][2]int32{{0, 1}, {1, 2}, {3, 4}})
+	label, count := WeaklyConnectedComponents(g)
+	if count != 3 { // {0,1,2}, {3,4}, {5}
+		t.Fatalf("WCC count = %d, want 3", count)
+	}
+	if label[0] != label[2] || label[3] != label[4] || label[0] == label[3] {
+		t.Fatalf("labels %v", label)
+	}
+	if got := LargestComponentSize(label, count); got != 3 {
+		t.Fatalf("largest WCC = %d, want 3", got)
+	}
+}
+
+func TestWCCIgnoresDirection(t *testing.T) {
+	// 0 -> 1 <- 2: weakly one component, strongly three.
+	g := buildFromPairs(t, 3, [][2]int32{{0, 1}, {2, 1}})
+	_, wcc := WeaklyConnectedComponents(g)
+	if wcc != 1 {
+		t.Fatalf("WCC = %d, want 1", wcc)
+	}
+	_, scc := StronglyConnectedComponents(g)
+	if scc != 3 {
+		t.Fatalf("SCC = %d, want 3", scc)
+	}
+}
+
+func TestSCCCycleAndTail(t *testing.T) {
+	// 0 -> 1 -> 2 -> 0 cycle, plus 2 -> 3 tail.
+	g := buildFromPairs(t, 4, [][2]int32{{0, 1}, {1, 2}, {2, 0}, {2, 3}})
+	label, count := StronglyConnectedComponents(g)
+	if count != 2 {
+		t.Fatalf("SCC count = %d, want 2", count)
+	}
+	if label[0] != label[1] || label[1] != label[2] {
+		t.Fatalf("cycle split: %v", label)
+	}
+	if label[3] == label[0] {
+		t.Fatalf("tail merged into cycle: %v", label)
+	}
+	// Reverse topological order: the sink SCC ({3}) gets the smaller ID.
+	if label[3] != 0 {
+		t.Fatalf("sink SCC id = %d, want 0", label[3])
+	}
+}
+
+func TestSCCDeepPathNoOverflow(t *testing.T) {
+	// A 200k-node path would blow a recursive Tarjan's stack.
+	const n = 200000
+	b := NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(NodeID(i), NodeID(i+1), 1)
+	}
+	g := mustBuild(t, b)
+	_, count := StronglyConnectedComponents(g)
+	if count != n {
+		t.Fatalf("path SCC count = %d, want %d", count, n)
+	}
+}
+
+// Property: SCCs refine WCCs, and node counts are conserved.
+func TestQuickSCCRefinesWCC(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 12 + rng.Intn(12)
+		b := NewBuilder(n)
+		m := rng.Intn(3 * n)
+		for i := 0; i < m; i++ {
+			b.AddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)), 1)
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		wl, wc := WeaklyConnectedComponents(g)
+		sl, sc := StronglyConnectedComponents(g)
+		if sc < wc {
+			return false // an SCC can never span two WCCs
+		}
+		// Same SCC ⇒ same WCC.
+		repWCC := make(map[int32]int32)
+		for v := 0; v < n; v++ {
+			if w, ok := repWCC[sl[v]]; ok {
+				if w != wl[v] {
+					return false
+				}
+			} else {
+				repWCC[sl[v]] = wl[v]
+			}
+		}
+		// Every label in range.
+		for v := 0; v < n; v++ {
+			if wl[v] < 0 || int(wl[v]) >= wc || sl[v] < 0 || int(sl[v]) >= sc {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mutual reachability ⇔ same SCC, checked by brute-force
+// reachability on small graphs.
+func TestQuickSCCMatchesReachability(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 6 + rng.Intn(6)
+		b := NewBuilder(n)
+		m := rng.Intn(2 * n)
+		for i := 0; i < m; i++ {
+			b.AddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)), 1)
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		// Floyd–Warshall style reachability closure.
+		reach := make([][]bool, n)
+		for i := range reach {
+			reach[i] = make([]bool, n)
+			reach[i][i] = true
+		}
+		for u := NodeID(0); int(u) < n; u++ {
+			tos, _ := g.OutNeighbors(u)
+			for _, v := range tos {
+				reach[u][v] = true
+			}
+		}
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				if !reach[i][k] {
+					continue
+				}
+				for j := 0; j < n; j++ {
+					if reach[k][j] {
+						reach[i][j] = true
+					}
+				}
+			}
+		}
+		label, _ := StronglyConnectedComponents(g)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				mutual := reach[i][j] && reach[j][i]
+				if mutual != (label[i] == label[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

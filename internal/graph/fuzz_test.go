@@ -1,0 +1,78 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadBinary checks the binary-graph parser never panics or
+// over-allocates on corrupt input, and accepts its own output.
+func FuzzReadBinary(f *testing.F) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1, 0.5)
+	b.AddEdge(2, 3, 1)
+	g, err := b.Build()
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("IMCG"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything accepted must satisfy the CSR invariants.
+		if got.NumNodes() <= 0 {
+			t.Fatal("accepted graph with no nodes")
+		}
+		for u := NodeID(0); int(u) < got.NumNodes(); u++ {
+			tos, ws := got.OutNeighbors(u)
+			for i, v := range tos {
+				if int(v) >= got.NumNodes() || ws[i] < 0 || ws[i] > 1 {
+					t.Fatalf("invalid edge %d->%d w=%g", u, v, ws[i])
+				}
+			}
+		}
+	})
+}
+
+// FuzzReadEdgeList checks the edge-list parser never panics and that
+// every successfully parsed graph survives a write/read round trip.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1 0.5\n1 2\n", true)
+	f.Add("# comment\n3 4 1.0\n", false)
+	f.Add("0 0\n", true)
+	f.Add("", true)
+	f.Add("9999999999999999999999 1\n", true)
+	f.Add("1 2 nan\n-1 2\n", false)
+	f.Fuzz(func(t *testing.T, input string, directed bool) {
+		g, err := ReadEdgeList(strings.NewReader(input), directed)
+		if err != nil {
+			return
+		}
+		if g.NumNodes() <= 0 {
+			t.Fatalf("parsed graph with %d nodes and no error", g.NumNodes())
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("write after successful read: %v", err)
+		}
+		if g.NumEdges() == 0 {
+			return
+		}
+		back, err := ReadEdgeList(&buf, true)
+		if err != nil {
+			t.Fatalf("re-read own output: %v", err)
+		}
+		if back.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed edge count: %d -> %d", g.NumEdges(), back.NumEdges())
+		}
+	})
+}

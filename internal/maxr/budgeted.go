@@ -1,0 +1,148 @@
+package maxr
+
+import (
+	"fmt"
+	"math"
+
+	"imc/internal/graph"
+	"imc/internal/ric"
+)
+
+// Budgeted MAXR: the cost-aware extension in the spirit of the paper's
+// cost-aware targeted viral marketing reference [8]. Instead of a
+// cardinality bound k, every node u carries a positive cost c(u) and
+// the seed set must fit a budget B. The solver runs the classic
+// benefit-per-cost greedy twice (rate greedy and plain greedy) plus the
+// best single affordable node, and keeps the best under ĉ_R — the
+// standard knapsack-greedy combination that recovers a constant factor
+// for submodular objectives and serves as a strong heuristic for the
+// non-submodular ĉ_R.
+
+// CostFunc prices a node. Costs must be positive; non-finite or
+// non-positive values make the node unaffordable.
+type CostFunc func(graph.NodeID) float64
+
+// UniformCost prices every node at 1, making Budget equivalent to a
+// cardinality constraint.
+func UniformCost(graph.NodeID) float64 { return 1 }
+
+// DegreeCost prices each node proportionally to its out-degree plus
+// one — the common "influencers charge more" model.
+func DegreeCost(g *graph.Graph, unit float64) CostFunc {
+	return func(u graph.NodeID) float64 {
+		return unit * float64(g.OutDegree(u)+1)
+	}
+}
+
+// SolveBudgeted picks a seed set of total cost ≤ budget maximizing
+// influenced samples in the pool.
+func SolveBudgeted(pool *ric.Pool, cost CostFunc, budget float64) (Result, error) {
+	if pool.NumSamples() == 0 {
+		return Result{}, ErrEmptyPool
+	}
+	if cost == nil {
+		cost = UniformCost
+	}
+	if budget <= 0 {
+		return Result{}, fmt.Errorf("maxr: budget %g must be positive", budget)
+	}
+	cands := candidates(pool)
+	affordable := make([]graph.NodeID, 0, len(cands))
+	for _, v := range cands {
+		if c := cost(v); c > 0 && !math.IsInf(c, 0) && !math.IsNaN(c) && c <= budget {
+			affordable = append(affordable, v)
+		}
+	}
+	if len(affordable) == 0 {
+		return Result{Seeds: []graph.NodeID{}}, nil
+	}
+
+	rate := budgetedGreedy(pool, affordable, cost, budget, true)
+	plain := budgetedGreedy(pool, affordable, cost, budget, false)
+	single := bestSingle(pool, affordable)
+
+	best := rate
+	for _, cand := range [][]graph.NodeID{plain, single} {
+		if pool.CoverageCount(cand) > pool.CoverageCount(best) {
+			best = cand
+		}
+	}
+	return finalize(pool, best), nil
+}
+
+// budgetedGreedy grows a seed set under the budget. When byRate is set
+// the pick maximizes marginal coverage per unit cost (with the
+// tie-break marginal as a secondary signal scaled the same way);
+// otherwise it maximizes raw marginal coverage.
+func budgetedGreedy(pool *ric.Pool, cands []graph.NodeID, cost CostFunc, budget float64, byRate bool) []graph.NodeID {
+	st := pool.NewState()
+	used := make(map[graph.NodeID]struct{})
+	var seeds []graph.NodeID
+	remaining := budget
+	for {
+		best := graph.NodeID(-1)
+		bestScore := -1.0
+		bestTie := -1.0
+		for _, v := range cands {
+			if _, ok := used[v]; ok {
+				continue
+			}
+			c := cost(v)
+			if c > remaining {
+				continue
+			}
+			score := float64(coverageGain(pool, st, v))
+			tie := tieBreakGain(pool, st, v)
+			if byRate {
+				score /= c
+				tie /= c
+			}
+			if score > bestScore || (score == bestScore && tie > bestTie) {
+				bestScore = score
+				bestTie = tie
+				best = v
+			}
+		}
+		if best < 0 || (bestScore <= 0 && bestTie <= 0) {
+			break
+		}
+		used[best] = struct{}{}
+		seeds = append(seeds, best)
+		remaining -= cost(best)
+		st.Add(best)
+		if remaining <= 0 {
+			break
+		}
+	}
+	return seeds
+}
+
+// bestSingle returns the affordable node influencing the most samples
+// alone — the classic guard against rate greedy spending the budget on
+// many cheap, useless nodes.
+func bestSingle(pool *ric.Pool, cands []graph.NodeID) []graph.NodeID {
+	best := graph.NodeID(-1)
+	bestCov := -1
+	for _, v := range cands {
+		if cov := pool.CoverageCount([]graph.NodeID{v}); cov > bestCov {
+			bestCov = cov
+			best = v
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	return []graph.NodeID{best}
+}
+
+// TotalCost sums the cost of a seed set under the given pricing.
+func TotalCost(seeds []graph.NodeID, cost CostFunc) float64 {
+	if cost == nil {
+		cost = UniformCost
+	}
+	total := 0.0
+	for _, s := range seeds {
+		total += cost(s)
+	}
+	return total
+}

@@ -1,0 +1,105 @@
+package maxr
+
+import (
+	"testing"
+
+	"imc/internal/graph"
+)
+
+func TestSolveBudgetedUniformMatchesCardinality(t *testing.T) {
+	pool := pairPool(t, 2000)
+	res, err := SolveBudgeted(pool, UniformCost, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget 2 at unit cost ≡ k=2: must find the benefit-10 pair {0,1}.
+	got := seedSet(res.Seeds)
+	if !got[0] || !got[1] {
+		t.Fatalf("budgeted picked %v, want {0,1}", res.Seeds)
+	}
+	if TotalCost(res.Seeds, UniformCost) > 2 {
+		t.Fatal("budget exceeded")
+	}
+}
+
+func TestSolveBudgetedRespectsCosts(t *testing.T) {
+	pool := pairPool(t, 2000)
+	// Make the rich pair unaffordable: nodes 0 and 1 cost 5 each.
+	cost := func(u graph.NodeID) float64 {
+		if u <= 1 {
+			return 5
+		}
+		return 1
+	}
+	res, err := SolveBudgeted(pool, cost, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Seeds {
+		if s <= 1 {
+			t.Fatalf("unaffordable node %d selected", s)
+		}
+	}
+	// With budget 2 the poor pair {2,3} is optimal.
+	got := seedSet(res.Seeds)
+	if !got[2] || !got[3] {
+		t.Fatalf("budgeted picked %v, want {2,3}", res.Seeds)
+	}
+}
+
+func TestSolveBudgetedBestSingleGuard(t *testing.T) {
+	// Rate greedy alone would prefer two cheap nodes covering nothing
+	// over one expensive node covering everything. The single guard
+	// must win here: on the pair pool, node 0 alone covers nothing, so
+	// just check the API path with a tight budget.
+	pool := pairPool(t, 500)
+	res, err := SolveBudgeted(pool, UniformCost, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if TotalCost(res.Seeds, UniformCost) > 1 {
+		t.Fatal("budget exceeded")
+	}
+}
+
+func TestSolveBudgetedValidation(t *testing.T) {
+	pool := pairPool(t, 100)
+	if _, err := SolveBudgeted(pool, UniformCost, 0); err == nil {
+		t.Fatal("want budget error")
+	}
+	// Nothing affordable: empty but valid result.
+	res, err := SolveBudgeted(pool, func(graph.NodeID) float64 { return 100 }, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 0 {
+		t.Fatalf("unaffordable instance returned seeds %v", res.Seeds)
+	}
+}
+
+func TestSolveBudgetedMonotoneInBudget(t *testing.T) {
+	pool := randomPool(t, 202)
+	prev := -1
+	for _, budget := range []float64{1, 2, 4, 8} {
+		res, err := SolveBudgeted(pool, UniformCost, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Coverage < prev {
+			t.Fatalf("coverage decreased from %d to %d at budget %g", prev, res.Coverage, budget)
+		}
+		prev = res.Coverage
+	}
+}
+
+func TestDegreeCost(t *testing.T) {
+	pool := randomPool(t, 203)
+	cost := DegreeCost(pool.Graph(), 0.5)
+	res, err := SolveBudgeted(pool, cost, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if TotalCost(res.Seeds, cost) > 6+1e-9 {
+		t.Fatalf("degree-cost budget exceeded: %g", TotalCost(res.Seeds, cost))
+	}
+}

@@ -1,0 +1,57 @@
+package maxr
+
+import (
+	"fmt"
+
+	"imc/internal/graph"
+	"imc/internal/ric"
+)
+
+// ExhaustiveOptimum solves MAXR exactly by enumerating every k-subset
+// of the candidate nodes (nodes touching at least one sample). It is
+// exponential and exists so tests can measure each solver's empirical
+// approximation ratio against the true pool optimum on small
+// instances. maxCandidates guards against accidental blow-ups: the
+// enumeration is rejected if more candidates touch the pool (0 means
+// 24).
+func ExhaustiveOptimum(pool *ric.Pool, k, maxCandidates int) (Result, error) {
+	if err := validate(pool, k); err != nil {
+		return Result{}, err
+	}
+	if maxCandidates <= 0 {
+		maxCandidates = 24
+	}
+	cands := candidates(pool)
+	if len(cands) > maxCandidates {
+		return Result{}, fmt.Errorf("maxr: %d candidates exceed enumeration bound %d", len(cands), maxCandidates)
+	}
+	if k > len(cands) {
+		k = len(cands)
+	}
+	var (
+		best     []graph.NodeID
+		bestCov  = -1
+		current  = make([]graph.NodeID, 0, k)
+		nodeList = cands
+	)
+	var recurse func(start int)
+	recurse = func(start int) {
+		if len(current) == k {
+			if cov := pool.CoverageCount(current); cov > bestCov {
+				bestCov = cov
+				best = append(best[:0], current...)
+			}
+			return
+		}
+		for i := start; i <= len(nodeList)-(k-len(current)); i++ {
+			current = append(current, nodeList[i])
+			recurse(i + 1)
+			current = current[:len(current)-1]
+		}
+	}
+	recurse(0)
+	if bestCov < 0 {
+		return Result{}, ErrEmptyPool
+	}
+	return finalize(pool, padSeeds(pool, best, k)), nil
+}

@@ -1,0 +1,206 @@
+package maxr
+
+import (
+	"container/heap"
+
+	"imc/internal/graph"
+	"imc/internal/ric"
+)
+
+// coverageGain returns the increase in influenced-sample count if v is
+// added to the seed set tracked by st.
+func coverageGain(pool *ric.Pool, st *ric.State, v graph.NodeID) int {
+	gain := 0
+	for _, e := range pool.Entries(v) {
+		h := pool.Sample(int(e.Sample)).Threshold
+		cur := st.CoverCount(e.Sample)
+		if cur >= h {
+			continue
+		}
+		var add int32
+		if base := st.Covered(e.Sample); base == nil {
+			add = int32(e.Bits.OnesCount())
+		} else {
+			add = int32(e.Bits.NewBitsOver(base))
+		}
+		if cur+add >= h {
+			gain++
+		}
+	}
+	return gain
+}
+
+// fractionalGain returns the increase in Σ min(|I_g|/h_g, 1) if v is
+// added to the seed set tracked by st — the marginal of ν_R up to the
+// b/|R| scale.
+func fractionalGain(pool *ric.Pool, st *ric.State, v graph.NodeID) float64 {
+	gain := 0.0
+	for _, e := range pool.Entries(v) {
+		h := pool.Sample(int(e.Sample)).Threshold
+		cur := st.CoverCount(e.Sample)
+		if cur >= h {
+			continue
+		}
+		var add int32
+		if base := st.Covered(e.Sample); base == nil {
+			add = int32(e.Bits.OnesCount())
+		} else {
+			add = int32(e.Bits.NewBitsOver(base))
+		}
+		after := cur + add
+		if after > h {
+			after = h
+		}
+		gain += float64(after-cur) / float64(h)
+	}
+	return gain
+}
+
+// tieBreakGain scores a candidate when ĉ_R marginals tie (typically at
+// zero, when no single node crosses any threshold): fractional member
+// coverage weighted toward samples that are already partially covered.
+// The (1 + cur/h) factor makes successive picks finish communities
+// they started instead of scattering — the concentration that the
+// non-submodular objective rewards but that the plain marginal cannot
+// see.
+func tieBreakGain(pool *ric.Pool, st *ric.State, v graph.NodeID) float64 {
+	gain := 0.0
+	for _, e := range pool.Entries(v) {
+		h := pool.Sample(int(e.Sample)).Threshold
+		cur := st.CoverCount(e.Sample)
+		if cur >= h {
+			continue
+		}
+		var add int32
+		if base := st.Covered(e.Sample); base == nil {
+			add = int32(e.Bits.OnesCount())
+		} else {
+			add = int32(e.Bits.NewBitsOver(base))
+		}
+		after := cur + add
+		if after > h {
+			after = h
+		}
+		gain += float64(after-cur) / float64(h) * (1 + float64(cur)/float64(h))
+	}
+	return gain
+}
+
+// GreedyCHat runs plain greedy directly on ĉ_R. Because ĉ_R is
+// non-submodular, marginals are re-evaluated for every candidate in
+// every round (no lazy evaluation is sound here).
+//
+// Ties in the ĉ_R marginal — in particular the all-zero rounds that
+// occur whenever no single node can push any sample across its
+// threshold — are broken by tieBreakGain. Without the tie-break, plain
+// greedy degenerates to arbitrary picks exactly in the non-submodular
+// regime the paper highlights; with it, the early picks build toward
+// thresholds and later rounds recover the coverage signal.
+func GreedyCHat(pool *ric.Pool, k int) ([]graph.NodeID, error) {
+	if err := validate(pool, k); err != nil {
+		return nil, err
+	}
+	cands := candidates(pool)
+	st := pool.NewState()
+	seeds := make([]graph.NodeID, 0, k)
+	used := make(map[graph.NodeID]struct{}, k)
+	for len(seeds) < k {
+		best := graph.NodeID(-1)
+		bestGain := -1
+		bestFrac := -1.0
+		for _, v := range cands {
+			if _, ok := used[v]; ok {
+				continue
+			}
+			// Candidates are sorted by touch count, and a node's
+			// coverage gain can never exceed the number of samples it
+			// touches — once that bound drops below the incumbent,
+			// nothing later can win (equal-gain ties still require
+			// touch ≥ gain, so they are never pruned). This exact
+			// prune is what keeps the non-submodular greedy usable on
+			// large pools.
+			if pool.TouchCount(v) < bestGain {
+				break
+			}
+			g := coverageGain(pool, st, v)
+			if g < bestGain {
+				continue
+			}
+			if g > bestGain {
+				bestGain = g
+				bestFrac = tieBreakGain(pool, st, v)
+				best = v
+				continue
+			}
+			if f := tieBreakGain(pool, st, v); f > bestFrac {
+				bestFrac = f
+				best = v
+			}
+		}
+		if best < 0 {
+			break
+		}
+		st.Add(best)
+		seeds = append(seeds, best)
+		used[best] = struct{}{}
+	}
+	return padSeeds(pool, seeds, k), nil
+}
+
+// celfItem is one lazy-greedy heap entry.
+type celfItem struct {
+	node  graph.NodeID
+	gain  float64
+	round int // seed-set size at which gain was computed
+}
+
+type celfHeap []celfItem
+
+func (h celfHeap) Len() int      { return len(h) }
+func (h celfHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h celfHeap) Less(i, j int) bool {
+	if h[i].gain != h[j].gain {
+		return h[i].gain > h[j].gain
+	}
+	return h[i].node < h[j].node
+}
+func (h *celfHeap) Push(x any) { *h = append(*h, x.(celfItem)) }
+func (h *celfHeap) Pop() any {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// GreedyNu runs CELF lazy greedy on the submodular upper bound ν_R
+// (Lemma 3 proves submodularity, so stale heap gains are valid upper
+// bounds and lazy evaluation is exact).
+func GreedyNu(pool *ric.Pool, k int) ([]graph.NodeID, error) {
+	if err := validate(pool, k); err != nil {
+		return nil, err
+	}
+	cands := candidates(pool)
+	st := pool.NewState()
+	h := make(celfHeap, 0, len(cands))
+	for _, v := range cands {
+		h = append(h, celfItem{node: v, gain: fractionalGain(pool, st, v), round: 0})
+	}
+	heap.Init(&h)
+	seeds := make([]graph.NodeID, 0, k)
+	for len(seeds) < k && h.Len() > 0 {
+		top := heap.Pop(&h).(celfItem)
+		if top.round == len(seeds) {
+			if top.gain <= 0 {
+				break
+			}
+			st.Add(top.node)
+			seeds = append(seeds, top.node)
+			continue
+		}
+		top.gain = fractionalGain(pool, st, top.node)
+		top.round = len(seeds)
+		heap.Push(&h, top)
+	}
+	return padSeeds(pool, seeds, k), nil
+}

@@ -1,0 +1,167 @@
+// Package plot renders small ASCII line charts. cmd/imcbench uses it to
+// draw the paper's figures directly in the terminal (-format plot), so
+// the qualitative shapes — orderings, trends, crossovers — are visible
+// without exporting CSV to an external plotter.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line of y-values over the shared x positions.
+type Series struct {
+	// Name labels the series in the legend.
+	Name string
+	// Y holds one value per x position; NaN marks missing points.
+	Y []float64
+}
+
+// markers distinguishes series in draw order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Chart draws the series as an ASCII chart of the given plot-area size
+// (sensible minimums are enforced). The y-axis starts at zero unless
+// values are negative.
+func Chart(w io.Writer, title string, xLabels []string, series []Series, width, height int) error {
+	if len(xLabels) == 0 || len(series) == 0 {
+		return fmt.Errorf("plot: need at least one x position and one series")
+	}
+	for _, s := range series {
+		if len(s.Y) != len(xLabels) {
+			return fmt.Errorf("plot: series %q has %d points, want %d", s.Name, len(s.Y), len(xLabels))
+		}
+	}
+	if width < 2*len(xLabels) {
+		width = 2 * len(xLabels)
+	}
+	if width < 24 {
+		width = 24
+	}
+	if height < 5 {
+		height = 5
+	}
+
+	lo, hi := bounds(series)
+	if lo > 0 {
+		lo = 0
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	// Column of each x position, spread across the width.
+	col := func(i int) int {
+		if len(xLabels) == 1 {
+			return width / 2
+		}
+		return i * (width - 1) / (len(xLabels) - 1)
+	}
+	row := func(v float64) int {
+		frac := (v - lo) / (hi - lo)
+		r := height - 1 - int(math.Round(frac*float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i, v := range s.Y {
+			if math.IsNaN(v) {
+				continue
+			}
+			grid[row(v)][col(i)] = m
+		}
+	}
+
+	if _, err := fmt.Fprintln(w, title); err != nil {
+		return err
+	}
+	yw := len(axisLabel(hi))
+	if l := len(axisLabel(lo)); l > yw {
+		yw = l
+	}
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", yw)
+		if r == 0 {
+			label = pad(axisLabel(hi), yw)
+		}
+		if r == height-1 {
+			label = pad(axisLabel(lo), yw)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, string(grid[r])); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", yw), strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	// X labels: first and last, centered-ish.
+	first, last := xLabels[0], xLabels[len(xLabels)-1]
+	gap := width - len(first) - len(last)
+	if gap < 1 {
+		gap = 1
+	}
+	if _, err := fmt.Fprintf(w, "%s  %s%s%s\n", strings.Repeat(" ", yw), first, strings.Repeat(" ", gap), last); err != nil {
+		return err
+	}
+	// Legend.
+	var legend strings.Builder
+	for si, s := range series {
+		if si > 0 {
+			legend.WriteString("   ")
+		}
+		fmt.Fprintf(&legend, "%c %s", markers[si%len(markers)], s.Name)
+	}
+	_, err := fmt.Fprintf(w, "%s  %s\n", strings.Repeat(" ", yw), legend.String())
+	return err
+}
+
+func bounds(series []Series) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.Y {
+			if math.IsNaN(v) {
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		lo, hi = 0, 1
+	}
+	return lo, hi
+}
+
+func axisLabel(v float64) string {
+	switch {
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%.3g", v)
+	case v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}

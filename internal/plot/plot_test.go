@@ -1,0 +1,99 @@
+package plot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestChartBasic(t *testing.T) {
+	var buf bytes.Buffer
+	err := Chart(&buf, "demo", []string{"k=5", "k=10", "k=20"}, []Series{
+		{Name: "UBG", Y: []float64{10, 20, 30}},
+		{Name: "KS", Y: []float64{5, 8, 12}},
+	}, 30, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo", "* UBG", "o KS", "k=5", "k=20", "30", "0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The top row must contain the max marker of the dominant series.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "*") {
+		t.Fatalf("max value not at top row:\n%s", out)
+	}
+}
+
+func TestChartValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Chart(&buf, "t", nil, []Series{{Name: "a", Y: nil}}, 10, 5); err == nil {
+		t.Fatal("want empty-x error")
+	}
+	if err := Chart(&buf, "t", []string{"x"}, nil, 10, 5); err == nil {
+		t.Fatal("want empty-series error")
+	}
+	if err := Chart(&buf, "t", []string{"x", "y"}, []Series{{Name: "a", Y: []float64{1}}}, 10, 5); err == nil {
+		t.Fatal("want length-mismatch error")
+	}
+}
+
+func TestChartHandlesNaNAndConstants(t *testing.T) {
+	var buf bytes.Buffer
+	err := Chart(&buf, "flat", []string{"a", "b"}, []Series{
+		{Name: "s", Y: []float64{math.NaN(), 5}},
+		{Name: "t", Y: []float64{5, 5}},
+	}, 24, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "o t") {
+		t.Fatal("legend missing")
+	}
+	// All-NaN series must not panic and bounds default sanely.
+	buf.Reset()
+	if err := Chart(&buf, "nan", []string{"a"}, []Series{{Name: "n", Y: []float64{math.NaN()}}}, 24, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChartLargeValuesAxisLabels(t *testing.T) {
+	var buf bytes.Buffer
+	err := Chart(&buf, "big", []string{"a", "b"}, []Series{
+		{Name: "s", Y: []float64{1200, 45000}},
+	}, 24, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Large axis labels switch to compact %.3g form.
+	if !strings.Contains(buf.String(), "4.5e+04") {
+		t.Fatalf("compact label missing:\n%s", buf.String())
+	}
+}
+
+func TestChartNegativeValues(t *testing.T) {
+	var buf bytes.Buffer
+	err := Chart(&buf, "neg", []string{"a", "b"}, []Series{
+		{Name: "s", Y: []float64{-5, 5}},
+	}, 24, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "-5") {
+		t.Fatalf("negative axis label missing:\n%s", buf.String())
+	}
+}
+
+func TestChartSingleColumn(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Chart(&buf, "one", []string{"k=1"}, []Series{{Name: "x", Y: []float64{3}}}, 10, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Fatal("marker missing for single point")
+	}
+}

@@ -1,0 +1,224 @@
+// Package reduction implements the paper's Theorem 1 construction: the
+// approximation-preserving reduction from Densest k-Subgraph (DkS) to
+// IMC that establishes IMC's O(r^{1/2(loglog r)^c}) inapproximability
+// under the exponential time hypothesis.
+//
+// Given an undirected DkS instance H, every edge e = {a, b} becomes a
+// two-node community C_e = {a_e, b_e} with threshold 2 and benefit 1,
+// and all copies of an original node a (one per incident edge) are wired
+// into a weight-1 directed cycle so that seeding any copy activates all
+// of them. Then for the natural solution mappings,
+// e(S_DkS) = c(S_IMC): the number of edges inside a k-subgraph equals
+// the (deterministic) community benefit of the corresponding seed set.
+//
+// Besides documenting the hardness proof in executable form, the
+// reduction doubles as a worst-case instance generator for solver
+// stress tests.
+package reduction
+
+import (
+	"fmt"
+	"sort"
+
+	"imc/internal/community"
+	"imc/internal/graph"
+)
+
+// DkSEdge is one undirected edge {A, B} of a DkS instance.
+type DkSEdge struct {
+	A, B int
+}
+
+// Instance is the IMC instance produced from a DkS instance, together
+// with the bookkeeping needed to map solutions in both directions.
+type Instance struct {
+	// G is the IMC social graph: one node per (original node, incident
+	// edge) pair, deterministic weight-1 edges inside each copy cycle.
+	G *graph.Graph
+	// Part holds one 2-node community per DkS edge (threshold 2,
+	// benefit 1).
+	Part *community.Partition
+	// CopyOf maps each IMC node to its original DkS node.
+	CopyOf []int
+	// Copies lists, per original DkS node, its IMC copies.
+	Copies [][]graph.NodeID
+
+	numOriginal int
+	edges       []DkSEdge
+}
+
+// FromDkS builds the IMC instance for a DkS instance over n nodes.
+// Self-loops and duplicate edges are rejected; isolated original nodes
+// simply get no copies (they can never contribute an edge).
+func FromDkS(n int, edges []DkSEdge) (*Instance, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("reduction: node count %d must be positive", n)
+	}
+	seen := make(map[[2]int]struct{}, len(edges))
+	for _, e := range edges {
+		if e.A == e.B {
+			return nil, fmt.Errorf("reduction: self-loop on node %d", e.A)
+		}
+		if e.A < 0 || e.B < 0 || e.A >= n || e.B >= n {
+			return nil, fmt.Errorf("reduction: edge {%d,%d} out of range [0,%d)", e.A, e.B, n)
+		}
+		key := [2]int{min(e.A, e.B), max(e.A, e.B)}
+		if _, dup := seen[key]; dup {
+			return nil, fmt.Errorf("reduction: duplicate edge {%d,%d}", e.A, e.B)
+		}
+		seen[key] = struct{}{}
+	}
+
+	inst := &Instance{
+		numOriginal: n,
+		edges:       append([]DkSEdge(nil), edges...),
+		Copies:      make([][]graph.NodeID, n),
+	}
+	// Two IMC nodes per DkS edge: copy of A then copy of B.
+	total := 2 * len(edges)
+	inst.CopyOf = make([]int, total)
+	memberSets := make([][]graph.NodeID, 0, len(edges))
+	next := graph.NodeID(0)
+	for _, e := range edges {
+		aCopy, bCopy := next, next+1
+		next += 2
+		inst.CopyOf[aCopy] = e.A
+		inst.CopyOf[bCopy] = e.B
+		inst.Copies[e.A] = append(inst.Copies[e.A], aCopy)
+		inst.Copies[e.B] = append(inst.Copies[e.B], bCopy)
+		memberSets = append(memberSets, []graph.NodeID{aCopy, bCopy})
+	}
+
+	b := graph.NewBuilder(total)
+	// Strongly connect each copy class with a weight-1 cycle.
+	for _, copies := range inst.Copies {
+		if len(copies) < 2 {
+			continue
+		}
+		sorted := append([]graph.NodeID(nil), copies...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for i := range sorted {
+			b.AddEdge(sorted[i], sorted[(i+1)%len(sorted)], 1)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	part, err := community.New(total, memberSets)
+	if err != nil {
+		return nil, err
+	}
+	part.SetBoundedThresholds(2)
+	part.SetUniformBenefits(1)
+	inst.G = g
+	inst.Part = part
+	return inst, nil
+}
+
+// NumCommunities returns r = |E(H)|.
+func (inst *Instance) NumCommunities() int { return len(inst.edges) }
+
+// LiftSeeds maps a DkS node set to an IMC seed set by picking one
+// arbitrary copy per node (the paper's S'_I construction). Nodes
+// without copies (isolated in H) are skipped.
+func (inst *Instance) LiftSeeds(dksNodes []int) ([]graph.NodeID, error) {
+	out := make([]graph.NodeID, 0, len(dksNodes))
+	for _, a := range dksNodes {
+		if a < 0 || a >= inst.numOriginal {
+			return nil, fmt.Errorf("reduction: DkS node %d out of range", a)
+		}
+		if len(inst.Copies[a]) > 0 {
+			out = append(out, inst.Copies[a][0])
+		}
+	}
+	return out, nil
+}
+
+// ProjectSeeds maps an IMC seed set back to DkS nodes (the paper's S'_D
+// construction), deduplicating copies of the same original node.
+func (inst *Instance) ProjectSeeds(seeds []graph.NodeID) ([]int, error) {
+	seen := make(map[int]struct{}, len(seeds))
+	out := make([]int, 0, len(seeds))
+	for _, s := range seeds {
+		if s < 0 || int(s) >= len(inst.CopyOf) {
+			return nil, fmt.Errorf("reduction: IMC node %d out of range", s)
+		}
+		a := inst.CopyOf[s]
+		if _, dup := seen[a]; !dup {
+			seen[a] = struct{}{}
+			out = append(out, a)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Benefit evaluates c(S) on the reduced instance. All edges have
+// weight 1, so the cascade is deterministic and c is computed by plain
+// reachability — no sampling needed.
+func (inst *Instance) Benefit(seeds []graph.NodeID) float64 {
+	n := inst.G.NumNodes()
+	active := make([]bool, n)
+	queue := make([]graph.NodeID, 0, n)
+	for _, s := range seeds {
+		if s >= 0 && int(s) < n && !active[s] {
+			active[s] = true
+			queue = append(queue, s)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		tos, _ := inst.G.OutNeighbors(queue[head])
+		for _, v := range tos {
+			if !active[v] {
+				active[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	benefit := 0.0
+	for i := 0; i < inst.Part.NumCommunities(); i++ {
+		c := inst.Part.Community(i)
+		hits := 0
+		for _, u := range c.Members {
+			if active[u] {
+				hits++
+			}
+		}
+		if hits >= c.Threshold {
+			benefit += c.Benefit
+		}
+	}
+	return benefit
+}
+
+// InducedEdges counts e(S): the DkS objective for a node subset.
+func (inst *Instance) InducedEdges(dksNodes []int) int {
+	in := make(map[int]struct{}, len(dksNodes))
+	for _, a := range dksNodes {
+		in[a] = struct{}{}
+	}
+	count := 0
+	for _, e := range inst.edges {
+		if _, okA := in[e.A]; okA {
+			if _, okB := in[e.B]; okB {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

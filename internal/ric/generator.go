@@ -1,0 +1,266 @@
+package ric
+
+import (
+	"fmt"
+
+	"imc/internal/community"
+	"imc/internal/diffusion"
+	"imc/internal/graph"
+	"imc/internal/xrand"
+)
+
+// Generator produces RIC samples for one (graph, partition, model)
+// triple. It owns per-sample scratch buffers and is therefore NOT safe
+// for concurrent use — the pool creates one generator per worker.
+type Generator struct {
+	g     *graph.Graph
+	part  *community.Partition
+	model diffusion.Model
+	alias *xrand.Alias
+
+	// Collective reverse-BFS scratch. Epoch counters let us "clear" the
+	// per-node markers in O(1) between samples.
+	epoch     int32
+	nodeEpoch []int32
+	queue     []graph.NodeID
+	// liveIn[u] holds the in-neighbors of u whose edge was sampled live
+	// in the current sample's deterministic subgraph. Entries are reset
+	// lazily via resetNodes.
+	liveIn     [][]graph.NodeID
+	resetNodes []graph.NodeID
+
+	// Per-member BFS scratch (cover-slot assignment). coverGen is bumped
+	// once per Generate so slots stay valid across all member BFS passes
+	// of the same sample.
+	coverGen   int32
+	coverEpoch []int32
+	coverSlot  []int32
+}
+
+// NewGenerator builds a generator. Community selection follows the
+// paper's ρ distribution: Pr[C_i] = b_i / b.
+func NewGenerator(g *graph.Graph, part *community.Partition, model diffusion.Model) (*Generator, error) {
+	if g.NumNodes() != part.NumNodes() {
+		return nil, fmt.Errorf("ric: graph has %d nodes but partition covers %d", g.NumNodes(), part.NumNodes())
+	}
+	if model == 0 {
+		model = diffusion.IC
+	}
+	weights := make([]float64, part.NumCommunities())
+	for i := range weights {
+		weights[i] = part.Community(i).Benefit
+	}
+	n := g.NumNodes()
+	return &Generator{
+		g:          g,
+		part:       part,
+		model:      model,
+		alias:      xrand.NewAlias(weights),
+		nodeEpoch:  make([]int32, n),
+		liveIn:     make([][]graph.NodeID, n),
+		coverEpoch: make([]int32, n),
+		coverSlot:  make([]int32, n),
+	}, nil
+}
+
+// Generate draws one RIC sample (paper Alg. 1): select a source
+// community, reverse-BFS a deterministic subgraph, and record each
+// touching node's member coverage.
+func (gen *Generator) Generate(rng *xrand.RNG) rawSample {
+	commIdx, members := gen.collectiveBFS(rng)
+	comm := gen.part.Community(commIdx)
+	gen.coverGen++
+
+	raw := rawSample{
+		comm:       int32(commIdx),
+		threshold:  int32(comm.Threshold),
+		numMembers: int32(len(members)),
+	}
+	numMembers := len(members)
+	for j, m := range members {
+		gen.epoch++
+		gen.queue = gen.queue[:0]
+		gen.queue = append(gen.queue, m)
+		gen.nodeEpoch[m] = gen.epoch
+		for head := 0; head < len(gen.queue); head++ {
+			v := gen.queue[head]
+			slot := gen.coverSlotFor(v, numMembers, &raw)
+			raw.coverBits[slot].set(j)
+			for _, w := range gen.liveIn[v] {
+				if gen.nodeEpoch[w] != gen.epoch {
+					gen.nodeEpoch[w] = gen.epoch
+					gen.queue = append(gen.queue, w)
+				}
+			}
+		}
+	}
+	gen.release()
+	return raw
+}
+
+// Influenced draws one RIC sample and reports whether the seed set
+// (given as an n-length membership slice) influences it, without
+// materializing the cover index. This is the hot path of the Estimate
+// procedure (paper Alg. 6).
+func (gen *Generator) Influenced(rng *xrand.RNG, inSeed []bool) bool {
+	commIdx, members := gen.collectiveBFS(rng)
+	comm := gen.part.Community(commIdx)
+	need := comm.Threshold
+	hit := 0
+	for _, m := range members {
+		if gen.memberReachedBy(m, inSeed) {
+			hit++
+			if hit >= need {
+				gen.release()
+				return true
+			}
+		}
+	}
+	gen.release()
+	return false
+}
+
+// FractionalInfluence draws one RIC sample and returns
+// min(|I_g(S)|/h_g, 1) — the fractional statistic whose expectation is
+// ν(S)/b (paper eq. 6). Used by the ν-guided stop rule.
+func (gen *Generator) FractionalInfluence(rng *xrand.RNG, inSeed []bool) float64 {
+	commIdx, members := gen.collectiveBFS(rng)
+	comm := gen.part.Community(commIdx)
+	hit := 0
+	for _, m := range members {
+		if gen.memberReachedBy(m, inSeed) {
+			hit++
+			if hit >= comm.Threshold {
+				break
+			}
+		}
+	}
+	gen.release()
+	frac := float64(hit) / float64(comm.Threshold)
+	if frac > 1 {
+		frac = 1
+	}
+	return frac
+}
+
+// memberReachedBy BFSes backwards from one member over the live
+// subgraph, reporting whether any seed node reaches the member.
+func (gen *Generator) memberReachedBy(m graph.NodeID, inSeed []bool) bool {
+	gen.epoch++
+	gen.queue = gen.queue[:0]
+	gen.queue = append(gen.queue, m)
+	gen.nodeEpoch[m] = gen.epoch
+	for head := 0; head < len(gen.queue); head++ {
+		v := gen.queue[head]
+		if inSeed[v] {
+			return true
+		}
+		for _, w := range gen.liveIn[v] {
+			if gen.nodeEpoch[w] != gen.epoch {
+				gen.nodeEpoch[w] = gen.epoch
+				gen.queue = append(gen.queue, w)
+			}
+		}
+	}
+	return false
+}
+
+// collectiveBFS performs Alg. 1's shared backward BFS: pick the source
+// community, then explore every path that could activate any member,
+// deciding each edge's live state exactly once. On return gen.liveIn
+// holds the sampled deterministic subgraph restricted to the explored
+// region, and gen.resetNodes lists the nodes to clean up.
+func (gen *Generator) collectiveBFS(rng *xrand.RNG) (int, []graph.NodeID) {
+	commIdx := gen.alias.Draw(rng)
+	members := gen.part.Community(commIdx).Members
+
+	gen.epoch++
+	gen.queue = gen.queue[:0]
+	gen.resetNodes = gen.resetNodes[:0]
+	for _, m := range members {
+		if gen.nodeEpoch[m] != gen.epoch {
+			gen.nodeEpoch[m] = gen.epoch
+			gen.queue = append(gen.queue, m)
+		}
+	}
+	for head := 0; head < len(gen.queue); head++ {
+		u := gen.queue[head]
+		gen.resetNodes = append(gen.resetNodes, u)
+		switch gen.model {
+		case diffusion.LT:
+			gen.sampleInEdgesLT(u, rng)
+		default:
+			gen.sampleInEdgesIC(u, rng)
+		}
+		for _, v := range gen.liveIn[u] {
+			if gen.nodeEpoch[v] != gen.epoch {
+				gen.nodeEpoch[v] = gen.epoch
+				gen.queue = append(gen.queue, v)
+			}
+		}
+	}
+	return commIdx, members
+}
+
+// sampleInEdgesIC decides each incoming edge of u independently with its
+// own probability (Independent Cascade).
+func (gen *Generator) sampleInEdgesIC(u graph.NodeID, rng *xrand.RNG) {
+	froms, ws, _ := gen.g.InNeighbors(u)
+	live := gen.liveIn[u][:0]
+	for i, v := range froms {
+		if rng.Bernoulli(ws[i]) {
+			live = append(live, v)
+		}
+	}
+	gen.liveIn[u] = live
+}
+
+// sampleInEdgesLT picks at most one live in-edge for u, chosen with
+// probability proportional to edge weight and total probability
+// min(Σw, 1) — the standard reverse construction for the Linear
+// Threshold model.
+func (gen *Generator) sampleInEdgesLT(u graph.NodeID, rng *xrand.RNG) {
+	froms, ws, _ := gen.g.InNeighbors(u)
+	live := gen.liveIn[u][:0]
+	total := 0.0
+	for _, w := range ws {
+		total += w
+	}
+	if total > 0 {
+		draw := rng.Float64()
+		if total > 1 {
+			draw *= total
+		}
+		acc := 0.0
+		for i, v := range froms {
+			acc += ws[i]
+			if draw < acc {
+				live = append(live, v)
+				break
+			}
+		}
+	}
+	gen.liveIn[u] = live
+}
+
+// coverSlotFor returns (allocating on first sight) the rawSample cover
+// slot of node v.
+func (gen *Generator) coverSlotFor(v graph.NodeID, numMembers int, raw *rawSample) int32 {
+	if gen.coverEpoch[v] == gen.coverGen {
+		return gen.coverSlot[v]
+	}
+	slot := int32(len(raw.coverNodes))
+	raw.coverNodes = append(raw.coverNodes, v)
+	raw.coverBits = append(raw.coverBits, newMask(numMembers))
+	gen.coverEpoch[v] = gen.coverGen
+	gen.coverSlot[v] = slot
+	return slot
+}
+
+// release clears the live adjacency lists touched by the last sample.
+func (gen *Generator) release() {
+	for _, u := range gen.resetNodes {
+		gen.liveIn[u] = gen.liveIn[u][:0]
+	}
+	gen.resetNodes = gen.resetNodes[:0]
+}

@@ -1,0 +1,292 @@
+package ric
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"imc/internal/community"
+	"imc/internal/diffusion"
+	"imc/internal/graph"
+	"imc/internal/xrand"
+)
+
+// Pool is a growing collection R of RIC samples together with the
+// inverted cover index (node → samples it touches, with member masks)
+// that every MAXR solver consumes.
+//
+// Generation is deterministic in the pool's seed: sample i is always
+// drawn from PRNG stream i, no matter how many workers participate, so
+// doubling the pool extends — never reshuffles — the sample sequence.
+type Pool struct {
+	g       *graph.Graph
+	part    *community.Partition
+	model   diffusion.Model
+	root    *xrand.RNG
+	workers int
+
+	samples  []Sample
+	index    [][]CoverEntry
+	commFreq []int // samples per source community
+}
+
+// PoolOptions configures pool construction.
+type PoolOptions struct {
+	// Model selects IC (default) or LT reverse sampling.
+	Model diffusion.Model
+	// Seed drives all sample randomness.
+	Seed uint64
+	// Workers bounds generation parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// NewPool creates an empty pool over (g, part).
+func NewPool(g *graph.Graph, part *community.Partition, opts PoolOptions) (*Pool, error) {
+	if g.NumNodes() != part.NumNodes() {
+		return nil, fmt.Errorf("ric: graph has %d nodes but partition covers %d", g.NumNodes(), part.NumNodes())
+	}
+	if opts.Model == 0 {
+		opts.Model = diffusion.IC
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{
+		g:        g,
+		part:     part,
+		model:    opts.Model,
+		root:     xrand.New(opts.Seed),
+		workers:  workers,
+		index:    make([][]CoverEntry, g.NumNodes()),
+		commFreq: make([]int, part.NumCommunities()),
+	}, nil
+}
+
+// Generate draws count additional samples and folds them into the pool.
+func (p *Pool) Generate(count int) error {
+	if count <= 0 {
+		return errors.New("ric: sample count must be positive")
+	}
+	base := len(p.samples)
+	raws := make([]rawSample, count)
+	workers := p.workers
+	if workers > count {
+		workers = count
+	}
+	var (
+		wg       sync.WaitGroup
+		firstErr error
+		errOnce  sync.Once
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			gen, err := NewGenerator(p.g, p.part, p.model)
+			if err != nil {
+				errOnce.Do(func() { firstErr = err })
+				return
+			}
+			for i := w; i < count; i += workers {
+				rng := p.root.Split(uint64(base + i))
+				raws[i] = gen.Generate(rng)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	for i, raw := range raws {
+		id := int32(base + i)
+		p.samples = append(p.samples, Sample{
+			Comm:       raw.comm,
+			Threshold:  raw.threshold,
+			NumMembers: raw.numMembers,
+			TouchCount: int32(len(raw.coverNodes)),
+		})
+		p.commFreq[raw.comm]++
+		for j, v := range raw.coverNodes {
+			p.index[v] = append(p.index[v], CoverEntry{Sample: id, Bits: raw.coverBits[j]})
+		}
+	}
+	return nil
+}
+
+// Double doubles the pool size (the IMCAF stop-and-stare schedule).
+func (p *Pool) Double() error {
+	n := len(p.samples)
+	if n == 0 {
+		return errors.New("ric: cannot double an empty pool")
+	}
+	return p.Generate(n)
+}
+
+// NumSamples returns |R|.
+func (p *Pool) NumSamples() int { return len(p.samples) }
+
+// Sample returns sample i's metadata.
+func (p *Pool) Sample(i int) Sample { return p.samples[i] }
+
+// Entries returns the cover entries of node v (samples v touches). The
+// slice aliases pool storage; treat it as read-only.
+func (p *Pool) Entries(v graph.NodeID) []CoverEntry { return p.index[v] }
+
+// TouchCount returns the number of samples node v touches — MAF's
+// node-frequency statistic.
+func (p *Pool) TouchCount(v graph.NodeID) int { return len(p.index[v]) }
+
+// CommunityFrequency returns how many samples were sourced from
+// community c — MAF's community-frequency statistic.
+func (p *Pool) CommunityFrequency(c int) int { return p.commFreq[c] }
+
+// Partition returns the community partition the pool samples against.
+func (p *Pool) Partition() *community.Partition { return p.part }
+
+// Graph returns the underlying social graph.
+func (p *Pool) Graph() *graph.Graph { return p.g }
+
+// Model returns the propagation model used for sampling.
+func (p *Pool) Model() diffusion.Model { return p.model }
+
+// State carries incremental coverage bookkeeping for one seed set over
+// one pool: the union member-mask per touched sample. It is the shared
+// substrate of every evaluator and greedy solver.
+type State struct {
+	pool    *Pool
+	cover   []Mask  // per sample, nil until touched
+	count   []int32 // cached popcount of cover, valid where cover != nil
+	touched []int32 // samples with non-nil cover
+	seeds   []graph.NodeID
+}
+
+// NewState returns an empty coverage state for the pool.
+func (p *Pool) NewState() *State {
+	return &State{
+		pool:  p,
+		cover: make([]Mask, len(p.samples)),
+		count: make([]int32, len(p.samples)),
+	}
+}
+
+// Add incorporates seed v into the state.
+func (s *State) Add(v graph.NodeID) {
+	s.seeds = append(s.seeds, v)
+	for _, e := range s.pool.index[v] {
+		if s.cover[e.Sample] == nil {
+			s.cover[e.Sample] = e.Bits.Clone()
+			s.count[e.Sample] = int32(e.Bits.OnesCount())
+			s.touched = append(s.touched, e.Sample)
+			continue
+		}
+		e.Bits.OrInto(s.cover[e.Sample])
+		s.count[e.Sample] = int32(s.cover[e.Sample].OnesCount())
+	}
+}
+
+// CoverCount returns |I_g(S)| for sample i under the current seed set.
+func (s *State) CoverCount(i int32) int32 {
+	if s.cover[i] == nil {
+		return 0
+	}
+	return s.count[i]
+}
+
+// Seeds returns the seeds added so far (shared slice; read-only).
+func (s *State) Seeds() []graph.NodeID { return s.seeds }
+
+// Covered returns the current member mask for sample i (nil if the seed
+// set touches no member of that sample).
+func (s *State) Covered(i int32) Mask { return s.cover[i] }
+
+// InfluencedCount returns the number of pool samples the current seed
+// set influences (|I_g(S)| ≥ h_g).
+func (s *State) InfluencedCount() int {
+	count := 0
+	for _, i := range s.touched {
+		if s.count[i] >= s.pool.samples[i].Threshold {
+			count++
+		}
+	}
+	return count
+}
+
+// FractionalSum returns Σ_g min(|I_g(S)|/h_g, 1) over the pool.
+func (s *State) FractionalSum() float64 {
+	total := 0.0
+	for _, i := range s.touched {
+		frac := float64(s.count[i]) / float64(s.pool.samples[i].Threshold)
+		if frac > 1 {
+			frac = 1
+		}
+		total += frac
+	}
+	return total
+}
+
+// NodeCover pairs a node with its member-coverage mask in one sample —
+// the per-sample view of the inverted index, consumed by the BT solver.
+type NodeCover struct {
+	Node graph.NodeID
+	Bits Mask
+}
+
+// SampleCovers materializes the sample → covering-nodes view of the
+// inverted index (masks are shared with the index, treat as read-only).
+// The view reflects the pool at call time; regenerate after Generate.
+func (p *Pool) SampleCovers() [][]NodeCover {
+	out := make([][]NodeCover, len(p.samples))
+	for i := range p.samples {
+		out[i] = make([]NodeCover, 0, 4)
+	}
+	for v := range p.index {
+		for _, e := range p.index[v] {
+			out[e.Sample] = append(out[e.Sample], NodeCover{Node: graph.NodeID(v), Bits: e.Bits})
+		}
+	}
+	return out
+}
+
+// CHat evaluates the paper's ĉ_R(S) = (b/|R|)·Σ X_g(S) for an explicit
+// seed set.
+func (p *Pool) CHat(seeds []graph.NodeID) float64 {
+	if len(p.samples) == 0 {
+		return 0
+	}
+	st := p.NewState()
+	for _, v := range seeds {
+		st.Add(v)
+	}
+	return p.scale() * float64(st.InfluencedCount())
+}
+
+// NuHat evaluates the submodular upper bound ν_R(S) (paper eq. 7).
+func (p *Pool) NuHat(seeds []graph.NodeID) float64 {
+	if len(p.samples) == 0 {
+		return 0
+	}
+	st := p.NewState()
+	for _, v := range seeds {
+		st.Add(v)
+	}
+	return p.scale() * st.FractionalSum()
+}
+
+// CoverageCount returns the raw number of samples influenced by seeds.
+func (p *Pool) CoverageCount(seeds []graph.NodeID) int {
+	st := p.NewState()
+	for _, v := range seeds {
+		st.Add(v)
+	}
+	return st.InfluencedCount()
+}
+
+// scale is b/|R|: one influenced sample's contribution to ĉ_R.
+func (p *Pool) scale() float64 {
+	return p.part.TotalBenefit() / float64(len(p.samples))
+}
+
+// Scale exposes b/|R| for solvers that report benefits.
+func (p *Pool) Scale() float64 { return p.scale() }

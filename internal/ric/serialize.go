@@ -1,0 +1,214 @@
+package ric
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Pool serialization: RIC sampling dominates end-to-end runtime on
+// large instances, so a pool is worth persisting when several solver
+// configurations will be compared against the same sample set.
+//
+// Layout (little endian):
+//
+//	magic    [4]byte  "IMCP"
+//	version  uint32   (1)
+//	n        uint64   node count (must match the pool's graph on load)
+//	r        uint64   community count (must match the partition)
+//	samples  uint64
+//	per sample: comm uint32, threshold uint32, numMembers uint32,
+//	            covers uint32, then per cover:
+//	            node uint32, words uint32, words×uint64 mask
+//
+// The inverted index and community frequencies are rebuilt on load.
+
+var poolMagic = [4]byte{'I', 'M', 'C', 'P'}
+
+const poolVersion = 1
+
+// Save serializes the pool's samples and cover index.
+func (p *Pool) Save(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(poolMagic[:]); err != nil {
+		return fmt.Errorf("ric: write magic: %w", err)
+	}
+	var scratch [8]byte
+	put32 := func(v uint32) error {
+		binary.LittleEndian.PutUint32(scratch[:4], v)
+		_, err := bw.Write(scratch[:4])
+		return err
+	}
+	put64 := func(v uint64) error {
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		_, err := bw.Write(scratch[:])
+		return err
+	}
+	if err := put32(poolVersion); err != nil {
+		return err
+	}
+	if err := put64(uint64(p.g.NumNodes())); err != nil {
+		return err
+	}
+	if err := put64(uint64(p.part.NumCommunities())); err != nil {
+		return err
+	}
+	if err := put64(uint64(len(p.samples))); err != nil {
+		return err
+	}
+	// Rebuild the per-sample cover lists from the inverted index.
+	covers := p.SampleCovers()
+	for i, smp := range p.samples {
+		if err := put32(uint32(smp.Comm)); err != nil {
+			return err
+		}
+		if err := put32(uint32(smp.Threshold)); err != nil {
+			return err
+		}
+		if err := put32(uint32(smp.NumMembers)); err != nil {
+			return err
+		}
+		if err := put32(uint32(len(covers[i]))); err != nil {
+			return err
+		}
+		for _, nc := range covers[i] {
+			if err := put32(uint32(nc.Node)); err != nil {
+				return err
+			}
+			if err := put32(uint32(len(nc.Bits))); err != nil {
+				return err
+			}
+			for _, word := range nc.Bits {
+				if err := put64(word); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("ric: flush pool: %w", err)
+	}
+	return nil
+}
+
+// ReadInto deserializes samples written by Save into the pool,
+// which must be freshly created over the same graph and partition and
+// still empty. The node and community counts are validated; deeper
+// mismatches (e.g. a different random graph of the same size) are the
+// caller's responsibility, as with any cache.
+func (p *Pool) ReadInto(r io.Reader) error {
+	if len(p.samples) != 0 {
+		return fmt.Errorf("ric: ReadInto requires an empty pool, have %d samples", len(p.samples))
+	}
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return fmt.Errorf("ric: read magic: %w", err)
+	}
+	if magic != poolMagic {
+		return fmt.Errorf("ric: bad pool magic %q", magic)
+	}
+	var scratch [8]byte
+	get32 := func() (uint32, error) {
+		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(scratch[:4]), nil
+	}
+	get64 := func() (uint64, error) {
+		if _, err := io.ReadFull(br, scratch[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(scratch[:]), nil
+	}
+	version, err := get32()
+	if err != nil {
+		return err
+	}
+	if version != poolVersion {
+		return fmt.Errorf("ric: unsupported pool version %d", version)
+	}
+	n, err := get64()
+	if err != nil {
+		return err
+	}
+	if int(n) != p.g.NumNodes() {
+		return fmt.Errorf("ric: pool was sampled over %d nodes, graph has %d", n, p.g.NumNodes())
+	}
+	r64, err := get64()
+	if err != nil {
+		return err
+	}
+	if int(r64) != p.part.NumCommunities() {
+		return fmt.Errorf("ric: pool has %d communities, partition has %d", r64, p.part.NumCommunities())
+	}
+	count, err := get64()
+	if err != nil {
+		return err
+	}
+	if count >= 1<<31 {
+		return fmt.Errorf("ric: sample count %d out of range", count)
+	}
+	for i := uint64(0); i < count; i++ {
+		comm, err := get32()
+		if err != nil {
+			return err
+		}
+		if int(comm) >= p.part.NumCommunities() {
+			return fmt.Errorf("ric: sample %d: community %d out of range", i, comm)
+		}
+		threshold, err := get32()
+		if err != nil {
+			return err
+		}
+		numMembers, err := get32()
+		if err != nil {
+			return err
+		}
+		if int(numMembers) > p.g.NumNodes() {
+			return fmt.Errorf("ric: sample %d: %d members exceed node count", i, numMembers)
+		}
+		coverCount, err := get32()
+		if err != nil {
+			return err
+		}
+		if int(coverCount) > p.g.NumNodes() {
+			return fmt.Errorf("ric: sample %d: %d covers exceed node count", i, coverCount)
+		}
+		id := int32(len(p.samples))
+		p.samples = append(p.samples, Sample{
+			Comm:       int32(comm),
+			Threshold:  int32(threshold),
+			NumMembers: int32(numMembers),
+			TouchCount: int32(coverCount),
+		})
+		p.commFreq[comm]++
+		for c := uint32(0); c < coverCount; c++ {
+			node, err := get32()
+			if err != nil {
+				return err
+			}
+			if int(node) >= p.g.NumNodes() {
+				return fmt.Errorf("ric: sample %d: node %d out of range", i, node)
+			}
+			words, err := get32()
+			if err != nil {
+				return err
+			}
+			if words > 1+(numMembers/64) {
+				return fmt.Errorf("ric: sample %d: mask of %d words for %d members", i, words, numMembers)
+			}
+			mask := make(Mask, words)
+			for wi := range mask {
+				word, err := get64()
+				if err != nil {
+					return err
+				}
+				mask[wi] = word
+			}
+			p.index[node] = append(p.index[node], CoverEntry{Sample: id, Bits: mask})
+		}
+	}
+	return nil
+}

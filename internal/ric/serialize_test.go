@@ -1,0 +1,100 @@
+package ric
+
+import (
+	"bytes"
+	"testing"
+
+	"imc/internal/community"
+	"imc/internal/graph"
+)
+
+func TestPoolSerializationRoundTrip(t *testing.T) {
+	g, part := smallInstance(t)
+	pool := buildPool(t, g, part, 3000, 11)
+
+	var buf bytes.Buffer
+	if err := pool.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := NewPool(g, part, PoolOptions{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.ReadInto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumSamples() != pool.NumSamples() {
+		t.Fatalf("sample count %d -> %d", pool.NumSamples(), back.NumSamples())
+	}
+	for i := 0; i < pool.NumSamples(); i++ {
+		if pool.Sample(i) != back.Sample(i) {
+			t.Fatalf("sample %d mangled: %+v vs %+v", i, pool.Sample(i), back.Sample(i))
+		}
+	}
+	for c := 0; c < part.NumCommunities(); c++ {
+		if pool.CommunityFrequency(c) != back.CommunityFrequency(c) {
+			t.Fatalf("community %d frequency changed", c)
+		}
+	}
+	// Every evaluation must agree exactly.
+	for _, seeds := range [][]graph.NodeID{{0}, {1, 3}, {0, 2, 4}, {5}} {
+		if pool.CHat(seeds) != back.CHat(seeds) {
+			t.Fatalf("ĉ differs for %v", seeds)
+		}
+		if pool.NuHat(seeds) != back.NuHat(seeds) {
+			t.Fatalf("ν̂ differs for %v", seeds)
+		}
+	}
+	// The reloaded pool keeps growing correctly.
+	if err := back.Generate(100); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumSamples() != pool.NumSamples()+100 {
+		t.Fatal("post-load generation broken")
+	}
+}
+
+func TestPoolReadIntoValidation(t *testing.T) {
+	g, part := smallInstance(t)
+	pool := buildPool(t, g, part, 100, 3)
+	var buf bytes.Buffer
+	if err := pool.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Non-empty pool rejected.
+	if err := pool.ReadInto(bytes.NewReader(good)); err == nil {
+		t.Fatal("want non-empty error")
+	}
+	// Bad magic.
+	bad := append([]byte(nil), good...)
+	bad[0] = 'X'
+	empty, err := NewPool(g, part, PoolOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := empty.ReadInto(bytes.NewReader(bad)); err == nil {
+		t.Fatal("want magic error")
+	}
+	// Mismatched partition (different community count).
+	otherPart, err := community.New(6, [][]graph.NodeID{{0, 1, 2, 3, 4, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherPool, err := NewPool(g, otherPart, PoolOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := otherPool.ReadInto(bytes.NewReader(good)); err == nil {
+		t.Fatal("want community-count error")
+	}
+	// Truncation.
+	fresh, err := NewPool(g, part, PoolOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.ReadInto(bytes.NewReader(good[:len(good)/2])); err == nil {
+		t.Fatal("want truncation error")
+	}
+}

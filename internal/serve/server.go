@@ -1,0 +1,453 @@
+// Package serve exposes the IMC solver as a small JSON-over-HTTP
+// service, so the library can run as a long-lived sidecar instead of a
+// batch CLI. Instances (generated graph + communities) are cached per
+// configuration, which makes repeated solves against the same dataset
+// cheap.
+//
+// Endpoints:
+//
+//	GET  /healthz    liveness probe
+//	GET  /datasets   dataset registry with Table I statistics
+//	POST /solve      select seeds {dataset, alg, k, ...} → {seeds, ...}
+//	POST /estimate   score a given seed set on an instance
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"imc/internal/expt"
+	"imc/internal/gen"
+)
+
+// Server is the HTTP handler set. Create with New and mount via
+// Handler.
+type Server struct {
+	logger *slog.Logger
+	start  time.Time
+
+	mu    sync.Mutex
+	cache map[string]*expt.Instance
+	// maxCached bounds the instance cache (simple clear-all eviction:
+	// instances are cheap to rebuild relative to their memory).
+	maxCached int
+
+	// Request counters, keyed by path, for /metrics.
+	statsMu  sync.Mutex
+	requests map[string]int64
+	errors   map[string]int64
+}
+
+// New returns a server. logger may be nil.
+func New(logger *slog.Logger) *Server {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	return &Server{
+		logger:    logger,
+		start:     time.Now(),
+		cache:     make(map[string]*expt.Instance),
+		maxCached: 16,
+		requests:  make(map[string]int64),
+		errors:    make(map[string]int64),
+	}
+}
+
+// Handler returns the routed http.Handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /datasets", s.handleDatasets)
+	mux.HandleFunc("POST /solve", s.handleSolve)
+	mux.HandleFunc("POST /estimate", s.handleEstimate)
+	mux.HandleFunc("POST /budgeted", s.handleBudgeted)
+	mux.HandleFunc("POST /trace", s.handleTrace)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s.logRequests(mux)
+}
+
+// statusRecorder captures the response code for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		s.statsMu.Lock()
+		s.requests[r.URL.Path]++
+		if rec.status >= 400 {
+			s.errors[r.URL.Path]++
+		}
+		s.statsMu.Unlock()
+		s.logger.Info("request",
+			"method", r.Method, "path", r.URL.Path,
+			"status", rec.status, "elapsed", time.Since(start))
+	})
+}
+
+// Metrics is the /metrics reply.
+type Metrics struct {
+	UptimeSeconds   float64          `json:"uptimeSeconds"`
+	Requests        map[string]int64 `json:"requests"`
+	Errors          map[string]int64 `json:"errors"`
+	CachedInstances int              `json:"cachedInstances"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.statsMu.Lock()
+	reqs := make(map[string]int64, len(s.requests))
+	for k, v := range s.requests {
+		reqs[k] = v
+	}
+	errs := make(map[string]int64, len(s.errors))
+	for k, v := range s.errors {
+		errs[k] = v
+	}
+	s.statsMu.Unlock()
+	s.mu.Lock()
+	cached := len(s.cache)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, Metrics{
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+		Requests:        reqs,
+		Errors:          errs,
+		CachedInstances: cached,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// datasetInfo is one /datasets row.
+type datasetInfo struct {
+	Name       string `json:"name"`
+	Family     string `json:"family"`
+	Directed   bool   `json:"directed"`
+	PaperNodes int    `json:"paperNodes"`
+	PaperEdges int    `json:"paperEdges"`
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
+	reg := gen.Registry()
+	out := make([]datasetInfo, 0, len(reg))
+	for _, name := range gen.Names() {
+		d := reg[name]
+		out = append(out, datasetInfo{
+			Name:       d.Name,
+			Family:     d.Family,
+			Directed:   d.Directed,
+			PaperNodes: d.PaperNodes,
+			PaperEdges: d.PaperEdges,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// InstanceRequest selects/builds the experimental instance.
+type InstanceRequest struct {
+	Dataset   string  `json:"dataset"`
+	Scale     float64 `json:"scale"`
+	Formation string  `json:"formation"` // "louvain" (default) | "random"
+	SizeCap   int     `json:"sizeCap"`
+	Bounded   bool    `json:"bounded"`
+	Seed      uint64  `json:"seed"`
+}
+
+// SolveRequest is the /solve body.
+type SolveRequest struct {
+	InstanceRequest
+	Alg        string  `json:"alg"` // UBG | MAF | MB | HBC | KS | IM
+	K          int     `json:"k"`
+	Eps        float64 `json:"eps"`
+	Delta      float64 `json:"delta"`
+	MaxSamples int     `json:"maxSamples"`
+	BTMaxRoots int     `json:"btMaxRoots"`
+}
+
+// SolveResponse is the /solve reply.
+type SolveResponse struct {
+	Instance     string  `json:"instance"`
+	Alg          string  `json:"alg"`
+	Seeds        []int32 `json:"seeds"`
+	Benefit      float64 `json:"benefit"`
+	TotalBenefit float64 `json:"totalBenefit"`
+	ElapsedMS    int64   `json:"elapsedMs"`
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.K < 1 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("k must be ≥ 1, got %d", req.K))
+		return
+	}
+	inst, err := s.instance(req.InstanceRequest)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	alg := strings.ToUpper(req.Alg)
+	if alg == "" {
+		alg = expt.AlgUBG
+	}
+	res, err := expt.RunAlg(inst, alg, req.K, expt.RunConfig{
+		Eps:        req.Eps,
+		Delta:      req.Delta,
+		Seed:       req.Seed,
+		Runs:       1,
+		MaxSamples: req.MaxSamples,
+		BTMaxRoots: req.BTMaxRoots,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	seeds := make([]int32, len(res.Seeds))
+	copy(seeds, res.Seeds)
+	writeJSON(w, http.StatusOK, SolveResponse{
+		Instance:     inst.Name,
+		Alg:          res.Alg,
+		Seeds:        seeds,
+		Benefit:      res.Benefit,
+		TotalBenefit: inst.Part.TotalBenefit(),
+		ElapsedMS:    res.Runtime.Milliseconds(),
+	})
+}
+
+// EstimateRequest is the /estimate body.
+type EstimateRequest struct {
+	InstanceRequest
+	Seeds      []int32 `json:"seeds"`
+	Iterations int     `json:"iterations"`
+}
+
+// EstimateResponse is the /estimate reply.
+type EstimateResponse struct {
+	Instance     string  `json:"instance"`
+	Benefit      float64 `json:"benefit"`
+	Spread       float64 `json:"spread"`
+	TotalBenefit float64 `json:"totalBenefit"`
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	var req EstimateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Seeds) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("seeds must be non-empty"))
+		return
+	}
+	inst, err := s.instance(req.InstanceRequest)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	iters := req.Iterations
+	if iters < 1 {
+		iters = 2000
+	}
+	if iters > 1<<20 {
+		iters = 1 << 20
+	}
+	seeds := make([]int32, len(req.Seeds))
+	copy(seeds, req.Seeds)
+	benefit, err := estimateBenefit(inst, seeds, iters, req.Seed)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	spread, err := estimateSpread(inst, seeds, iters, req.Seed)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, EstimateResponse{
+		Instance:     inst.Name,
+		Benefit:      benefit,
+		Spread:       spread,
+		TotalBenefit: inst.Part.TotalBenefit(),
+	})
+}
+
+// BudgetedRequest is the /budgeted body: cost-aware seed selection
+// with per-node pricing unit·(outDegree+1) (unit ≤ 0 means uniform
+// cost 1).
+type BudgetedRequest struct {
+	InstanceRequest
+	Budget     float64 `json:"budget"`
+	CostUnit   float64 `json:"costUnit"`
+	NumSamples int     `json:"numSamples"`
+}
+
+// BudgetedResponse is the /budgeted reply.
+type BudgetedResponse struct {
+	Instance  string  `json:"instance"`
+	Seeds     []int32 `json:"seeds"`
+	Spent     float64 `json:"spent"`
+	Benefit   float64 `json:"benefit"`
+	ElapsedMS int64   `json:"elapsedMs"`
+}
+
+func (s *Server) handleBudgeted(w http.ResponseWriter, r *http.Request) {
+	var req BudgetedRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Budget <= 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("budget must be positive"))
+		return
+	}
+	inst, err := s.instance(req.InstanceRequest)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	samples := req.NumSamples
+	if samples < 1 {
+		samples = 4000
+	}
+	if samples > 1<<18 {
+		samples = 1 << 18
+	}
+	start := time.Now()
+	seeds, spent, benefit, err := solveBudgeted(inst, req.Budget, req.CostUnit, samples, req.Seed)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	out := make([]int32, len(seeds))
+	copy(out, seeds)
+	writeJSON(w, http.StatusOK, BudgetedResponse{
+		Instance:  inst.Name,
+		Seeds:     out,
+		Spent:     spent,
+		Benefit:   benefit,
+		ElapsedMS: time.Since(start).Milliseconds(),
+	})
+}
+
+// TraceRequest is the /trace body: simulate one cascade and report the
+// round-by-round activations.
+type TraceRequest struct {
+	InstanceRequest
+	Seeds []int32 `json:"seeds"`
+}
+
+// TraceRoundJSON is one round of a traced cascade.
+type TraceRoundJSON struct {
+	Round     int     `json:"round"`
+	Activated []int32 `json:"activated"`
+}
+
+// TraceResponse is the /trace reply.
+type TraceResponse struct {
+	Instance string           `json:"instance"`
+	Rounds   []TraceRoundJSON `json:"rounds"`
+	Total    int              `json:"totalActivated"`
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	var req TraceRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Seeds) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("seeds must be non-empty"))
+		return
+	}
+	inst, err := s.instance(req.InstanceRequest)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	rounds := traceCascade(inst, req.Seeds, req.Seed)
+	out := TraceResponse{Instance: inst.Name, Rounds: make([]TraceRoundJSON, 0, len(rounds))}
+	for _, round := range rounds {
+		activated := make([]int32, len(round.Activated))
+		copy(activated, round.Activated)
+		out.Total += len(activated)
+		out.Rounds = append(out.Rounds, TraceRoundJSON{Round: round.Round, Activated: activated})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// instance returns a cached or freshly built instance for the request.
+func (s *Server) instance(req InstanceRequest) (*expt.Instance, error) {
+	if req.Dataset == "" {
+		req.Dataset = "facebook"
+	}
+	if req.Scale == 0 {
+		req.Scale = 0.1
+	}
+	formation := expt.Louvain
+	if strings.EqualFold(req.Formation, "random") {
+		formation = expt.RandomFormation
+	}
+	key := fmt.Sprintf("%s|%g|%v|%d|%v|%d", req.Dataset, req.Scale, formation, req.SizeCap, req.Bounded, req.Seed)
+	s.mu.Lock()
+	if inst, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		return inst, nil
+	}
+	s.mu.Unlock()
+
+	inst, err := expt.BuildInstance(expt.InstanceConfig{
+		Dataset:   req.Dataset,
+		Scale:     req.Scale,
+		Formation: formation,
+		SizeCap:   req.SizeCap,
+		Bounded:   req.Bounded,
+		Seed:      req.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if len(s.cache) >= s.maxCached {
+		s.cache = make(map[string]*expt.Instance)
+	}
+	s.cache[key] = inst
+	s.mu.Unlock()
+	return inst, nil
+}
+
+func decodeJSON(r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("decode request: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,88 @@
+package xrand
+
+// Alias is a Walker alias-method sampler over a fixed discrete
+// distribution: O(n) construction, O(1) per draw. RIC sampling uses it to
+// pick a source community proportional to benefit on every sample, which
+// is the hot path of the whole framework.
+type Alias struct {
+	prob  []float64
+	alias []int
+}
+
+// NewAlias builds a sampler over weights. Non-positive weights get zero
+// probability. If every weight is non-positive the sampler degenerates to
+// uniform over the full range.
+func NewAlias(weights []float64) *Alias {
+	n := len(weights)
+	a := &Alias{prob: make([]float64, n), alias: make([]int, n)}
+	if n == 0 {
+		return a
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	scaled := make([]float64, n)
+	if total <= 0 {
+		for i := range scaled {
+			scaled[i] = 1
+		}
+	} else {
+		for i, w := range weights {
+			if w > 0 {
+				scaled[i] = w * float64(n) / total
+			}
+		}
+	}
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, p := range scaled {
+		if p < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	for _, i := range small {
+		// Numerical leftovers: treat as full columns.
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	return a
+}
+
+// Len returns the support size.
+func (a *Alias) Len() int { return len(a.prob) }
+
+// Draw samples an index according to the distribution.
+func (a *Alias) Draw(r *RNG) int {
+	n := len(a.prob)
+	if n == 0 {
+		return 0
+	}
+	i := r.Intn(n)
+	if r.Float64() < a.prob[i] {
+		return i
+	}
+	return a.alias[i]
+}

@@ -1,0 +1,48 @@
+package xrand
+
+import "testing"
+
+// BenchmarkUint64 measures the raw generator throughput.
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}
+
+// BenchmarkIntn measures bounded sampling (Lemire rejection).
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		sink += r.Intn(1000)
+	}
+	_ = sink
+}
+
+// BenchmarkSplit measures stream derivation (once per RIC sample).
+func BenchmarkSplit(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Split(uint64(i))
+	}
+}
+
+// BenchmarkAliasDraw measures community selection (the first step of
+// every RIC sample).
+func BenchmarkAliasDraw(b *testing.B) {
+	weights := make([]float64, 10000)
+	for i := range weights {
+		weights[i] = float64(i%37) + 1
+	}
+	a := NewAlias(weights)
+	r := New(1)
+	b.ResetTimer()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		sink += a.Draw(r)
+	}
+	_ = sink
+}

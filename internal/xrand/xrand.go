@@ -1,0 +1,153 @@
+// Package xrand provides a deterministic, splittable pseudo-random number
+// generator used by every stochastic component in the library.
+//
+// Reproducibility is a hard requirement for the experiment harness: runs
+// must produce identical results for a given seed regardless of how many
+// worker goroutines participate. To that end the package offers
+// SplitMix64-seeded xoshiro256** streams that can be split by index, so a
+// parallel job assigns stream i to task i and the task order no longer
+// matters.
+package xrand
+
+import "math/bits"
+
+// RNG is a xoshiro256** generator. It is NOT safe for concurrent use;
+// give each goroutine its own stream via Split.
+type RNG struct {
+	s  [4]uint64
+	id uint64 // seed identity; Split derives children from it, not from s
+}
+
+// splitmix64 advances a SplitMix64 state and returns the next output.
+// It is the recommended seeder for xoshiro streams.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator deterministically derived from seed.
+func New(seed uint64) *RNG {
+	var r RNG
+	r.id = seed
+	st := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&st)
+	}
+	// xoshiro must not start from the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &r
+}
+
+// Split returns an independent stream derived from r's seed identity
+// and the stream index. The result depends only on the seed r was
+// created with (not on how much r has been consumed), and calling Split
+// does not advance r — the properties parallel generation relies on.
+func (r *RNG) Split(stream uint64) *RNG {
+	st := r.id ^ bits.RotateLeft64(stream+1, 31)*0xd1342543de82ef95
+	childID := splitmix64(&st)
+	var out RNG
+	out.id = childID
+	for i := range out.s {
+		out.s[i] = splitmix64(&st)
+	}
+	if out.s[0]|out.s[1]|out.s[2]|out.s[3] == 0 {
+		out.s[0] = 1
+	}
+	return &out
+}
+
+// Uint64 returns the next 64 random bits (xoshiro256**).
+func (r *RNG) Uint64() uint64 {
+	result := bits.RotateLeft64(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = bits.RotateLeft64(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	// Lemire's nearly-divisionless bounded sampling.
+	un := uint64(n)
+	x := r.Uint64()
+	hi, lo := bits.Mul64(x, un)
+	if lo < un {
+		threshold := -un % un
+		for lo < threshold {
+			x = r.Uint64()
+			hi, lo = bits.Mul64(x, un)
+		}
+	}
+	return int(hi)
+}
+
+// Bernoulli reports true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.ShuffleInts(p)
+	return p
+}
+
+// ShuffleInts permutes p in place (Fisher–Yates).
+func (r *RNG) ShuffleInts(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// Shuffle permutes n elements using the provided swap function.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// SampleK draws k distinct values from [0, n) uniformly (partial
+// Fisher–Yates). If k >= n it returns a full permutation.
+func (r *RNG) SampleK(n, k int) []int {
+	if k > n {
+		k = n
+	}
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p[:k:k]
+}

@@ -1,0 +1,276 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 collided %d/100 times", same)
+	}
+}
+
+func TestSplitIndependentOfParentState(t *testing.T) {
+	a := New(7)
+	b := New(7)
+	// Advancing the parent must not change what Split(i) yields.
+	for i := 0; i < 50; i++ {
+		a.Uint64()
+	}
+	sa := a.Split(3)
+	sb := b.Split(3)
+	for i := 0; i < 100; i++ {
+		va, vb := sa.Uint64(), sb.Uint64()
+		if va != vb {
+			t.Fatalf("split streams depend on parent consumption (draw %d: %d vs %d)", i, va, vb)
+		}
+	}
+}
+
+func TestSplitStreamsDiffer(t *testing.T) {
+	r := New(9)
+	s0 := r.Split(0)
+	s1 := r.Split(1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if s0.Uint64() == s1.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams 0 and 1 collided %d/100 times", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %g", f)
+		}
+	}
+}
+
+func TestIntnBoundsAndCoverage(t *testing.T) {
+	r := New(13)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) covered only %d values", len(seen))
+	}
+	if r.Intn(0) != 0 || r.Intn(-5) != 0 {
+		t.Fatal("Intn of non-positive bound should be 0")
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(17)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("value %d drawn %d times, want ≈%.0f", v, c, want)
+		}
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	r := New(19)
+	if r.Bernoulli(0) {
+		t.Fatal("Bernoulli(0) returned true")
+	}
+	if !r.Bernoulli(1) {
+		t.Fatal("Bernoulli(1) returned false")
+	}
+	hits := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / draws
+	if math.Abs(p-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) frequency %g", p)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(23)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSampleKDistinct(t *testing.T) {
+	r := New(29)
+	s := r.SampleK(50, 10)
+	if len(s) != 10 {
+		t.Fatalf("SampleK returned %d values", len(s))
+	}
+	seen := make(map[int]bool)
+	for _, v := range s {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("SampleK invalid: %v", s)
+		}
+		seen[v] = true
+	}
+	if got := len(r.SampleK(5, 10)); got != 5 {
+		t.Fatalf("SampleK(5,10) returned %d values, want 5", got)
+	}
+}
+
+// Property: Perm always yields a valid permutation for any seed/size.
+func TestQuickPerm(t *testing.T) {
+	f := func(seed uint64, size uint8) bool {
+		n := int(size%64) + 1
+		p := New(seed).Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(p) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SampleK always returns k distinct in-range values.
+func TestQuickSampleK(t *testing.T) {
+	f := func(seed uint64, nRaw, kRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		k := int(kRaw % 60)
+		s := New(seed).SampleK(n, k)
+		want := k
+		if want > n {
+			want = n
+		}
+		if len(s) != want {
+			return false
+		}
+		seen := make(map[int]bool, len(s))
+		for _, v := range s {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAliasMatchesWeights(t *testing.T) {
+	weights := []float64{1, 3, 0, 6}
+	a := NewAlias(weights)
+	r := New(31)
+	const draws = 200000
+	counts := make([]int, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[a.Draw(r)]++
+	}
+	total := 10.0
+	for i, w := range weights {
+		want := float64(draws) * w / total
+		tol := 4*math.Sqrt(want) + 50
+		if math.Abs(float64(counts[i])-want) > tol {
+			t.Fatalf("index %d drawn %d times, want ≈%.0f", i, counts[i], want)
+		}
+	}
+	if counts[2] != 0 {
+		t.Fatalf("zero-weight index drawn %d times", counts[2])
+	}
+}
+
+func TestAliasDegenerate(t *testing.T) {
+	// All-zero weights degrade to uniform.
+	a := NewAlias([]float64{0, 0, 0})
+	r := New(37)
+	counts := make([]int, 3)
+	for i := 0; i < 30000; i++ {
+		counts[a.Draw(r)]++
+	}
+	for i, c := range counts {
+		if c < 8000 {
+			t.Fatalf("degenerate alias not uniform: index %d drawn %d", i, c)
+		}
+	}
+	// Empty support returns 0 without panicking.
+	if NewAlias(nil).Draw(r) != 0 {
+		t.Fatal("empty alias should return 0")
+	}
+}
+
+// Property: alias never returns an out-of-range or zero-weight index.
+func TestQuickAliasSupport(t *testing.T) {
+	f := func(seed uint64, raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		weights := make([]float64, len(raw))
+		anyPos := false
+		for i, v := range raw {
+			weights[i] = float64(v)
+			if v > 0 {
+				anyPos = true
+			}
+		}
+		a := NewAlias(weights)
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			idx := a.Draw(r)
+			if idx < 0 || idx >= len(weights) {
+				return false
+			}
+			if anyPos && weights[idx] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+package imc_test
+
+import (
+	"os"
+	"testing"
+
+	"imc"
+)
+
+// loadKarate reads the Zachary karate-club fixture — the classic
+// real-world community-detection benchmark (34 nodes, 78 undirected
+// edges, two factions around nodes 0 and 33).
+func loadKarate(t *testing.T) *imc.Graph {
+	t.Helper()
+	f, err := os.Open("testdata/karate.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := imc.ReadEdgeList(f, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 34 || g.NumEdges() != 156 {
+		t.Fatalf("karate fixture mangled: %s", g)
+	}
+	return g
+}
+
+func TestKarateLouvainStructure(t *testing.T) {
+	g := loadKarate(t)
+	part, err := imc.Louvain(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Louvain on karate classically finds ~4 communities with
+	// modularity ≈ 0.41.
+	if r := part.NumCommunities(); r < 2 || r > 8 {
+		t.Fatalf("Louvain found %d communities on karate", r)
+	}
+	if q := imc.Modularity(g, part); q < 0.35 {
+		t.Fatalf("karate modularity %g, want ≥ 0.35", q)
+	}
+	// The two faction leaders (0 and 33) famously end up in different
+	// communities.
+	if part.Of(0) == part.Of(33) {
+		t.Fatal("faction leaders 0 and 33 merged into one community")
+	}
+}
+
+func TestKarateEndToEndIMC(t *testing.T) {
+	g := loadKarate(t)
+	g = imc.ApplyWeights(g, imc.WeightedCascade, 0, 1)
+	part, err := imc.Louvain(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part.SetBoundedThresholds(2)
+	part.SetPopulationBenefits()
+	sol, err := imc.Solve(g, part, imc.NewUBG(), imc.Options{
+		K: 4, Eps: 0.25, Delta: 0.25, Seed: 1, MaxSamples: 1 << 14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Seeds) != 4 {
+		t.Fatalf("seeds = %v", sol.Seeds)
+	}
+	// With k=4 and h=2 on a 34-node club, a decent solver influences
+	// well over half the total benefit.
+	mc, err := imc.EstimateBenefit(g, part, sol.Seeds, imc.MCOptions{Iterations: 10000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc < 0.4*part.TotalBenefit() {
+		t.Fatalf("karate benefit %g of %g — implausibly low", mc, part.TotalBenefit())
+	}
+	// The hubs 0, 33, 32 dominate the club; at least one must be picked.
+	hub := false
+	for _, s := range sol.Seeds {
+		if s == 0 || s == 32 || s == 33 {
+			hub = true
+		}
+	}
+	if !hub {
+		t.Fatalf("no faction hub among seeds %v", sol.Seeds)
+	}
+}
+
+func TestKarateKCoreAndComponents(t *testing.T) {
+	g := loadKarate(t)
+	core := imc.KCore(g)
+	// Karate's degeneracy (undirected) is 4; our arc-doubled cores are 8.
+	best := int32(0)
+	for _, c := range core {
+		if c > best {
+			best = c
+		}
+	}
+	if best != 8 {
+		t.Fatalf("karate degeneracy (arc-doubled) = %d, want 8", best)
+	}
+	if _, wcc := imc.WeaklyConnectedComponentsOf(g); wcc != 1 {
+		t.Fatalf("karate should be connected, got %d components", wcc)
+	}
+}
