@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz experiments examples clean
+.PHONY: all build vet lint test race bench fuzz experiments examples clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -12,11 +12,14 @@ build:
 vet:
 	$(GO) vet ./...
 
+lint:
+	$(GO) run ./cmd/imclint ./...
+
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/ric/ ./internal/ris/ ./internal/diffusion/ ./internal/maxr/ ./internal/serve/
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

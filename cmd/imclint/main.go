@@ -1,0 +1,83 @@
+// Command imclint runs the repository's static-analysis suite: six
+// analyzers built on go/parser, go/ast, and go/types that machine-check
+// the determinism, concurrency, and numeric invariants the RIC-sampling
+// guarantees depend on (see DESIGN.md, "Static analysis & invariants").
+//
+// Usage:
+//
+//	imclint [-check name,name] [-list] [packages]
+//
+// Packages default to ./... relative to the enclosing module. Exit
+// status is 1 when any diagnostic fires, 0 on a clean tree. Intentional
+// violations are suppressed with a `//lint:allow <check> — reason`
+// comment on the offending line or the line above.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"imc/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		checks = flag.String("check", "", "comma-separated analyzer subset (default: all)")
+		list   = flag.Bool("list", false, "list analyzers and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := lint.All
+	if *checks != "" {
+		var ok bool
+		analyzers, ok = lint.ByName(*checks)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "imclint: unknown analyzer in -check %q\n", *checks)
+			return 2
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "imclint:", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "imclint:", err)
+		return 2
+	}
+	pkgs, err := loader.Load(flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "imclint:", err)
+		return 2
+	}
+
+	failed := false
+	for _, pkg := range pkgs {
+		active := lint.AnalyzersFor(loader.ModulePath, pkg.Path, analyzers)
+		if len(active) == 0 {
+			continue
+		}
+		for _, d := range lint.Run(pkg, active) {
+			fmt.Println(d.String())
+			failed = true
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}

@@ -162,8 +162,12 @@ func topK(score []float64, k int) []graph.NodeID {
 		idx[i] = graph.NodeID(i)
 	}
 	sort.Slice(idx, func(a, b int) bool {
-		if score[idx[a]] != score[idx[b]] {
-			return score[idx[a]] > score[idx[b]]
+		sa, sb := score[idx[a]], score[idx[b]]
+		if sa > sb {
+			return true
+		}
+		if sa < sb {
+			return false
 		}
 		return idx[a] < idx[b]
 	})

@@ -70,8 +70,12 @@ type ddHeap struct {
 
 func (h ddHeap) Len() int { return len(h.items) }
 func (h ddHeap) Less(i, j int) bool {
-	if h.items[i].score != h.items[j].score {
-		return h.items[i].score > h.items[j].score
+	si, sj := h.items[i].score, h.items[j].score
+	if si > sj {
+		return true
+	}
+	if si < sj {
+		return false
 	}
 	return h.items[i].node < h.items[j].node
 }

@@ -1,0 +1,44 @@
+// Package clock is the library's single approved wall-clock access
+// point. Library packages never call time.Now directly (the
+// determinism analyzer in internal/lint enforces this); they take an
+// injectable clock.Func so tests can pin timestamps and reproduce
+// timing-labelled output byte-for-byte. Only elapsed-time *reporting*
+// flows through this package — no algorithmic decision may ever depend
+// on the clock, which is exactly why the access point is centralized
+// and auditable.
+package clock
+
+import "time"
+
+// Func is an injectable time source. The zero value (nil) means "use
+// the real wall clock"; resolve it with OrWall at the point of use.
+type Func func() time.Time
+
+// Wall reads the real wall clock.
+func Wall() time.Time { return time.Now() } //lint:allow determinism — the one sanctioned time.Now in library code
+
+// OrWall returns f, or the real wall clock when f is nil.
+func OrWall(f Func) Func {
+	if f == nil {
+		return Wall
+	}
+	return f
+}
+
+// Fixed returns a Func pinned to t. Tests use it to freeze time.
+func Fixed(t time.Time) Func {
+	return func() time.Time { return t }
+}
+
+// Ticking returns a Func that starts at t and advances by step on every
+// read. It lets tests observe elapsed-time plumbing with exact,
+// reproducible durations. The returned Func is not safe for concurrent
+// use; tests that need concurrency should use Fixed.
+func Ticking(t time.Time, step time.Duration) Func {
+	cur := t
+	return func() time.Time {
+		out := cur
+		cur = cur.Add(step)
+		return out
+	}
+}

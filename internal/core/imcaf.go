@@ -7,6 +7,7 @@ import (
 	"math"
 	"time"
 
+	"imc/internal/clock"
 	"imc/internal/community"
 	"imc/internal/diffusion"
 	"imc/internal/graph"
@@ -69,6 +70,9 @@ type Options struct {
 	// Logger, when non-nil, receives per-round progress (pool size,
 	// candidate quality, stop checks) at Debug level.
 	Logger *slog.Logger
+	// Clock supplies timestamps for the Elapsed report; nil means the
+	// real wall clock. Only reporting reads it — never sampling.
+	Clock clock.Func
 }
 
 func (o Options) normalized() (Options, error) {
@@ -126,7 +130,8 @@ func Solve(g *graph.Graph, part *community.Partition, solver maxr.Solver, opts O
 	if err := compatible(g, part, opts.K); err != nil {
 		return Solution{}, err
 	}
-	start := time.Now()
+	now := clock.OrWall(opts.Clock)
+	start := now()
 
 	pool, err := ric.NewPool(g, part, ric.PoolOptions{Model: opts.Model, Seed: opts.Seed, Workers: opts.Workers})
 	if err != nil {
@@ -250,7 +255,7 @@ func Solve(g *graph.Graph, part *community.Partition, solver maxr.Solver, opts O
 		}
 		doublings++
 	}
-	sol.Elapsed = time.Since(start)
+	sol.Elapsed = now().Sub(start)
 	logger.Debug("imcaf done",
 		"stopped", sol.Stopped.String(), "samples", sol.Samples,
 		"chat", sol.CHat, "elapsed", sol.Elapsed)
@@ -287,7 +292,8 @@ func SolveFixed(g *graph.Graph, part *community.Partition, solver maxr.Solver, k
 	if err := compatible(g, part, k); err != nil {
 		return Solution{}, err
 	}
-	start := time.Now()
+	now := clock.OrWall(opts.Clock)
+	start := now()
 	pool, err := ric.NewPool(g, part, ric.PoolOptions{Model: opts.Model, Seed: opts.Seed, Workers: opts.Workers})
 	if err != nil {
 		return Solution{}, err
@@ -305,7 +311,7 @@ func SolveFixed(g *graph.Graph, part *community.Partition, solver maxr.Solver, k
 		Samples:       pool.NumSamples(),
 		Stopped:       StopSampleCap,
 		Alpha:         solver.Guarantee(pool, k),
-		Elapsed:       time.Since(start),
+		Elapsed:       now().Sub(start),
 		SandwichRatio: ratio,
 	}, nil
 }

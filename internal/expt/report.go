@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"imc/internal/clock"
 )
 
 // WriteReport runs the complete evaluation (Table I and Figs. 4–8) and
@@ -12,7 +14,8 @@ import (
 // every experiment at the configured scale.
 func WriteReport(w io.Writer, cfg Config) error {
 	cfg = cfg.normalized()
-	start := time.Now()
+	now := clock.OrWall(cfg.Run.Now)
+	start := now()
 	fmt.Fprintf(w, "# IMC evaluation report\n\n")
 	fmt.Fprintf(w, "Configuration: scale=%g, runs=%d, seed=%d, ε=δ=%g, maxSamples=%d.\n\n",
 		cfg.Scale, cfg.Run.Runs, cfg.Run.Seed, cfg.Run.Eps, cfg.Run.MaxSamples)
@@ -67,6 +70,6 @@ func WriteReport(w io.Writer, cfg Config) error {
 			fmt.Fprint(w, "\n\n")
 		}
 	}
-	fmt.Fprintf(w, "_Generated in %s._\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(w, "_Generated in %s._\n", now().Sub(start).Round(time.Millisecond))
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"imc/internal/baselines"
+	"imc/internal/clock"
 	"imc/internal/core"
 	"imc/internal/diffusion"
 	"imc/internal/graph"
@@ -48,6 +49,10 @@ type RunConfig struct {
 	Workers int
 	// Model selects the propagation model (IC default, LT extension).
 	Model diffusion.Model
+	// Now supplies timestamps for runtime reporting; nil means the real
+	// wall clock. Tests pin it to make timing-labelled output
+	// reproducible. Only reporting reads it — never sampling.
+	Now clock.Func
 }
 
 func (c RunConfig) normalized() RunConfig {
@@ -123,6 +128,7 @@ func RunAlg(inst *Instance, alg string, k int, cfg RunConfig) (AlgResult, error)
 }
 
 func selectSeeds(inst *Instance, alg string, k int, cfg RunConfig, seed uint64) ([]graph.NodeID, time.Duration, float64, error) {
+	now := clock.OrWall(cfg.Now)
 	opts := core.Options{
 		K:          k,
 		Eps:        cfg.Eps,
@@ -131,6 +137,7 @@ func selectSeeds(inst *Instance, alg string, k int, cfg RunConfig, seed uint64) 
 		Workers:    cfg.Workers,
 		MaxSamples: cfg.MaxSamples,
 		Model:      cfg.Model,
+		Clock:      cfg.Now,
 	}
 	switch alg {
 	case AlgUBG:
@@ -159,19 +166,19 @@ func selectSeeds(inst *Instance, alg string, k int, cfg RunConfig, seed uint64) 
 		}
 		return sol.Seeds, sol.Elapsed, 0, nil
 	case AlgHBC:
-		start := time.Now()
+		start := now()
 		seeds, err := baselines.HBC(inst.G, inst.Part, k)
-		return seeds, time.Since(start), 0, err
+		return seeds, now().Sub(start), 0, err
 	case AlgKS:
-		start := time.Now()
+		start := now()
 		seeds, err := baselines.KS(inst.G, inst.Part, k)
-		return seeds, time.Since(start), 0, err
+		return seeds, now().Sub(start), 0, err
 	case AlgDD:
-		start := time.Now()
+		start := now()
 		seeds, err := baselines.DegreeDiscount(inst.G, k, 0.01)
-		return seeds, time.Since(start), 0, err
+		return seeds, now().Sub(start), 0, err
 	case AlgIM:
-		start := time.Now()
+		start := now()
 		seeds, err := baselines.IM(inst.G, inst.Part, k, ris.Options{
 			Eps:        cfg.Eps,
 			Delta:      cfg.Delta,
@@ -179,8 +186,9 @@ func selectSeeds(inst *Instance, alg string, k int, cfg RunConfig, seed uint64) 
 			Workers:    cfg.Workers,
 			MaxSamples: cfg.MaxSamples,
 			Model:      cfg.Model,
+			Clock:      cfg.Now,
 		})
-		return seeds, time.Since(start), 0, err
+		return seeds, now().Sub(start), 0, err
 	default:
 		return nil, 0, 0, fmt.Errorf("unknown algorithm %q (valid: %v)", alg, AllAlgorithms)
 	}

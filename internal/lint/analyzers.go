@@ -1,0 +1,79 @@
+package lint
+
+import "strings"
+
+// All lists every analyzer in the suite, in reporting order.
+var All = []*Analyzer{
+	Determinism,
+	FloatCompare,
+	GoroutineLeak,
+	Printer,
+	SeedPlumb,
+	CtxFirst,
+}
+
+// ByName resolves a comma-separated analyzer list ("determinism,printer").
+func ByName(names string) ([]*Analyzer, bool) {
+	var out []*Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := false
+		for _, a := range All {
+			if a.Name == name {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, false
+		}
+	}
+	return out, true
+}
+
+// samplingPackages are the packages under the seedplumb contract: the
+// ones that draw RIC/RR samples or simulate diffusion in parallel.
+var samplingPackages = map[string]bool{
+	"imc/internal/ric":       true,
+	"imc/internal/ris":       true,
+	"imc/internal/diffusion": true,
+	"imc/internal/maxr":      true,
+}
+
+// isLibraryPackage reports whether path is library code (the root
+// package or anything under internal/), as opposed to cmd/ binaries and
+// examples/ which legitimately print and read the clock.
+func isLibraryPackage(modulePath, path string) bool {
+	return path == modulePath || strings.HasPrefix(path, modulePath+"/internal/")
+}
+
+// AnalyzersFor returns the subset of candidates that applies to the
+// package at the given import path. Gating lives here — analyzers
+// themselves are unconditional, which keeps their fixture tests simple:
+//
+//   - determinism, floatcompare, printer: library packages only;
+//   - seedplumb: the four sampling packages;
+//   - goroutineleak, ctxfirst: everywhere.
+func AnalyzersFor(modulePath, path string, candidates []*Analyzer) []*Analyzer {
+	lib := isLibraryPackage(modulePath, path)
+	var out []*Analyzer
+	for _, a := range candidates {
+		switch a.Name {
+		case "determinism", "floatcompare", "printer":
+			if lib {
+				out = append(out, a)
+			}
+		case "seedplumb":
+			if samplingPackages[path] {
+				out = append(out, a)
+			}
+		default:
+			out = append(out, a)
+		}
+	}
+	return out
+}

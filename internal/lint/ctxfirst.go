@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// CtxFirst enforces the standard Go convention that context.Context,
+// where a function takes one, is the first parameter. Mixed positions
+// make call sites ambiguous and break mechanical refactors (adding
+// cancellation to a call chain should never require reordering
+// arguments).
+var CtxFirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc:  "context.Context must be the first parameter",
+	Run:  runCtxFirst,
+}
+
+func runCtxFirst(pkg *Package, r *Reporter) {
+	for _, file := range pkg.Files {
+		file := file
+		ast.Inspect(file, func(n ast.Node) bool {
+			var ft *ast.FuncType
+			var name string
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				ft, name = n.Type, n.Name.Name
+			case *ast.FuncLit:
+				ft, name = n.Type, "function literal"
+			default:
+				return true
+			}
+			if ft.Params == nil {
+				return true
+			}
+			// Position counts individual names: f(a int, ctx context.Context)
+			// has ctx at index 1 even though it is the second *field*.
+			idx := 0
+			for _, field := range ft.Params.List {
+				width := len(field.Names)
+				if width == 0 {
+					width = 1
+				}
+				if isContextType(pkg, file, field.Type) && idx > 0 {
+					r.Reportf("ctxfirst", field.Type.Pos(),
+						"context.Context is parameter %d of %s; it must come first", idx+1, name)
+				}
+				idx += width
+			}
+			return true
+		})
+	}
+}
+
+// isContextType matches the type expression context.Context.
+func isContextType(pkg *Package, file *ast.File, expr ast.Expr) bool {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Context" {
+		return false
+	}
+	path, ok := pkg.importedPkgName(file, sel.X)
+	return ok && path == "context"
+}

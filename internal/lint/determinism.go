@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Determinism enforces the repository's reproducibility contract in
+// library packages: every stochastic draw must come from the splittable
+// PRNG in internal/xrand and every timestamp from an injected
+// internal/clock source. math/rand (seeded from global state),
+// time.Now/Since/Until (wall clock), and map-range-ordered output all
+// make results depend on something other than the experiment seed,
+// which silently invalidates seed-for-seed comparisons between UBG,
+// MAF, BT, and MB runs.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid math/rand, wall-clock reads, and map-range-ordered output in library code; use internal/xrand and internal/clock",
+	Run:  runDeterminism,
+}
+
+// forbiddenImports maps import path → replacement advice.
+var forbiddenImports = map[string]string{
+	"math/rand":    "use imc/internal/xrand (deterministic, splittable)",
+	"math/rand/v2": "use imc/internal/xrand (deterministic, splittable)",
+}
+
+func runDeterminism(pkg *Package, r *Reporter) {
+	for _, file := range pkg.Files {
+		for _, imp := range file.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if advice, ok := forbiddenImports[path]; ok {
+				r.Reportf("determinism", imp.Pos(), "import of %s breaks seed-for-seed reproducibility; %s", path, advice)
+			}
+		}
+		file := file
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if sel, ok := pkg.selectorCall(file, n, "time", "Now", "Since", "Until"); ok {
+					r.Reportf("determinism", sel.Sel.Pos(),
+						"time.%s reads the wall clock; inject an imc/internal/clock.Func instead", sel.Sel.Name)
+				}
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkMapRangeOrder(pkg, file, n.Body, r)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRangeOrder flags map ranges in fn that leak Go's randomized
+// iteration order into ordered output. Two idioms are deterministic and
+// therefore allowed:
+//
+//   - collect-then-sort: appending keys/values to a slice that is later
+//     passed to a sort call in the same function;
+//   - per-key slots: appending into a container indexed by the range
+//     variables, where cross-key order cannot matter.
+//
+// Printing (fmt.Print*/Fprint*) inside a map range is always flagged —
+// there is no way to sort output after it has been written.
+func checkMapRangeOrder(pkg *Package, file *ast.File, fn *ast.BlockStmt, r *Reporter) {
+	if pkg.Info == nil {
+		return
+	}
+	sorted := sortedExprs(pkg, fn)
+	ast.Inspect(fn, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pkg.Info.Types[rng.X]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		rangeVars := make(map[types.Object]bool)
+		for _, v := range []ast.Expr{rng.Key, rng.Value} {
+			if id, ok := v.(*ast.Ident); ok && id.Name != "_" {
+				if obj := pkg.Info.Defs[id]; obj != nil {
+					rangeVars[obj] = true
+				} else if obj := pkg.Info.Uses[id]; obj != nil {
+					rangeVars[obj] = true
+				}
+			}
+		}
+		ast.Inspect(rng.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && len(call.Args) > 0 {
+				dst := call.Args[0]
+				if perKeySlot(pkg, dst, rangeVars) {
+					return true
+				}
+				if sorted[types.ExprString(dst)] {
+					return true
+				}
+				r.Reportf("determinism", call.Pos(),
+					"append inside a map range leaks nondeterministic iteration order; sort afterwards or index by the range key")
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				path, pathOK := pkg.importedPkgName(file, sel.X)
+				printing := strings.HasPrefix(sel.Sel.Name, "Print") || strings.HasPrefix(sel.Sel.Name, "Fprint")
+				if pathOK && path == "fmt" && printing {
+					r.Reportf("determinism", call.Pos(),
+						"printing inside a map range emits nondeterministic order; collect and sort the keys first")
+				}
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// perKeySlot reports whether dst writes into a per-key slot: the range
+// value variable itself, or any expression indexed by a range variable
+// (out[key], s.buckets[v]); such appends are independent of iteration
+// order.
+func perKeySlot(pkg *Package, dst ast.Expr, rangeVars map[types.Object]bool) bool {
+	switch dst := dst.(type) {
+	case *ast.Ident:
+		obj := pkg.Info.Uses[dst]
+		return obj != nil && rangeVars[obj]
+	case *ast.IndexExpr:
+		if id, ok := dst.Index.(*ast.Ident); ok {
+			obj := pkg.Info.Uses[id]
+			return obj != nil && rangeVars[obj]
+		}
+	}
+	return false
+}
+
+// sortedExprs collects the printed form of every argument passed to a
+// sort call (sort.Slice, sort.Sort, sort.Ints, slices.Sort*, ...)
+// anywhere in fn, plus receivers of .Sort() method calls.
+func sortedExprs(pkg *Package, fn *ast.BlockStmt) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		isSort := false
+		switch id.Name {
+		case "sort":
+			switch sel.Sel.Name {
+			case "Slice", "SliceStable", "Sort", "Stable", "Ints", "Strings", "Float64s":
+				isSort = true
+			}
+		case "slices":
+			isSort = strings.HasPrefix(sel.Sel.Name, "Sort")
+		}
+		if isSort {
+			for _, arg := range call.Args {
+				out[types.ExprString(arg)] = true
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatCompare flags exact ==/!= between floating-point operands. The
+// benefit and threshold arithmetic in maxr and core accumulates values
+// in different orders depending on solver internals, so exact equality
+// on computed floats is a correctness hazard: two mathematically equal
+// benefits can differ in the last ulp and silently flip a comparison.
+// Use an explicit tolerance (math.Abs(a-b) <= eps), an integer/ordinal
+// comparison, or a range check instead. Two comparisons are exempt
+// because they are exact by construction: both sides compile-time
+// constants, and comparison against the literal zero (the unset-field
+// sentinel idiom `if opts.Eps == 0 { opts.Eps = defaultEps }`, where
+// the zero value is assigned, never computed).
+var FloatCompare = &Analyzer{
+	Name: "floatcompare",
+	Doc:  "flag ==/!= on floating-point operands; compare with an explicit tolerance",
+	Run:  runFloatCompare,
+}
+
+func runFloatCompare(pkg *Package, r *Reporter) {
+	if pkg.Info == nil {
+		return
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, xok := pkg.Info.Types[be.X]
+			yt, yok := pkg.Info.Types[be.Y]
+			if !xok || !yok {
+				return true
+			}
+			// Constant folding is exact; only computed values drift.
+			if xt.Value != nil && yt.Value != nil {
+				return true
+			}
+			if isZeroConst(xt) || isZeroConst(yt) {
+				return true
+			}
+			if isFloat(xt.Type) || isFloat(yt.Type) {
+				r.Reportf("floatcompare", be.OpPos,
+					"%s on floating-point operands is exact-equality on computed values; compare with an explicit tolerance", be.Op)
+			}
+			return true
+		})
+	}
+}
+
+// isZeroConst reports whether tv is the compile-time constant 0.
+func isZeroConst(tv types.TypeAndValue) bool {
+	if tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}
+
+// isFloat reports whether t is (or aliases) a floating-point type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// GoroutineLeak documents and enforces the repository's worker fan-out
+// contract. Two patterns it forbids inside `go func` literals:
+//
+//  1. sync.WaitGroup.Add called by the spawned goroutine itself — the
+//     classic race where Wait can return before the scheduler ever runs
+//     the goroutine's Add. Add must happen on the spawning side, before
+//     the go statement.
+//  2. A send on an unbuffered channel created in the enclosing function
+//     with no selectable escape path (no surrounding select with a
+//     default or alternative case). If the receiver bails out — an
+//     error return, an early break — the goroutine blocks forever and
+//     leaks. Buffer the channel for the number of senders, or wrap the
+//     send in a select with a cancellation case.
+var GoroutineLeak = &Analyzer{
+	Name: "goroutineleak",
+	Doc:  "flag WaitGroup.Add inside spawned goroutines and naked unbuffered sends with no escape path",
+	Run:  runGoroutineLeak,
+}
+
+func runGoroutineLeak(pkg *Package, r *Reporter) {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			unbuffered := unbufferedChans(pkg, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				lit, ok := gs.Call.Fun.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				checkGoroutineBody(pkg, lit, unbuffered, r)
+				return true
+			})
+		}
+	}
+}
+
+// unbufferedChans collects identifiers assigned from a capacity-less
+// make(chan T) inside body.
+func unbufferedChans(pkg *Package, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	if pkg.Info == nil {
+		return out
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				continue
+			}
+			fn, ok := call.Fun.(*ast.Ident)
+			if !ok || fn.Name != "make" {
+				continue
+			}
+			if _, isChan := typeOf(pkg, call.Args[0]).(*types.Chan); !isChan {
+				// make's first argument is a type expression; Info.Types
+				// records it with the channel type itself.
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := pkg.Info.Defs[id]; obj != nil {
+					out[obj] = true
+				} else if obj := pkg.Info.Uses[id]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// typeOf returns the underlying type of expr, or nil.
+func typeOf(pkg *Package, expr ast.Expr) types.Type {
+	if pkg.Info == nil {
+		return nil
+	}
+	tv, ok := pkg.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	return tv.Type.Underlying()
+}
+
+// checkGoroutineBody inspects one spawned function literal.
+func checkGoroutineBody(pkg *Package, lit *ast.FuncLit, unbuffered map[types.Object]bool, r *Reporter) {
+	walkStack(lit.Body, func(stack []ast.Node) bool {
+		switch n := stack[len(stack)-1].(type) {
+		case *ast.FuncLit:
+			return false // nested literal: its go statements are checked at their own site
+		case *ast.CallExpr:
+			if isWaitGroupAdd(pkg, n) {
+				r.Reportf("goroutineleak", n.Pos(),
+					"WaitGroup.Add inside the spawned goroutine races with Wait; call Add before the go statement")
+			}
+		case *ast.SendStmt:
+			obj := chanObject(pkg, n.Chan)
+			if obj == nil || !unbuffered[obj] {
+				return true
+			}
+			if !hasEscapePath(stack) {
+				r.Reportf("goroutineleak", n.Pos(),
+					"send on unbuffered channel inside goroutine has no escape path and leaks if the receiver gives up; buffer the channel or select with a cancellation case")
+			}
+		}
+		return true
+	})
+}
+
+// isWaitGroupAdd matches wg.Add(...) where wg has type sync.WaitGroup
+// (by type info when available, by receiver-name convention otherwise).
+func isWaitGroupAdd(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Add" {
+		return false
+	}
+	if pkg.Info != nil {
+		if tv, ok := pkg.Info.Types[sel.X]; ok && tv.Type != nil {
+			return strings.TrimPrefix(tv.Type.String(), "*") == "sync.WaitGroup"
+		}
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && strings.Contains(strings.ToLower(id.Name), "wg")
+}
+
+// chanObject resolves the sent-on channel expression to its object.
+func chanObject(pkg *Package, expr ast.Expr) types.Object {
+	if pkg.Info == nil {
+		return nil
+	}
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pkg.Info.Uses[id]
+}
+
+// hasEscapePath reports whether the innermost enclosing select of the
+// statement at the top of stack offers an alternative to blocking: a
+// default clause or at least one other communication case.
+func hasEscapePath(stack []ast.Node) bool {
+	for i := len(stack) - 2; i >= 0; i-- {
+		sel, ok := stack[i].(*ast.SelectStmt)
+		if !ok {
+			continue
+		}
+		clauses := 0
+		hasDefault := false
+		for _, s := range sel.Body.List {
+			cc, ok := s.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if cc.Comm == nil {
+				hasDefault = true
+			} else {
+				clauses++
+			}
+		}
+		return hasDefault || clauses >= 2
+	}
+	return false
+}

@@ -1,0 +1,243 @@
+// Package lint is a small static-analysis framework, built only on the
+// standard library's go/parser, go/ast, and go/types, that machine-checks
+// the invariants the rest of this repository merely documents:
+//
+//   - determinism — library code must draw randomness from
+//     internal/xrand and time from internal/clock, because the RIC
+//     sampling guarantees (and every number in EXPERIMENTS.md) are only
+//     reproducible seed-for-seed if no code path touches math/rand or
+//     the wall clock;
+//   - floatcompare — benefit/threshold math must not use exact ==/!= on
+//     floats;
+//   - goroutineleak — worker fan-out must follow the repo's
+//     leak-free patterns (WaitGroup.Add before go, no naked unbuffered
+//     sends inside spawned goroutines);
+//   - printer — internal packages return values, they do not print;
+//   - seedplumb — exported APIs that spawn workers must be seedable;
+//   - ctxfirst — context.Context comes first.
+//
+// Violations that are intentional carry a `//lint:allow <check>` comment
+// on the offending line (or the line above) with a justification.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check. Run inspects a loaded package and files
+// diagnostics through the Reporter. Analyzers are stateless; the driver
+// decides which analyzers apply to which packages (see AnalyzersFor).
+type Analyzer struct {
+	// Name is the check identifier used in output and in
+	// `//lint:allow <name>` comments.
+	Name string
+	// Doc is a one-line description shown by `imclint -list`.
+	Doc string
+	// Run executes the check.
+	Run func(pkg *Package, r *Reporter)
+}
+
+// Diagnostic is one finding, positioned for file:line:col output.
+type Diagnostic struct {
+	// Check is the reporting analyzer's name.
+	Check string
+	// Pos locates the finding.
+	Pos token.Position
+	// Message describes the violation and the approved idiom.
+	Message string
+}
+
+// String formats the diagnostic the way compilers do.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// Reporter collects diagnostics for one package and applies
+// `//lint:allow` suppression.
+type Reporter struct {
+	pkg   *Package
+	diags []Diagnostic
+	// allow maps filename → line → set of allowed check names. A
+	// diagnostic is suppressed when its line, or the line directly
+	// above it, carries an allow comment naming its check (or "all").
+	allow map[string]map[int]map[string]bool
+}
+
+// NewReporter builds a reporter over pkg, indexing its allow comments.
+func NewReporter(pkg *Package) *Reporter {
+	r := &Reporter{pkg: pkg, allow: make(map[string]map[int]map[string]bool)}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				checks, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				byLine := r.allow[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					r.allow[pos.Filename] = byLine
+				}
+				set := byLine[pos.Line]
+				if set == nil {
+					set = make(map[string]bool)
+					byLine[pos.Line] = set
+				}
+				for _, name := range checks {
+					set[name] = true
+				}
+			}
+		}
+	}
+	return r
+}
+
+// parseAllow extracts check names from a `//lint:allow a b — reason`
+// comment. The em-dash (or "--") and everything after it is the
+// human-readable justification.
+func parseAllow(text string) ([]string, bool) {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimSpace(text)
+	const prefix = "lint:allow"
+	if !strings.HasPrefix(text, prefix) {
+		return nil, false
+	}
+	rest := text[len(prefix):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil, false
+	}
+	for _, sep := range []string{"—", "--"} {
+		if i := strings.Index(rest, sep); i >= 0 {
+			rest = rest[:i]
+		}
+	}
+	checks := strings.Fields(rest)
+	return checks, len(checks) > 0
+}
+
+// Reportf files a diagnostic at pos unless an allow comment suppresses
+// it.
+func (r *Reporter) Reportf(check string, pos token.Pos, format string, args ...any) {
+	p := r.pkg.Fset.Position(pos)
+	if byLine := r.allow[p.Filename]; byLine != nil {
+		for _, line := range [2]int{p.Line, p.Line - 1} {
+			if set := byLine[line]; set != nil && (set[check] || set["all"]) {
+				return
+			}
+		}
+	}
+	r.diags = append(r.diags, Diagnostic{
+		Check:   check,
+		Pos:     p,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostics returns the collected findings sorted by position.
+func (r *Reporter) Diagnostics() []Diagnostic {
+	sort.Slice(r.diags, func(i, j int) bool {
+		a, b := r.diags[i].Pos, r.diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return r.diags[i].Check < r.diags[j].Check
+	})
+	return r.diags
+}
+
+// Run applies every analyzer in the list to pkg and returns the merged,
+// sorted diagnostics.
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	r := NewReporter(pkg)
+	for _, a := range analyzers {
+		a.Run(pkg, r)
+	}
+	return r.Diagnostics()
+}
+
+// --- shared AST helpers -------------------------------------------------
+
+// walkStack is a depth-first traversal that hands the visitor the full
+// ancestor stack (outermost first, node last). Returning false prunes
+// the subtree.
+func walkStack(root ast.Node, visit func(stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if !visit(stack) {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		return true
+	})
+}
+
+// importedPkgName reports whether expr is an identifier naming an
+// imported package with the given import path (e.g. "time"). It prefers
+// type information and falls back to matching the file's import table.
+func (p *Package) importedPkgName(file *ast.File, expr ast.Expr) (string, bool) {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if p.Info != nil {
+		if obj, ok := p.Info.Uses[id]; ok {
+			if pn, ok := obj.(*types.PkgName); ok {
+				return pn.Imported().Path(), true
+			}
+			return "", false
+		}
+	}
+	for _, imp := range file.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := ""
+		if imp.Name != nil {
+			name = imp.Name.Name
+		} else {
+			if i := strings.LastIndex(path, "/"); i >= 0 {
+				name = path[i+1:]
+			} else {
+				name = path
+			}
+		}
+		if name == id.Name {
+			return path, true
+		}
+	}
+	return "", false
+}
+
+// selectorCall matches expr as a call to pkgpath.fn and returns the
+// selector for positioning.
+func (p *Package) selectorCall(file *ast.File, call *ast.CallExpr, pkgPath string, names ...string) (*ast.SelectorExpr, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	path, ok := p.importedPkgName(file, sel.X)
+	if !ok || path != pkgPath {
+		return nil, false
+	}
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			return sel, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,42 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Printer forbids writing to process stdout from library packages.
+// Library code returns values or writes to an injected io.Writer; only
+// cmd/ binaries own the terminal. This keeps every internal package
+// usable from the HTTP server and the experiment harness without
+// polluting their output streams.
+var Printer = &Analyzer{
+	Name: "printer",
+	Doc:  "forbid fmt.Print*/os.Stdout in library packages; return values or accept an io.Writer",
+	Run:  runPrinter,
+}
+
+func runPrinter(pkg *Package, r *Reporter) {
+	for _, file := range pkg.Files {
+		file := file
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+					if path, ok := pkg.importedPkgName(file, sel.X); ok && path == "fmt" &&
+						strings.HasPrefix(sel.Sel.Name, "Print") {
+						r.Reportf("printer", sel.Sel.Pos(),
+							"fmt.%s writes to process stdout from library code; accept an io.Writer instead", sel.Sel.Name)
+					}
+				}
+			case *ast.SelectorExpr:
+				if path, ok := pkg.importedPkgName(file, n.X); ok && path == "os" &&
+					(n.Sel.Name == "Stdout" || n.Sel.Name == "Stderr") {
+					r.Reportf("printer", n.Sel.Pos(),
+						"os.%s referenced from library code; accept an io.Writer instead", n.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,28 @@
+package lint
+
+import "testing"
+
+// TestRepositoryIsClean is the meta-check behind `make lint`: the
+// entire module must pass its own static-analysis suite. A failure
+// here means a new determinism/concurrency/numeric violation slipped
+// in — fix the code or add a justified //lint:allow, never weaken the
+// analyzer.
+func TestRepositoryIsClean(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatalf("Load ./...: %v", err)
+	}
+	if len(pkgs) < 15 {
+		t.Fatalf("Load ./... found only %d packages; loader is missing the tree", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		active := AnalyzersFor(loader.ModulePath, pkg.Path, All)
+		for _, d := range Run(pkg, active) {
+			t.Errorf("%s", d)
+		}
+	}
+}

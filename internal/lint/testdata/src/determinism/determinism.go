@@ -1,0 +1,63 @@
+// Package determinism is a lint fixture: every want-annotated comment
+// marks a line where the determinism analyzer must fire with a message
+// containing the quoted substring; every other line must stay silent.
+package determinism
+
+import (
+	"fmt"
+	"math/rand" // want "math/rand"
+	"sort"
+	"time"
+)
+
+func drawsFromGlobalRand() int {
+	return rand.Intn(6)
+}
+
+func readsWallClock() time.Duration {
+	start := time.Now() // want "wall clock"
+	doWork()
+	return time.Since(start) // want "wall clock"
+}
+
+func untilDeadline(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want "wall clock"
+}
+
+func sanctionedWallClock() time.Time {
+	return time.Now() //lint:allow determinism — fixture: demonstrates the escape hatch
+}
+
+func leakyMapAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "nondeterministic iteration order"
+	}
+	return keys
+}
+
+func leakyMapPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Sprintf("%s=%d", k, v) // Sprint does not emit; silent
+		fmt.Printf("%s=%d\n", k, v) // want "nondeterministic order"
+	}
+}
+
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // sorted below: deterministic idiom
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func perKeySlots(m map[int][]int) map[int][]int {
+	out := make(map[int][]int, len(m))
+	for k, vs := range m {
+		out[k] = append(out[k], vs...) // per-key slot: order-independent
+	}
+	return out
+}
+
+func doWork() {}

@@ -1,0 +1,41 @@
+// Package floatcompare is a lint fixture for the float-equality check.
+package floatcompare
+
+import "math"
+
+func exactEquality(a, b float64) bool {
+	return a == b // want "explicit tolerance"
+}
+
+func exactInequality(a, b float32) bool {
+	return a != b // want "explicit tolerance"
+}
+
+func mixedOperands(a float64, b int) bool {
+	return a == float64(b) // want "explicit tolerance"
+}
+
+func nonZeroConstant(a float64) bool {
+	return a == 0.5 // want "explicit tolerance"
+}
+
+func zeroSentinel(eps float64) float64 {
+	if eps == 0 { // unset-field sentinel: exempt
+		eps = 0.2
+	}
+	return eps
+}
+
+func toleranceIdiom(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9 // approved epsilon comparison
+}
+
+func integerComparison(a, b int) bool {
+	return a == b // integers compare exactly
+}
+
+const half = 0.5
+
+func constantFold() bool {
+	return half == 0.5 // both constants: exact, exempt
+}

@@ -1,0 +1,71 @@
+// Package goroutineleak is a lint fixture for the worker fan-out
+// contract.
+package goroutineleak
+
+import "sync"
+
+func addInsideGoroutine(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		go func() {
+			wg.Add(1) // want "before the go statement"
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func addBeforeSpawn(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func nakedUnbufferedSend() int {
+	ch := make(chan int)
+	go func() {
+		ch <- compute() // want "no escape path"
+	}()
+	return <-ch
+}
+
+func bufferedSend() int {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- compute() // buffered: sender cannot block forever
+	}()
+	return <-ch
+}
+
+func sendWithCancellation(done chan struct{}) int {
+	ch := make(chan int)
+	go func() {
+		select {
+		case ch <- compute():
+		case <-done:
+		}
+	}()
+	select {
+	case v := <-ch:
+		return v
+	case <-done:
+		return 0
+	}
+}
+
+func sendWithDefault() {
+	ch := make(chan int)
+	go func() {
+		select {
+		case ch <- compute():
+		default:
+		}
+	}()
+}
+
+func compute() int { return 1 }

@@ -1,0 +1,27 @@
+// Package printer is a lint fixture for the no-stdout-in-library rule.
+package printer
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+func printsToStdout(v int) {
+	fmt.Println("value:", v)    // want "fmt.Println"
+	fmt.Printf("value: %d\n", v) // want "fmt.Printf"
+	fmt.Print(v)                 // want "fmt.Print"
+}
+
+func writesThroughOSStdout(v int) {
+	fmt.Fprintf(os.Stdout, "%d\n", v) // want "os.Stdout"
+	os.Stderr.WriteString("oops")     // want "os.Stderr"
+}
+
+func returnsValue(v int) string {
+	return fmt.Sprintf("value: %d", v) // Sprint family is fine
+}
+
+func writesInjected(w io.Writer, v int) {
+	fmt.Fprintf(w, "value: %d\n", v) // injected writer is the idiom
+}

@@ -1,0 +1,77 @@
+// Package seedplumb is a lint fixture for the parallel-determinism
+// plumbing rule: exported worker fan-outs must be seedable.
+package seedplumb
+
+import (
+	"sync"
+
+	"imc/internal/xrand"
+)
+
+// Options mirrors the sampling packages' options structs.
+type Options struct {
+	Seed    uint64
+	Workers int
+}
+
+// Pool mirrors a receiver that owns its randomness.
+type Pool struct {
+	root *xrand.RNG
+}
+
+func UnseededFanOut(n int) { // want "no xrand stream or seed"
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done() }()
+	}
+	wg.Wait()
+}
+
+func StreamParameter(n int, rng *xrand.RNG) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(r *xrand.RNG) { defer wg.Done(); r.Uint64() }(rng.Split(uint64(i)))
+	}
+	wg.Wait()
+}
+
+func SeedParameter(n int, seed uint64) {
+	root := xrand.New(seed)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(r *xrand.RNG) { defer wg.Done(); r.Uint64() }(root.Split(uint64(i)))
+	}
+	wg.Wait()
+}
+
+func OptionsParameter(n int, opts Options) {
+	SeedParameter(n, opts.Seed)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done() }()
+	wg.Wait()
+}
+
+// SeededReceiver spawns workers but derives all streams from the
+// receiver's RNG — the ric.Pool pattern.
+func (p *Pool) SeededReceiver(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(r *xrand.RNG) { defer wg.Done(); r.Uint64() }(p.root.Split(uint64(i)))
+	}
+	wg.Wait()
+}
+
+func unexportedFanOut(n int) { // unexported: out of contract scope
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done() }()
+	wg.Wait()
+}
+
+// NoWorkers is exported and unseeded but spawns nothing: silent.
+func NoWorkers(n int) int { return n * 2 }

@@ -97,7 +97,12 @@ func budgetedGreedy(pool *ric.Pool, cands []graph.NodeID, cost CostFunc, budget 
 				score /= c
 				tie /= c
 			}
-			if score > bestScore || (score == bestScore && tie > bestTie) {
+			// Strict improvement, or an exact tie broken by tie-score;
+			// phrased as ordered comparisons to avoid float equality.
+			if score < bestScore {
+				continue
+			}
+			if score > bestScore || tie > bestTie {
 				bestScore = score
 				bestTie = tie
 				best = v

@@ -159,8 +159,11 @@ type celfHeap []celfItem
 func (h celfHeap) Len() int      { return len(h) }
 func (h celfHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h celfHeap) Less(i, j int) bool {
-	if h[i].gain != h[j].gain {
-		return h[i].gain > h[j].gain
+	if h[i].gain > h[j].gain {
+		return true
+	}
+	if h[i].gain < h[j].gain {
+		return false
 	}
 	return h[i].node < h[j].node
 }

@@ -152,7 +152,7 @@ func axisLabel(v float64) string {
 	switch {
 	case math.Abs(v) >= 1000:
 		return fmt.Sprintf("%.3g", v)
-	case v == math.Trunc(v):
+	case v == math.Trunc(v): //lint:allow floatcompare — exact integrality test picks the label format; drift only changes cosmetics
 		return fmt.Sprintf("%.0f", v)
 	default:
 		return fmt.Sprintf("%.2f", v)

@@ -4,8 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"time"
 
+	"imc/internal/clock"
 	"imc/internal/diffusion"
 	"imc/internal/graph"
 )
@@ -42,7 +42,8 @@ func SolveIMM(g *graph.Graph, opts Options) (Solution, error) {
 	if opts.MaxSamples <= 0 {
 		opts.MaxSamples = 1 << 20
 	}
-	start := time.Now()
+	now := clock.OrWall(opts.Clock)
+	start := now()
 
 	var (
 		n      = float64(g.NumNodes())
@@ -101,7 +102,7 @@ func SolveIMM(g *graph.Graph, opts Options) (Solution, error) {
 		Seeds:          seeds,
 		SpreadEstimate: pool.spread(coverage),
 		Samples:        pool.size(),
-		Elapsed:        time.Since(start),
+		Elapsed:        now().Sub(start),
 	}, nil
 }
 

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"imc/internal/bitset"
+	"imc/internal/clock"
 	"imc/internal/diffusion"
 	"imc/internal/graph"
 	"imc/internal/xrand"
@@ -38,6 +39,9 @@ type Options struct {
 	Model diffusion.Model
 	// MaxSamples caps the RR pool (default 1<<20).
 	MaxSamples int
+	// Clock supplies timestamps for the Elapsed report; nil means the
+	// real wall clock. Only reporting reads it — never sampling.
+	Clock clock.Func
 }
 
 // Solution is the solver outcome.
@@ -78,7 +82,8 @@ func Solve(g *graph.Graph, opts Options) (Solution, error) {
 	if opts.MaxSamples <= 0 {
 		opts.MaxSamples = 1 << 20
 	}
-	start := time.Now()
+	now := clock.OrWall(opts.Clock)
+	start := now()
 	pool := newRRPool(g, opts)
 	e3 := opts.Eps / 4
 	lambda := (1 + opts.Eps/4) * (1 + opts.Eps/4) * 3 / (e3 * e3) * math.Log(3/(2*opts.Delta))
@@ -109,7 +114,7 @@ func Solve(g *graph.Graph, opts Options) (Solution, error) {
 		Seeds:          seeds,
 		SpreadEstimate: pool.spread(coverage),
 		Samples:        pool.size(),
-		Elapsed:        time.Since(start),
+		Elapsed:        now().Sub(start),
 	}, nil
 }
 

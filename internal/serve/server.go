@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"imc/internal/clock"
 	"imc/internal/expt"
 	"imc/internal/gen"
 )
@@ -29,6 +30,7 @@ import (
 // Handler.
 type Server struct {
 	logger *slog.Logger
+	now    clock.Func
 	start  time.Time
 
 	mu    sync.Mutex
@@ -43,14 +45,23 @@ type Server struct {
 	errors   map[string]int64
 }
 
-// New returns a server. logger may be nil.
+// New returns a server on the real wall clock. logger may be nil.
 func New(logger *slog.Logger) *Server {
+	return NewWithClock(logger, nil)
+}
+
+// NewWithClock returns a server reading time from now (nil means the
+// real wall clock). Tests inject a pinned clock to make uptime and
+// latency fields reproducible.
+func NewWithClock(logger *slog.Logger, now clock.Func) *Server {
 	if logger == nil {
 		logger = slog.Default()
 	}
+	now = clock.OrWall(now)
 	return &Server{
 		logger:    logger,
-		start:     time.Now(),
+		now:       now,
+		start:     now(),
 		cache:     make(map[string]*expt.Instance),
 		maxCached: 16,
 		requests:  make(map[string]int64),
@@ -84,7 +95,7 @@ func (r *statusRecorder) WriteHeader(code int) {
 
 func (s *Server) logRequests(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
+		start := s.now()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		next.ServeHTTP(rec, r)
 		s.statsMu.Lock()
@@ -95,7 +106,7 @@ func (s *Server) logRequests(next http.Handler) http.Handler {
 		s.statsMu.Unlock()
 		s.logger.Info("request",
 			"method", r.Method, "path", r.URL.Path,
-			"status", rec.status, "elapsed", time.Since(start))
+			"status", rec.status, "elapsed", s.now().Sub(start))
 	})
 }
 
@@ -122,7 +133,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	cached := len(s.cache)
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, Metrics{
-		UptimeSeconds:   time.Since(s.start).Seconds(),
+		UptimeSeconds:   s.now().Sub(s.start).Seconds(),
 		Requests:        reqs,
 		Errors:          errs,
 		CachedInstances: cached,
@@ -330,7 +341,7 @@ func (s *Server) handleBudgeted(w http.ResponseWriter, r *http.Request) {
 	if samples > 1<<18 {
 		samples = 1 << 18
 	}
-	start := time.Now()
+	start := s.now()
 	seeds, spent, benefit, err := solveBudgeted(inst, req.Budget, req.CostUnit, samples, req.Seed)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -343,7 +354,7 @@ func (s *Server) handleBudgeted(w http.ResponseWriter, r *http.Request) {
 		Seeds:     out,
 		Spent:     spent,
 		Benefit:   benefit,
-		ElapsedMS: time.Since(start).Milliseconds(),
+		ElapsedMS: s.now().Sub(start).Milliseconds(),
 	})
 }
 
