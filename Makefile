@@ -27,6 +27,7 @@ bench:
 fuzz:
 	$(GO) test ./internal/graph/ -fuzz FuzzReadEdgeList -fuzztime 30s
 	$(GO) test ./internal/graph/ -fuzz FuzzReadBinary -fuzztime 30s
+	$(GO) test ./internal/ric/ -fuzz FuzzPoolRoundTrip -fuzztime 30s
 
 # Regenerate every table and figure at a laptop-friendly scale.
 experiments:

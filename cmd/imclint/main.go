@@ -1,40 +1,73 @@
-// Command imclint runs the repository's static-analysis suite: six
+// Command imclint runs the repository's static-analysis suite: ten
 // analyzers built on go/parser, go/ast, and go/types that machine-check
-// the determinism, concurrency, and numeric invariants the RIC-sampling
-// guarantees depend on (see DESIGN.md, "Static analysis & invariants").
+// the determinism, concurrency, allocation, and numeric invariants the
+// RIC-sampling guarantees depend on (see DESIGN.md, "Static analysis &
+// invariants").
 //
 // Usage:
 //
-//	imclint [-check name,name] [-list] [packages]
+//	imclint [-check name,name] [-list] [-json] [-baseline file] [packages]
 //
 // Packages default to ./... relative to the enclosing module. Exit
-// status is 1 when any diagnostic fires, 0 on a clean tree. Intentional
-// violations are suppressed with a `//lint:allow <check> — reason`
-// comment on the offending line or the line above.
+// status is 1 when any diagnostic fires, 0 on a clean tree, 2 on usage
+// or load errors. Intentional violations are suppressed with a
+// `//lint:allow <check>: <reason>` comment on the offending line or the
+// line above; the suite reports stale or malformed suppressions itself.
+//
+// -json emits findings as a JSON array (the same shape -baseline
+// consumes), so `imclint -json > lint-baseline.json` freezes the
+// current findings and `imclint -baseline lint-baseline.json` reports
+// only regressions. Baseline matching ignores line numbers: unrelated
+// edits that shift a known finding do not resurface it.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 
 	"imc/internal/lint"
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
+// finding is the machine-readable form of one diagnostic — the schema
+// of both -json output and -baseline input.
+type finding struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+// key is the baseline identity of a finding: file and message but NOT
+// line/col, so a baseline survives unrelated edits above the site.
+func (f finding) key() string {
+	return f.Check + "\x00" + f.File + "\x00" + f.Message
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("imclint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		checks = flag.String("check", "", "comma-separated analyzer subset (default: all)")
-		list   = flag.Bool("list", false, "list analyzers and exit")
+		checks   = fs.String("check", "", "comma-separated analyzer subset (default: all)")
+		list     = fs.Bool("list", false, "list analyzers and exit")
+		jsonOut  = fs.Bool("json", false, "emit findings as a JSON array")
+		baseline = fs.String("baseline", "", "JSON findings file; matching findings are not reported")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, a := range lint.All {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
@@ -44,40 +77,88 @@ func run() int {
 		var ok bool
 		analyzers, ok = lint.ByName(*checks)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "imclint: unknown analyzer in -check %q\n", *checks)
+			fmt.Fprintf(stderr, "imclint: unknown analyzer in -check %q\n", *checks)
 			return 2
+		}
+	}
+
+	baselined := make(map[string]bool)
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(stderr, "imclint:", err)
+			return 2
+		}
+		var old []finding
+		if err := json.Unmarshal(data, &old); err != nil {
+			fmt.Fprintf(stderr, "imclint: parsing baseline %s: %v\n", *baseline, err)
+			return 2
+		}
+		for _, f := range old {
+			baselined[f.key()] = true
 		}
 	}
 
 	cwd, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "imclint:", err)
+		fmt.Fprintln(stderr, "imclint:", err)
 		return 2
 	}
 	loader, err := lint.NewLoader(cwd)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "imclint:", err)
+		fmt.Fprintln(stderr, "imclint:", err)
 		return 2
 	}
-	pkgs, err := loader.Load(flag.Args()...)
+	pkgs, err := loader.Load(fs.Args()...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "imclint:", err)
+		fmt.Fprintln(stderr, "imclint:", err)
 		return 2
 	}
 
-	failed := false
+	findings := []finding{} // non-nil so -json prints [] on a clean tree
 	for _, pkg := range pkgs {
 		active := lint.AnalyzersFor(loader.ModulePath, pkg.Path, analyzers)
 		if len(active) == 0 {
 			continue
 		}
 		for _, d := range lint.Run(pkg, active) {
-			fmt.Println(d.String())
-			failed = true
+			f := finding{
+				Check:   d.Check,
+				File:    relToModule(loader.ModuleDir, d.Pos.Filename),
+				Line:    d.Pos.Line,
+				Col:     d.Pos.Column,
+				Message: d.Message,
+			}
+			if baselined[f.key()] {
+				continue
+			}
+			findings = append(findings, f)
 		}
 	}
-	if failed {
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(stderr, "imclint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Col, f.Check, f.Message)
+		}
+	}
+	if len(findings) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// relToModule renders path relative to the module root, the stable
+// form findings are reported and baselined in.
+func relToModule(moduleDir, path string) string {
+	if rel, err := filepath.Rel(moduleDir, path); err == nil && !filepath.IsAbs(rel) && rel != "" && rel[0] != '.' {
+		return rel
+	}
+	return path
 }

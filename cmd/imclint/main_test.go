@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureDir is a package (module-relative) with known determinism
+// violations — the lint suite's own golden fixture.
+const fixtureDir = "internal/lint/testdata/src/determinism"
+
+func runCmd(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestExitCleanTree(t *testing.T) {
+	code, out, errb := runCmd(t, "internal/clock")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stdout=%q stderr=%q", code, out, errb)
+	}
+	if out != "" {
+		t.Errorf("clean tree must print nothing, got %q", out)
+	}
+}
+
+func TestExitFindings(t *testing.T) {
+	code, out, _ := runCmd(t, "-check", "determinism", fixtureDir)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stdout=%q", code, out)
+	}
+	if !strings.Contains(out, "[determinism]") {
+		t.Errorf("findings output missing check tag: %q", out)
+	}
+	// Paths are module-relative so baselines survive checkout moves.
+	first := strings.SplitN(out, ":", 2)[0]
+	if filepath.IsAbs(first) {
+		t.Errorf("finding path %q should be module-relative", first)
+	}
+}
+
+func TestExitUsage(t *testing.T) {
+	code, _, errb := runCmd(t, "-check", "nosuchanalyzer")
+	if code != 2 {
+		t.Fatalf("unknown -check: exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb, "unknown analyzer") {
+		t.Errorf("stderr = %q, want unknown-analyzer message", errb)
+	}
+	if code, _, _ := runCmd(t, "-definitely-not-a-flag"); code != 2 {
+		t.Errorf("bad flag: exit = %d, want 2", code)
+	}
+	if code, _, _ := runCmd(t, "-baseline", "does-not-exist.json", fixtureDir); code != 2 {
+		t.Errorf("missing baseline file: exit = %d, want 2", code)
+	}
+}
+
+func TestListIncludesFlowAnalyzers(t *testing.T) {
+	code, out, _ := runCmd(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exit = %d, want 0", code)
+	}
+	for _, name := range []string{"determinism", "allocfree", "errflow", "purity", "sharemut"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %q", name)
+		}
+	}
+}
+
+// TestJSONGolden locks the machine-readable schema: field names, module-
+// relative paths, and ordering must match the checked-in golden file.
+func TestJSONGolden(t *testing.T) {
+	code, out, errb := runCmd(t, "-json", "-check", "determinism", fixtureDir)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr=%q", code, errb)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "determinism.json"))
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if out != string(want) {
+		t.Errorf("-json output differs from golden testdata/determinism.json:\ngot:\n%s\nwant:\n%s", out, want)
+	}
+	// And it must round-trip through the baseline schema.
+	var fs []finding
+	if err := json.Unmarshal([]byte(out), &fs); err != nil {
+		t.Fatalf("output is not valid findings JSON: %v", err)
+	}
+	if len(fs) == 0 {
+		t.Fatal("expected at least one finding in JSON output")
+	}
+	for _, f := range fs {
+		if f.Check == "" || f.File == "" || f.Line == 0 || f.Message == "" {
+			t.Errorf("finding with empty field: %+v", f)
+		}
+	}
+}
+
+// TestBaselineFilters freezes the current findings into a baseline and
+// verifies a re-run reports nothing — the regression-only workflow.
+func TestBaselineFilters(t *testing.T) {
+	_, snapshot, _ := runCmd(t, "-json", "-check", "determinism", fixtureDir)
+	base := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(base, []byte(snapshot), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, out, _ := runCmd(t, "-baseline", base, "-check", "determinism", fixtureDir)
+	if code != 0 {
+		t.Fatalf("fully-baselined run: exit = %d, want 0; out=%q", code, out)
+	}
+	if out != "" {
+		t.Errorf("fully-baselined run printed %q, want nothing", out)
+	}
+
+	code, out, _ = runCmd(t, "-json", "-baseline", base, "-check", "determinism", fixtureDir)
+	if code != 0 || strings.TrimSpace(out) != "[]" {
+		t.Errorf("baselined -json: exit=%d out=%q, want 0 and []", code, out)
+	}
+
+	// A partial baseline must keep reporting the rest.
+	var fs []finding
+	if err := json.Unmarshal([]byte(snapshot), &fs); err != nil || len(fs) < 2 {
+		t.Fatalf("need >= 2 findings to test partial baseline, got %d (err=%v)", len(fs), err)
+	}
+	partial, err := json.Marshal(fs[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(base, partial, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ = runCmd(t, "-baseline", base, "-check", "determinism", fixtureDir)
+	if code != 1 {
+		t.Fatalf("partially-baselined run: exit = %d, want 1", code)
+	}
+	if got := strings.Count(out, "\n"); got != len(fs)-1 {
+		t.Errorf("partially-baselined run reported %d findings, want %d", got, len(fs)-1)
+	}
+}

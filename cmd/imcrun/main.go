@@ -118,7 +118,7 @@ func run() error {
 			return err
 		}
 		err = imc.WritePartitionJSON(f, inst.Part)
-		if cerr := f.Close(); err == nil {
+		if cerr := f.Close(); cerr != nil && err == nil {
 			err = cerr
 		}
 		if err != nil {

@@ -48,6 +48,8 @@ type EstimateOptions struct {
 // Estimate implements the paper's Alg. 6: draw fresh RIC samples until
 // the influenced mass reaches the stopping-rule threshold, returning an
 // estimate of c(S) with relative error ≤ ε′ with probability ≥ 1−δ′.
+//
+//imc:hotpath
 func Estimate(g *graph.Graph, part *community.Partition, seeds []graph.NodeID, opts EstimateOptions) (EstimateResult, error) {
 	if opts.Eps <= 0 || opts.Eps >= 1 {
 		return EstimateResult{}, fmt.Errorf("core: estimate eps %g out of (0, 1)", opts.Eps)
@@ -72,11 +74,12 @@ func Estimate(g *graph.Graph, part *community.Partition, seeds []graph.NodeID, o
 	// Λ' = 1 + 4(e−2)·ln(2/δ')·(1+ε')/ε'².
 	lambda := 1 + 4*(math.E-2)*math.Log(2/opts.Delta)*(1+opts.Eps)/(opts.Eps*opts.Eps)
 	mass := 0.0
+	var rng xrand.RNG
 	for t := 1; t <= opts.TMax; t++ {
-		rng := root.Split(uint64(t))
+		root.SplitInto(uint64(t), &rng)
 		if opts.Fractional {
-			mass += gen.FractionalInfluence(rng, inSeed)
-		} else if gen.Influenced(rng, inSeed) {
+			mass += gen.FractionalInfluence(&rng, inSeed)
+		} else if gen.Influenced(&rng, inSeed) {
 			mass++
 		}
 		if mass >= lambda {

@@ -1,0 +1,38 @@
+package diffusion
+
+import (
+	"testing"
+
+	"imc/internal/gen"
+	"imc/internal/graph"
+	"imc/internal/xrand"
+)
+
+// TestSimulatorRunDoesNotAllocate locks in the //imc:hotpath contract
+// of the forward simulator: with scratch at steady state, one cascade
+// allocates nothing under either model. Each measured run replays one
+// fixed PRNG stream, so the cascade — and the count — is deterministic.
+func TestSimulatorRunDoesNotAllocate(t *testing.T) {
+	g, err := gen.BarabasiAlbert(1000, 4, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g = graph.ApplyWeights(g, graph.WeightedCascade, 0, 0)
+	seeds := []graph.NodeID{1, 57, 400, 801}
+	for _, model := range []Model{IC, LT} {
+		sim := NewSimulator(g, model)
+		root := xrand.New(5)
+		var rng xrand.RNG
+		for i := 0; i < 200; i++ {
+			root.SplitInto(uint64(i), &rng)
+			sim.Run(seeds, &rng)
+		}
+		avg := testing.AllocsPerRun(100, func() {
+			root.SplitInto(7, &rng)
+			sim.Run(seeds, &rng)
+		})
+		if avg != 0 {
+			t.Errorf("%v: Run allocates %.1f objects per run, want 0", model, avg)
+		}
+	}
+}

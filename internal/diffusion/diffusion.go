@@ -75,6 +75,8 @@ func NewSimulator(g *graph.Graph, model Model) *Simulator {
 // Run simulates one cascade from seeds and returns the set of activated
 // nodes as a reusable boolean slice (valid until the next Run) plus the
 // activation count.
+//
+//imc:hotpath
 func (s *Simulator) Run(seeds []graph.NodeID, rng *xrand.RNG) ([]bool, int) {
 	switch s.model {
 	case LT:
@@ -84,6 +86,7 @@ func (s *Simulator) Run(seeds []graph.NodeID, rng *xrand.RNG) ([]bool, int) {
 	}
 }
 
+//imc:hotpath
 func (s *Simulator) runIC(seeds []graph.NodeID, rng *xrand.RNG) ([]bool, int) {
 	for i := range s.active {
 		s.active[i] = false
@@ -115,6 +118,7 @@ func (s *Simulator) runIC(seeds []graph.NodeID, rng *xrand.RNG) ([]bool, int) {
 	return s.active, count
 }
 
+//imc:hotpath
 func (s *Simulator) runLT(seeds []graph.NodeID, rng *xrand.RNG) ([]bool, int) {
 	n := s.g.NumNodes()
 	for i := 0; i < n; i++ {
@@ -199,6 +203,9 @@ func sortNodes(s []graph.NodeID) {
 
 // CommunityBenefit scores an activation outcome against a partition:
 // the sum of b_i over communities with at least h_i active members.
+//
+//imc:hotpath
+//imc:pure
 func CommunityBenefit(p *community.Partition, active []bool) float64 {
 	benefit := 0.0
 	for i := 0; i < p.NumCommunities(); i++ {
@@ -222,6 +229,9 @@ func CommunityBenefit(p *community.Partition, active []bool) float64 {
 // FractionalBenefit scores ν-style fractional credit: Σ b_i · min(
 // active_i/h_i, 1). This is the Monte-Carlo estimator of the paper's
 // ν(S) upper-bound function (eq. 6), used in Fig. 8.
+//
+//imc:hotpath
+//imc:pure
 func FractionalBenefit(p *community.Partition, active []bool) float64 {
 	total := 0.0
 	for i := 0; i < p.NumCommunities(); i++ {
@@ -310,9 +320,10 @@ func mcAverage(g *graph.Graph, seeds []graph.NodeID, opts MCOptions, score func(
 			defer wg.Done()
 			sim := NewSimulator(g, opts.Model)
 			sum := 0.0
+			var rng xrand.RNG
 			for it := w; it < opts.Iterations; it += workers {
-				rng := root.Split(uint64(it))
-				active, count := sim.Run(seeds, rng)
+				root.SplitInto(uint64(it), &rng)
+				active, count := sim.Run(seeds, &rng)
 				sum += score(active, count)
 			}
 			partial[w] = sum
@@ -342,6 +353,8 @@ type StoppingRuleResult struct {
 // Stopping Rule Algorithm of Dagum, Karp, Luby and Ross (SIAM J.
 // Comput. 2000, §2.1) — the engine of the paper's Estimate procedure
 // (Alg. 6). sample must return draws in [0, 1].
+//
+//imc:hotpath
 func StoppingRule(sample func(*xrand.RNG) float64, eps, delta float64, maxSamples int, rng *xrand.RNG) (StoppingRuleResult, error) {
 	if eps <= 0 || eps >= 1 {
 		return StoppingRuleResult{}, fmt.Errorf("diffusion: eps %g out of (0, 1)", eps)

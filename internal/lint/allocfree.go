@@ -1,0 +1,314 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AllocFree enforces the zero-allocation contract on functions marked
+// `//imc:hotpath` — the RIC/RIS sampling kernels whose inner loops run
+// once per sample across pools of millions. Inside any loop of such a
+// function it flags the constructs that allocate on every iteration:
+//
+//   - make / new calls;
+//   - slice and map composite literals, and &T{} (heap-escaping
+//     literal pointers);
+//   - function literals (closure allocation);
+//   - string concatenation (+ / += on strings builds a fresh string);
+//   - interface boxing: passing or converting a concrete non-pointer
+//     value to an interface-typed slot copies it to the heap (the
+//     classic hidden cost of fmt calls in hot loops);
+//   - append, UNLESS the destination is recognized amortized scratch:
+//     a slice that is somewhere in the same function reset with
+//     `x = x[:0]` (the epoch-scratch idiom) or preallocated with an
+//     explicit capacity (`make(T, n, cap)`). Growth of such a slice
+//     amortizes to zero allocations across samples; growth of anything
+//     else is per-iteration churn.
+//
+// The analyzer is intentionally intra-procedural: a helper that
+// allocates is flagged where IT loops, or at its own annotation. Loop
+// membership comes from the CFG (see cfg.go), so allocations in a
+// loop's one-time setup (init statements, the ranged-over expression)
+// are not flagged while the condition, post statement, and body are.
+var AllocFree = &Analyzer{
+	Name: "allocfree",
+	Doc:  "forbid per-iteration allocation (make, literals, closures, string concat, boxing, unamortized append) inside loops of //imc:hotpath functions",
+	Run:  runAllocFree,
+}
+
+func runAllocFree(pkg *Package, r *Reporter) {
+	dirs := funcDirectives(pkg)
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(dirs, fd, directiveHotPath) {
+				continue
+			}
+			checkAllocFree(pkg, fd, r)
+		}
+	}
+}
+
+// checkAllocFree analyzes one annotated function.
+func checkAllocFree(pkg *Package, fd *ast.FuncDecl, r *Reporter) {
+	cfg := BuildCFG(fd.Body)
+	scratch := scratchSlices(pkg, fd.Body)
+	for _, blk := range cfg.Blocks {
+		if blk.LoopDepth < 1 {
+			continue
+		}
+		for _, stmt := range blk.Stmts {
+			if rb, ok := stmt.(rangeBind); ok {
+				// Only the per-iteration bind lives here; the ranged
+				// expression was placed (and checked) at the loop's
+				// outer depth.
+				_ = rb
+				continue
+			}
+			inspectAllocs(pkg, stmt, scratch, r)
+		}
+	}
+}
+
+// inspectAllocs walks one in-loop statement (or header expression) and
+// reports every allocating construct. Nested function literals are
+// flagged as closures and then pruned — their bodies run on their own
+// schedule.
+func inspectAllocs(pkg *Package, root ast.Node, scratch map[types.Object]bool, r *Reporter) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			r.Reportf("allocfree", n.Pos(),
+				"closure literal allocates on every iteration of a hot loop; hoist it out of the loop or use a method value")
+			return false
+		case *ast.CallExpr:
+			checkAllocCall(pkg, n, scratch, r)
+		case *ast.CompositeLit:
+			checkCompositeLit(pkg, n, r)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringExpr(pkg, n.X) {
+				r.Reportf("allocfree", n.OpPos,
+					"string concatenation builds a fresh string on every iteration of a hot loop; preformat outside the loop or use a reused []byte buffer")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringExpr(pkg, n.Lhs[0]) {
+				r.Reportf("allocfree", n.TokPos,
+					"string += builds a fresh string on every iteration of a hot loop; use a reused []byte buffer")
+			}
+		}
+		return true
+	})
+}
+
+// checkAllocCall handles make/new/append and interface-boxing call
+// arguments.
+func checkAllocCall(pkg *Package, call *ast.CallExpr, scratch map[types.Object]bool, r *Reporter) {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		switch id.Name {
+		case "make":
+			if isBuiltin(pkg, id) {
+				r.Reportf("allocfree", call.Pos(),
+					"make inside a hot loop allocates per iteration; preallocate the buffer outside the loop and reuse it")
+				return
+			}
+		case "new":
+			if isBuiltin(pkg, id) {
+				r.Reportf("allocfree", call.Pos(),
+					"new inside a hot loop allocates per iteration; hoist the allocation out of the loop")
+				return
+			}
+		case "append":
+			if isBuiltin(pkg, id) && len(call.Args) > 0 {
+				if obj := sliceBaseObject(pkg, call.Args[0]); obj == nil || !scratch[obj] {
+					r.Reportf("allocfree", call.Pos(),
+						"append to a non-scratch slice inside a hot loop reallocates as it grows; preallocate with capacity (make(T, 0, cap)) or reuse a `x = x[:0]` scratch buffer")
+				}
+				return
+			}
+		}
+	}
+	checkBoxing(pkg, call, r)
+}
+
+// checkBoxing flags concrete non-pointer arguments passed to
+// interface-typed parameters — each such call copies the value to the
+// heap to build the interface.
+func checkBoxing(pkg *Package, call *ast.CallExpr, r *Reporter) {
+	if pkg.Info == nil {
+		return
+	}
+	tv, ok := pkg.Info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at, ok := pkg.Info.Types[arg]
+		if !ok || at.Type == nil || at.IsNil() {
+			continue
+		}
+		if boxingAllocates(at.Type) {
+			r.Reportf("allocfree", arg.Pos(),
+				"passing a concrete %s to an interface parameter boxes it on the heap every iteration; move the call out of the hot loop", at.Type)
+		}
+	}
+}
+
+// boxingAllocates reports whether converting a value of concrete type t
+// to an interface requires a heap allocation: true for everything but
+// pointers, whose word fits the interface data slot directly.
+func boxingAllocates(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Signature, *types.Chan, *types.Map:
+		return false
+	}
+	return true
+}
+
+// checkCompositeLit flags slice/map literals (backing allocation) and
+// leaves plain struct values alone — T{} on the stack is free; &T{}
+// shows up as the unary & which escapes, caught via the literal when
+// its type is a pointer-escaping composite. We flag slice, map, and
+// pointer-taken literals.
+func checkCompositeLit(pkg *Package, lit *ast.CompositeLit, r *Reporter) {
+	if pkg.Info == nil {
+		return
+	}
+	tv, ok := pkg.Info.Types[lit]
+	if !ok || tv.Type == nil {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice:
+		r.Reportf("allocfree", lit.Pos(),
+			"slice literal allocates its backing array on every iteration of a hot loop; hoist it out of the loop")
+	case *types.Map:
+		r.Reportf("allocfree", lit.Pos(),
+			"map literal allocates on every iteration of a hot loop; hoist it out of the loop")
+	}
+}
+
+// isBuiltin reports whether id resolves to the universe-scope builtin
+// of the same name (and not a shadowing local).
+func isBuiltin(pkg *Package, id *ast.Ident) bool {
+	if pkg.Info == nil {
+		return true // no type info: assume the spelling means the builtin
+	}
+	obj, ok := pkg.Info.Uses[id]
+	if !ok {
+		return true
+	}
+	_, isB := obj.(*types.Builtin)
+	return isB
+}
+
+// isStringExpr reports whether expr has (an alias of) string type.
+func isStringExpr(pkg *Package, expr ast.Expr) bool {
+	if pkg.Info == nil {
+		return false
+	}
+	tv, ok := pkg.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// sliceBaseObject resolves the object a slice expression ultimately
+// names: the identifier itself, or the field/element path's root when
+// the expression is obj.field / obj[i] — appends through either reuse
+// the same backing storage, so scratch status attaches to the printed
+// root form. Returns nil for unresolvable expressions.
+func sliceBaseObject(pkg *Package, expr ast.Expr) types.Object {
+	if pkg.Info == nil {
+		return nil
+	}
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			if obj := pkg.Info.Uses[e]; obj != nil {
+				return obj
+			}
+			return pkg.Info.Defs[e]
+		case *ast.SelectorExpr:
+			// Scratch status attaches to the selected field when
+			// resolvable (gen.queue → the queue field object).
+			if sel, ok := pkg.Info.Selections[e]; ok {
+				return sel.Obj()
+			}
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// scratchSlices collects the objects sanctioned as amortized scratch in
+// body: targets of an `x = x[:0]` reset, variables initialized from a
+// `[:0]` re-slice, and slices made with an explicit capacity
+// (3-argument make).
+func scratchSlices(pkg *Package, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	if pkg.Info == nil {
+		return out
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			sanction := false
+			if se, ok := rhs.(*ast.SliceExpr); ok && isZeroLenReslice(se) {
+				sanction = true
+			}
+			if call, ok := rhs.(*ast.CallExpr); ok && len(call.Args) == 3 {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "make" && isBuiltin(pkg, id) {
+					sanction = true
+				}
+			}
+			if !sanction {
+				continue
+			}
+			if obj := sliceBaseObject(pkg, as.Lhs[i]); obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isZeroLenReslice matches x[:0] (with a constant 0 high bound).
+func isZeroLenReslice(se *ast.SliceExpr) bool {
+	if se.Low != nil || se.High == nil || se.Slice3 {
+		return false
+	}
+	lit, ok := se.High.(*ast.BasicLit)
+	return ok && lit.Value == "0"
+}

@@ -10,6 +10,10 @@ var All = []*Analyzer{
 	Printer,
 	SeedPlumb,
 	CtxFirst,
+	AllocFree,
+	ErrFlow,
+	Purity,
+	ShareMut,
 }
 
 // ByName resolves a comma-separated analyzer list ("determinism,printer").
@@ -51,19 +55,34 @@ func isLibraryPackage(modulePath, path string) bool {
 	return path == modulePath || strings.HasPrefix(path, modulePath+"/internal/")
 }
 
+// clockPackage is the sanctioned wall-clock access point: the ONLY
+// library package allowed to call time.Now. Exempting it here replaces
+// the //lint:allow suppression it used to carry — the boundary is now
+// policy, not a per-line waiver.
+const clockPackage = "/internal/clock"
+
 // AnalyzersFor returns the subset of candidates that applies to the
 // package at the given import path. Gating lives here — analyzers
 // themselves are unconditional, which keeps their fixture tests simple:
 //
-//   - determinism, floatcompare, printer: library packages only;
+//   - determinism: library packages only, except internal/clock (the
+//     sanctioned time.Now wrapper);
+//   - floatcompare, printer: library packages only;
 //   - seedplumb: the four sampling packages;
-//   - goroutineleak, ctxfirst: everywhere.
+//   - allocfree, purity: library packages only (the //imc: annotation
+//     contracts live in library code; cmd/ and examples/ are not on the
+//     sampling hot path);
+//   - goroutineleak, ctxfirst, errflow, sharemut: everywhere.
 func AnalyzersFor(modulePath, path string, candidates []*Analyzer) []*Analyzer {
 	lib := isLibraryPackage(modulePath, path)
 	var out []*Analyzer
 	for _, a := range candidates {
 		switch a.Name {
-		case "determinism", "floatcompare", "printer":
+		case "determinism":
+			if lib && path != modulePath+clockPackage {
+				out = append(out, a)
+			}
+		case "floatcompare", "printer", "allocfree", "purity":
 			if lib {
 				out = append(out, a)
 			}

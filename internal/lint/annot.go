@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// annot.go parses the `//imc:` directive comments that opt functions
+// into the flow-sensitive contracts:
+//
+//	//imc:hotpath   — the function is on the sampling hot path; the
+//	                  allocfree analyzer forbids per-iteration
+//	                  allocation inside its loops.
+//	//imc:pure      — the function is an estimator/comparator; the
+//	                  purity analyzer forbids writes to package state,
+//	                  impure callees, and retention of argument slices.
+//
+// Grammar: the directive must be its own comment line, attached to the
+// function declaration (in its doc comment or on the line of / above
+// the func keyword), exactly `//imc:<name>` with optional trailing
+// prose after a space. Like `//go:` directives there is no space after
+// the slashes.
+
+const (
+	directiveHotPath = "hotpath"
+	directivePure    = "pure"
+)
+
+// parseDirective extracts the name of an `//imc:` directive comment
+// ("hotpath" from "//imc:hotpath — inner sampling loop").
+func parseDirective(text string) (string, bool) {
+	rest, ok := strings.CutPrefix(text, "//imc:")
+	if !ok {
+		return "", false
+	}
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest, rest != ""
+}
+
+// funcDirectives returns the set of //imc: directives attached to each
+// function declaration of the package, plus the position of every
+// directive that is NOT attached to any function (misplaced directives
+// silently doing nothing are their own bug class; the annotation
+// analyzers report them).
+func funcDirectives(pkg *Package) map[*ast.FuncDecl]map[string]bool {
+	out := make(map[*ast.FuncDecl]map[string]bool)
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if name, ok := parseDirective(c.Text); ok {
+					set := out[fd]
+					if set == nil {
+						set = make(map[string]bool)
+						out[fd] = set
+					}
+					set[name] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// hasDirective reports whether fd carries //imc:<name>.
+func hasDirective(dirs map[*ast.FuncDecl]map[string]bool, fd *ast.FuncDecl, name string) bool {
+	return dirs[fd][name]
+}

@@ -1,0 +1,223 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseFuncCFG parses src (a full file), finds the named function, and
+// builds its CFG.
+func parseFuncCFG(t *testing.T, src, name string) *CFG {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_test.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return BuildCFG(fd.Body)
+		}
+	}
+	t.Fatalf("function %s not found", name)
+	return nil
+}
+
+// depthOfAssign returns the loop depth of the statement assigning to
+// the named identifier (via = or :=).
+func depthOfAssign(t *testing.T, cfg *CFG, name string) int {
+	t.Helper()
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Stmts {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				continue
+			}
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name == name {
+					d, ok := cfg.NodeLoopDepth(n)
+					if !ok {
+						t.Fatalf("assignment to %s not placed in any block", name)
+					}
+					return d
+				}
+			}
+		}
+	}
+	t.Fatalf("no assignment to %s found in CFG", name)
+	return -1
+}
+
+func TestCFGLoopDepth(t *testing.T) {
+	src := `package p
+func f(n int, items []int) {
+	setup := 0
+	for i := 0; i < n; i++ {
+		inner := 1
+		for _, v := range items {
+			deep := v
+			_ = deep
+		}
+		_ = inner
+	}
+	_ = setup
+}`
+	cfg := parseFuncCFG(t, src, "f")
+	for name, want := range map[string]int{"setup": 0, "inner": 1, "deep": 2} {
+		if got := depthOfAssign(t, cfg, name); got != want {
+			t.Errorf("loop depth of %q = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestCFGBreakContinueDepth(t *testing.T) {
+	src := `package p
+func h(n int) {
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			break
+		}
+		if i%2 == 0 {
+			continue
+		}
+		work := i
+		_ = work
+	}
+	done := 0
+	_ = done
+}`
+	cfg := parseFuncCFG(t, src, "h")
+	if got := depthOfAssign(t, cfg, "work"); got != 1 {
+		t.Errorf("loop depth of work = %d, want 1", got)
+	}
+	if got := depthOfAssign(t, cfg, "done"); got != 0 {
+		t.Errorf("loop depth of done = %d, want 0", got)
+	}
+	// The post-loop code must be reachable despite break/continue.
+	idom := cfg.Dominators()
+	blk := blockAssigning(t, cfg, "done")
+	if idom[blk.Index] == -1 {
+		t.Error("block after loop with break/continue is unreachable")
+	}
+}
+
+// blockAssigning finds the block containing the assignment to name.
+func blockAssigning(t *testing.T, cfg *CFG, name string) *Block {
+	t.Helper()
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Stmts {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				continue
+			}
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name == name {
+					return blk
+				}
+			}
+		}
+	}
+	t.Fatalf("no assignment to %s found", name)
+	return nil
+}
+
+func TestCFGDominators(t *testing.T) {
+	src := `package p
+func g(c bool) int {
+	x := 0
+	if c {
+		y := 1
+		_ = y
+	} else {
+		z := 2
+		_ = z
+	}
+	w := 3
+	return w
+}`
+	cfg := parseFuncCFG(t, src, "g")
+	idom := cfg.Dominators()
+	entry := cfg.Entry.Index
+	thenB := blockAssigning(t, cfg, "y").Index
+	elseB := blockAssigning(t, cfg, "z").Index
+	joinB := blockAssigning(t, cfg, "w").Index
+
+	if !cfg.Dominates(idom, entry, joinB) {
+		t.Error("entry must dominate the join block")
+	}
+	if cfg.Dominates(idom, thenB, joinB) {
+		t.Error("then-arm must not dominate the join block")
+	}
+	if cfg.Dominates(idom, elseB, joinB) {
+		t.Error("else-arm must not dominate the join block")
+	}
+	if !cfg.Dominates(idom, entry, thenB) || !cfg.Dominates(idom, entry, elseB) {
+		t.Error("entry must dominate both arms")
+	}
+	if idom[joinB] != entry {
+		t.Errorf("idom(join) = %d, want entry %d", idom[joinB], entry)
+	}
+}
+
+func TestCFGUnreachableAfterReturn(t *testing.T) {
+	src := `package p
+func r(c bool) int {
+	if c {
+		return 1
+	} else {
+		return 2
+	}
+}`
+	cfg := parseFuncCFG(t, src, "r")
+	// Both arms return, so the if's join block exists but is
+	// unreachable — dominators must mark it so, and exit must still see
+	// both return blocks.
+	if len(cfg.Exit.Preds) < 2 {
+		t.Fatalf("exit has %d predecessors, want >= 2", len(cfg.Exit.Preds))
+	}
+	idom := cfg.Dominators()
+	reachable := 0
+	for _, blk := range cfg.Blocks {
+		if blk == cfg.Entry || idom[blk.Index] != -1 {
+			reachable++
+		}
+	}
+	if reachable == len(cfg.Blocks) {
+		t.Error("expected at least one unreachable block (the post-if join)")
+	}
+}
+
+func TestCFGRangeHeaderPlacement(t *testing.T) {
+	src := `package p
+func s(items []int) int {
+	total := 0
+	for _, v := range items {
+		total += v
+	}
+	return total
+}`
+	cfg := parseFuncCFG(t, src, "s")
+	// The ranged-over expression must sit at depth 0 (evaluated once);
+	// the rangeBind marker and the body at depth 1.
+	var xDepth, bindDepth = -1, -1
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Stmts {
+			switch n := n.(type) {
+			case rangeBind:
+				bindDepth = blk.LoopDepth
+			case *ast.Ident:
+				if n.Name == "items" {
+					xDepth = blk.LoopDepth
+				}
+			}
+		}
+	}
+	if xDepth != 0 {
+		t.Errorf("ranged-over expression depth = %d, want 0", xDepth)
+	}
+	if bindDepth != 1 {
+		t.Errorf("range bind depth = %d, want 1", bindDepth)
+	}
+}

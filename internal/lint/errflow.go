@@ -1,0 +1,261 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrFlow tracks `error` values flow-sensitively through each
+// function's CFG and reports the two ways an error silently vanishes:
+//
+//   - overwritten unchecked: an error-typed variable holding the result
+//     of one call is reassigned from another call while some path from
+//     the first assignment reaches the second without the value ever
+//     being read (`err = doA(); err = doB()` — doA's failure is gone);
+//   - dropped unchecked: a path reaches the function's exit on which an
+//     assigned error value was never read at all.
+//
+// "Read" is any use: comparison against nil, being returned, passed as
+// an argument, assigned onward, captured by a closure, or explicitly
+// discarded with `_ = err` (visible intent). The analyzer is
+// flow-sensitive where PR 1's syntactic suite could not be: an error
+// checked on one branch but not the other is reported, while an error
+// checked before every reassignment — the loop idiom
+// `for { err = f(); if err != nil { return err } }` — is not.
+//
+// Unlike errcheck-style tools it does NOT flag expression-statement
+// calls whose error result is discarded outright (`fmt.Fprintf(w, …)`):
+// the repository writes through sticky-error writers (bufio.Writer),
+// where per-call checks are noise and the Flush check is the contract.
+var ErrFlow = &Analyzer{
+	Name: "errflow",
+	Doc:  "flow-sensitively flag error values overwritten or dropped before any path reads them",
+	Run:  runErrFlow,
+}
+
+// errFact is the dataflow fact: for each tracked error variable, the
+// position of the assignment whose value is still unread. A variable
+// missing from the map is clean (checked, or never assigned).
+type errFact map[types.Object]token.Pos
+
+// errFlowProblem implements FlowProblem for one function body.
+type errFlowProblem struct {
+	pkg *Package
+}
+
+func (p *errFlowProblem) Entry() any { return errFact{} }
+
+func (p *errFlowProblem) Merge(a, b any) any {
+	fa, fb := a.(errFact), b.(errFact)
+	// Union: unchecked on any incoming path means unchecked. Keep the
+	// earliest position for stable reporting.
+	out := make(errFact, len(fa)+len(fb))
+	for k, v := range fa {
+		out[k] = v
+	}
+	for k, v := range fb {
+		if old, ok := out[k]; !ok || v < old {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func (p *errFlowProblem) Equal(a, b any) bool {
+	fa, fb := a.(errFact), b.(errFact)
+	if len(fa) != len(fb) {
+		return false
+	}
+	for k, v := range fa {
+		if w, ok := fb[k]; !ok || w != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *errFlowProblem) Transfer(fact any, n ast.Node) any {
+	f := fact.(errFact)
+	out := make(errFact, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	if rb, ok := n.(rangeBind); ok {
+		n = rb.Range // uses in the key/value/X of the range count
+	}
+	// Every identifier USE of a tracked variable clears it — with one
+	// exception: the identifier being the plain assignment target of
+	// this very statement (that is a write, handled below).
+	writes := assignedErrorIdents(p.pkg, n)
+	ast.Inspect(n, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if writes[id] {
+			return true
+		}
+		if obj := p.pkg.Info.Uses[id]; obj != nil {
+			delete(out, obj)
+		}
+		return true
+	})
+	// Then record fresh unread assignments.
+	for id, fromCall := range writes {
+		obj := identObject(p.pkg, id)
+		if obj == nil {
+			continue
+		}
+		if fromCall {
+			out[obj] = id.Pos()
+		} else {
+			delete(out, obj) // e.g. err = nil resets tracking
+		}
+	}
+	return out
+}
+
+// assignedErrorIdents returns the error-typed identifiers that stmt
+// assigns to (as plain `x =` / `x :=` targets), mapped to whether the
+// right-hand side is a call (the only RHS whose loss matters).
+func assignedErrorIdents(pkg *Package, n ast.Node) map[*ast.Ident]bool {
+	out := make(map[*ast.Ident]bool)
+	as, ok := n.(*ast.AssignStmt)
+	if !ok || pkg.Info == nil {
+		return out
+	}
+	if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+		return out
+	}
+	fromCall := false
+	if len(as.Rhs) >= 1 {
+		if _, ok := as.Rhs[len(as.Rhs)-1].(*ast.CallExpr); ok {
+			fromCall = true
+		}
+	}
+	// Tuple assignment from a call (`v, err := f()`) or one-to-one.
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		if !isErrorIdent(pkg, id) {
+			continue
+		}
+		rhsIsCall := fromCall
+		if len(as.Lhs) == len(as.Rhs) {
+			_, rhsIsCall = as.Rhs[i].(*ast.CallExpr)
+		}
+		out[id] = rhsIsCall
+	}
+	return out
+}
+
+// identObject resolves an identifier to its object (def or use).
+func identObject(pkg *Package, id *ast.Ident) types.Object {
+	if pkg.Info == nil {
+		return nil
+	}
+	if obj := pkg.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return pkg.Info.Uses[id]
+}
+
+// isErrorIdent reports whether id has static type error.
+func isErrorIdent(pkg *Package, id *ast.Ident) bool {
+	obj := identObject(pkg, id)
+	if obj == nil || obj.Type() == nil {
+		return false
+	}
+	return types.Identical(obj.Type(), types.Universe.Lookup("error").Type())
+}
+
+func runErrFlow(pkg *Package, r *Reporter) {
+	if pkg.Info == nil {
+		return
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			}
+			if body == nil {
+				return true
+			}
+			checkErrFlow(pkg, body, r)
+			return true
+		})
+	}
+}
+
+// checkErrFlow runs the dataflow over one body and reports.
+func checkErrFlow(pkg *Package, body *ast.BlockStmt, r *Reporter) {
+	cfg := BuildCFG(body)
+	prob := &errFlowProblem{pkg: pkg}
+	in := Forward(cfg, prob)
+
+	reported := make(map[token.Pos]bool) // dedupe per origin assignment
+	report := func(origin token.Pos, format string, args ...any) {
+		if reported[origin] {
+			return
+		}
+		reported[origin] = true
+		r.Reportf("errflow", origin, format, args...)
+	}
+
+	// Only variables DECLARED inside this body are reported. Named error
+	// results live in the signature (a naked return hands them to the
+	// caller without an identifier use), and closures assigning an outer
+	// error variable (the errgroup idiom) surface it to code the closure
+	// cannot see — both are the enclosing scope's business, not ours.
+	local := func(obj types.Object) bool {
+		return obj.Pos() >= body.Pos() && obj.Pos() <= body.End()
+	}
+
+	// Overwrites: replay each block; a fresh call assignment to a
+	// variable whose fact is still unread kills the earlier error.
+	ReplayBlocks(cfg, prob, in, func(fact any, n ast.Node) {
+		f := fact.(errFact)
+		for id, fromCall := range assignedErrorIdents(pkg, n) {
+			if !fromCall {
+				continue
+			}
+			obj := identObject(pkg, id)
+			if obj == nil {
+				continue
+			}
+			if origin, unread := f[obj]; unread && origin != id.Pos() && local(obj) {
+				report(origin, "error assigned here is overwritten at line %d before being checked",
+					pkg.Fset.Position(id.Pos()).Line)
+			}
+		}
+	})
+
+	// Drops: any unread fact flowing into the exit block means some
+	// path ends the function without reading the error. A variable
+	// whose unread state only loops (never reaches exit) is still
+	// eventually read or overwritten, so exit is the right sink.
+	exitFact := errFact{}
+	for _, pred := range cfg.Exit.Preds {
+		// Recompute pred's out fact from its in fact.
+		pf := in[pred.Index]
+		if pf == nil {
+			continue
+		}
+		outFact := transferBlock(prob, pf, pred).(errFact)
+		merged := prob.Merge(exitFact, outFact).(errFact)
+		exitFact = merged
+	}
+	for obj, origin := range exitFact {
+		if !local(obj) {
+			continue
+		}
+		report(origin, "error assigned here is never checked on some path to return; check it, return it, or discard it explicitly with _ = err")
+	}
+}

@@ -16,8 +16,13 @@
 //   - seedplumb — exported APIs that spawn workers must be seedable;
 //   - ctxfirst — context.Context comes first.
 //
-// Violations that are intentional carry a `//lint:allow <check>` comment
-// on the offending line (or the line above) with a justification.
+// Violations that are intentional carry a
+// `//lint:allow <check>: <reason>` comment on the offending line (or
+// the line above). The justification after the colon is mandatory, and
+// the suite polices its own escape hatch: an allow comment that names
+// an unknown check, omits the reason, or no longer suppresses anything
+// (stale — the violation it excused was fixed or moved) is itself
+// reported under the pseudo-check "suppression".
 package lint
 
 import (
@@ -57,78 +62,122 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
 }
 
+// allowComment is one parsed `//lint:allow` escape hatch, tracked so
+// the suite can police its own suppressions.
+type allowComment struct {
+	// checks are the check names the comment suppresses ("all" matches
+	// every check).
+	checks []string
+	// reason is the mandatory justification after the colon.
+	reason string
+	// legacy records that the comment used the pre-v2 em-dash/double-
+	// dash separator instead of the colon.
+	legacy bool
+	// pos locates the comment for hygiene diagnostics.
+	pos token.Pos
+	// used flips when the comment suppresses at least one diagnostic
+	// in the current run.
+	used bool
+}
+
+// suppresses reports whether the comment silences the named check.
+func (ac *allowComment) suppresses(check string) bool {
+	for _, c := range ac.checks {
+		if c == check || c == "all" {
+			return true
+		}
+	}
+	return false
+}
+
 // Reporter collects diagnostics for one package and applies
 // `//lint:allow` suppression.
 type Reporter struct {
 	pkg   *Package
 	diags []Diagnostic
-	// allow maps filename → line → set of allowed check names. A
+	// allow maps filename → line → the allow comments on that line. A
 	// diagnostic is suppressed when its line, or the line directly
 	// above it, carries an allow comment naming its check (or "all").
-	allow map[string]map[int]map[string]bool
+	allow map[string]map[int][]*allowComment
+	// allows lists every allow comment in the package, for the
+	// suppression hygiene pass.
+	allows []*allowComment
 }
 
 // NewReporter builds a reporter over pkg, indexing its allow comments.
 func NewReporter(pkg *Package) *Reporter {
-	r := &Reporter{pkg: pkg, allow: make(map[string]map[int]map[string]bool)}
+	r := &Reporter{pkg: pkg, allow: make(map[string]map[int][]*allowComment)}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				checks, ok := parseAllow(c.Text)
+				checks, reason, legacy, ok := parseAllow(c.Text)
 				if !ok {
 					continue
 				}
+				ac := &allowComment{checks: checks, reason: reason, legacy: legacy, pos: c.Pos()}
+				r.allows = append(r.allows, ac)
 				pos := pkg.Fset.Position(c.Pos())
 				byLine := r.allow[pos.Filename]
 				if byLine == nil {
-					byLine = make(map[int]map[string]bool)
+					byLine = make(map[int][]*allowComment)
 					r.allow[pos.Filename] = byLine
 				}
-				set := byLine[pos.Line]
-				if set == nil {
-					set = make(map[string]bool)
-					byLine[pos.Line] = set
-				}
-				for _, name := range checks {
-					set[name] = true
-				}
+				byLine[pos.Line] = append(byLine[pos.Line], ac)
 			}
 		}
 	}
 	return r
 }
 
-// parseAllow extracts check names from a `//lint:allow a b — reason`
-// comment. The em-dash (or "--") and everything after it is the
-// human-readable justification.
-func parseAllow(text string) ([]string, bool) {
+// parseAllow parses a `//lint:allow check1 check2: reason` comment into
+// its check names and justification. The pre-v2 separators ("—", "--")
+// are still recognized so old comments keep suppressing, but they are
+// flagged as legacy by the hygiene pass.
+func parseAllow(text string) (checks []string, reason string, legacy, ok bool) {
 	text = strings.TrimPrefix(text, "//")
 	text = strings.TrimSpace(text)
 	const prefix = "lint:allow"
 	if !strings.HasPrefix(text, prefix) {
-		return nil, false
+		return nil, "", false, false
 	}
 	rest := text[len(prefix):]
 	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
-		return nil, false
+		return nil, "", false, false
 	}
-	for _, sep := range []string{"—", "--"} {
-		if i := strings.Index(rest, sep); i >= 0 {
-			rest = rest[:i]
+	if i := strings.Index(rest, ":"); i >= 0 {
+		reason = strings.TrimSpace(rest[i+1:])
+		rest = rest[:i]
+	} else {
+		for _, sep := range []string{"—", "--"} {
+			if i := strings.Index(rest, sep); i >= 0 {
+				reason = strings.TrimSpace(rest[i+len(sep):])
+				rest = rest[:i]
+				legacy = true
+				break
+			}
+		}
+		if !legacy {
+			// A nested "//" starts a trailing remark, not check names.
+			if i := strings.Index(rest, "//"); i >= 0 {
+				rest = rest[:i]
+			}
 		}
 	}
-	checks := strings.Fields(rest)
-	return checks, len(checks) > 0
+	checks = strings.Fields(rest)
+	return checks, reason, legacy, len(checks) > 0
 }
 
 // Reportf files a diagnostic at pos unless an allow comment suppresses
-// it.
+// it; a suppressing comment is marked used for the hygiene pass.
 func (r *Reporter) Reportf(check string, pos token.Pos, format string, args ...any) {
 	p := r.pkg.Fset.Position(pos)
 	if byLine := r.allow[p.Filename]; byLine != nil {
 		for _, line := range [2]int{p.Line, p.Line - 1} {
-			if set := byLine[line]; set != nil && (set[check] || set["all"]) {
-				return
+			for _, ac := range byLine[line] {
+				if ac.suppresses(check) {
+					ac.used = true
+					return
+				}
 			}
 		}
 	}
@@ -137,6 +186,59 @@ func (r *Reporter) Reportf(check string, pos token.Pos, format string, args ...a
 		Pos:     p,
 		Message: fmt.Sprintf(format, args...),
 	})
+}
+
+// suppressionCheck is the pseudo-check name for allow-comment hygiene
+// findings. It is not an Analyzer: it needs the post-run used state.
+const suppressionCheck = "suppression"
+
+// suppressionFindings polices the escape hatch after a run: unknown
+// check names, missing justifications, legacy separators, and — when
+// every check an allow names was actually part of this run — stale
+// comments that suppressed nothing.
+func (r *Reporter) suppressionFindings(active []*Analyzer) []Diagnostic {
+	known := map[string]bool{"all": true}
+	for _, a := range All {
+		known[a.Name] = true
+	}
+	activeSet := make(map[string]bool, len(active))
+	for _, a := range active {
+		activeSet[a.Name] = true
+	}
+	var out []Diagnostic
+	report := func(ac *allowComment, format string, args ...any) {
+		out = append(out, Diagnostic{
+			Check:   suppressionCheck,
+			Pos:     r.pkg.Fset.Position(ac.pos),
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	for _, ac := range r.allows {
+		if ac.legacy {
+			report(ac, "legacy allow syntax; write //lint:allow %s: <reason>", strings.Join(ac.checks, " "))
+		}
+		if ac.reason == "" {
+			report(ac, "allow comment without a justification; write //lint:allow %s: <reason>", strings.Join(ac.checks, " "))
+		}
+		covered := true
+		for _, c := range ac.checks {
+			if !known[c] {
+				report(ac, "allow comment names unknown check %q", c)
+				covered = false
+				continue
+			}
+			if c != "all" && !activeSet[c] {
+				covered = false
+			}
+		}
+		if c := len(ac.checks); c == 1 && ac.checks[0] == "all" && len(active) == 0 {
+			covered = false
+		}
+		if covered && !ac.used {
+			report(ac, "stale suppression: this comment no longer suppresses any %s diagnostic; delete it", strings.Join(ac.checks, "/"))
+		}
+	}
+	return out
 }
 
 // Diagnostics returns the collected findings sorted by position.
@@ -158,12 +260,14 @@ func (r *Reporter) Diagnostics() []Diagnostic {
 }
 
 // Run applies every analyzer in the list to pkg and returns the merged,
-// sorted diagnostics.
+// sorted diagnostics — including the suppression hygiene findings for
+// the package's allow comments.
 func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	r := NewReporter(pkg)
 	for _, a := range analyzers {
 		a.Run(pkg, r)
 	}
+	r.diags = append(r.diags, r.suppressionFindings(analyzers)...)
 	return r.Diagnostics()
 }
 

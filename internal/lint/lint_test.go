@@ -62,6 +62,10 @@ func TestAnalyzerFixtures(t *testing.T) {
 		"printer":       Printer,
 		"seedplumb":     SeedPlumb,
 		"ctxfirst":      CtxFirst,
+		"allocfree":     AllocFree,
+		"errflow":       ErrFlow,
+		"purity":        Purity,
+		"sharemut":      ShareMut,
 	}
 	if len(fixtures) != len(All) {
 		t.Fatalf("fixture table covers %d analyzers, suite has %d", len(fixtures), len(All))
@@ -108,7 +112,7 @@ func TestAllowSuppression(t *testing.T) {
 	var suppressed *Reporter
 	// Re-run with a reporter whose allow index is empty: the sanctioned
 	// time.Now must now surface, proving suppression (not blindness).
-	bare := &Reporter{pkg: pkg, allow: map[string]map[int]map[string]bool{}}
+	bare := &Reporter{pkg: pkg, allow: map[string]map[int][]*allowComment{}}
 	Determinism.Run(pkg, bare)
 	full := NewReporter(pkg)
 	Determinism.Run(pkg, full)
@@ -123,23 +127,71 @@ func TestParseAllow(t *testing.T) {
 	cases := []struct {
 		in     string
 		checks []string
+		reason string
+		legacy bool
 		ok     bool
 	}{
-		{"//lint:allow determinism", []string{"determinism"}, true},
-		{"// lint:allow determinism — reason text", []string{"determinism"}, true},
-		{"//lint:allow determinism floatcompare -- two checks", []string{"determinism", "floatcompare"}, true},
-		{"//lint:allowother", nil, false},
-		{"//lint:allow", nil, false},
-		{"// plain comment", nil, false},
+		{"//lint:allow determinism: the one sanctioned clock read", []string{"determinism"}, "the one sanctioned clock read", false, true},
+		{"//lint:allow determinism floatcompare: two checks", []string{"determinism", "floatcompare"}, "two checks", false, true},
+		{"//lint:allow determinism", []string{"determinism"}, "", false, true},
+		{"// lint:allow determinism — legacy separator", []string{"determinism"}, "legacy separator", true, true},
+		{"//lint:allow determinism -- legacy separator", []string{"determinism"}, "legacy separator", true, true},
+		{"//lint:allowother", nil, "", false, false},
+		{"//lint:allow", nil, "", false, false},
+		{"//lint:allow : reason but no check", nil, "", false, false},
+		{"// plain comment", nil, "", false, false},
 	}
 	for _, c := range cases {
-		got, ok := parseAllow(c.in)
+		checks, reason, legacy, ok := parseAllow(c.in)
 		if ok != c.ok {
 			t.Errorf("parseAllow(%q) ok=%v, want %v", c.in, ok, c.ok)
 			continue
 		}
-		if fmt.Sprint(got) != fmt.Sprint([]string(c.checks)) && c.ok {
-			t.Errorf("parseAllow(%q) = %v, want %v", c.in, got, c.checks)
+		if !c.ok {
+			continue
+		}
+		if fmt.Sprint(checks) != fmt.Sprint(c.checks) {
+			t.Errorf("parseAllow(%q) checks = %v, want %v", c.in, checks, c.checks)
+		}
+		if reason != c.reason {
+			t.Errorf("parseAllow(%q) reason = %q, want %q", c.in, reason, c.reason)
+		}
+		if legacy != c.legacy {
+			t.Errorf("parseAllow(%q) legacy = %v, want %v", c.in, legacy, c.legacy)
+		}
+	}
+}
+
+// TestSuppressionHygiene exercises the escape-hatch police: stale
+// allows, missing reasons, legacy separators, and unknown checks are
+// reported; a live, well-formed allow is not.
+func TestSuppressionHygiene(t *testing.T) {
+	pkg := loadFixture(t, "suppression")
+	diags := Run(pkg, []*Analyzer{Determinism})
+	wants := wantsIn(t, pkg)
+	matched := make(map[string]int)
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		subs, ok := wants[key]
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		found := false
+		for _, sub := range subs {
+			if strings.Contains(d.Message, sub) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("diagnostic at %s does not match any want %q: %s", key, subs, d.Message)
+		}
+		matched[key]++
+	}
+	for key, subs := range wants {
+		if matched[key] != len(subs) {
+			t.Errorf("%s: want %d diagnostic(s) matching %q, got %d", key, len(subs), subs, matched[key])
 		}
 	}
 }
@@ -157,12 +209,13 @@ func TestAnalyzersFor(t *testing.T) {
 		path string
 		want string
 	}{
-		{"imc", "determinism,floatcompare,goroutineleak,printer,ctxfirst"},
-		{"imc/internal/graph", "determinism,floatcompare,goroutineleak,printer,ctxfirst"},
-		{"imc/internal/ric", "determinism,floatcompare,goroutineleak,printer,seedplumb,ctxfirst"},
-		{"imc/internal/maxr", "determinism,floatcompare,goroutineleak,printer,seedplumb,ctxfirst"},
-		{"imc/cmd/imcrun", "goroutineleak,ctxfirst"},
-		{"imc/examples/quickstart", "goroutineleak,ctxfirst"},
+		{"imc", "determinism,floatcompare,goroutineleak,printer,ctxfirst,allocfree,errflow,purity,sharemut"},
+		{"imc/internal/graph", "determinism,floatcompare,goroutineleak,printer,ctxfirst,allocfree,errflow,purity,sharemut"},
+		{"imc/internal/ric", "determinism,floatcompare,goroutineleak,printer,seedplumb,ctxfirst,allocfree,errflow,purity,sharemut"},
+		{"imc/internal/maxr", "determinism,floatcompare,goroutineleak,printer,seedplumb,ctxfirst,allocfree,errflow,purity,sharemut"},
+		{"imc/internal/clock", "floatcompare,goroutineleak,printer,ctxfirst,allocfree,errflow,purity,sharemut"},
+		{"imc/cmd/imcrun", "goroutineleak,ctxfirst,errflow,sharemut"},
+		{"imc/examples/quickstart", "goroutineleak,ctxfirst,errflow,sharemut"},
 	}
 	for _, c := range cases {
 		if got := names(AnalyzersFor("imc", c.path, All)); got != c.want {

@@ -1,0 +1,412 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Purity enforces the `//imc:pure` contract on the estimators and
+// comparators: the functions whose results the solvers compare across
+// runs must be mathematical functions of their inputs. A marked
+// function may not:
+//
+//   - write package-level state (directly or through a selector);
+//   - write through its parameters or receiver (mutating an argument
+//     slice or a pointed-to struct is a side effect the caller sees);
+//   - retain an argument slice by storing it into non-local state
+//     (aliasing bugs: a caller's buffer mutated later by a different
+//     code path);
+//   - perform channel operations or spawn goroutines;
+//   - call an impure function. Same-package callees are classified by
+//     a bottom-up fixed point over the package's call graph; stdlib
+//     callees are pure only from the whitelisted numeric packages
+//     (math, math/bits); cross-package repo callees only when listed
+//     in assumedPure (read-only accessors, vouched for by hand, and
+//     verified in their own package when annotated there); dynamic
+//     calls (function values, interface methods) are assumed impure.
+//
+// Unmarked functions are never reported — their summaries exist only
+// to classify calls from marked ones.
+var Purity = &Analyzer{
+	Name: "purity",
+	Doc:  "forbid //imc:pure functions from writing package or argument state, retaining argument slices, or calling impure callees",
+	Run:  runPurity,
+}
+
+// pureStdlib lists import paths whose entire API is side-effect free
+// for our purposes.
+var pureStdlib = map[string]bool{
+	"math":      true,
+	"math/bits": true,
+}
+
+// assumedPure lists fully-qualified cross-package functions and
+// methods vouched for as read-only. Keys look like
+// "imc/internal/community.Partition.NumCommunities" (receiver
+// pointer-ness stripped) or "imc/internal/graph.Graph.NumNodes".
+var assumedPure = map[string]bool{
+	"imc/internal/community.Partition.NumCommunities": true,
+	"imc/internal/community.Partition.NumNodes":       true,
+	"imc/internal/community.Partition.Community":      true,
+	"imc/internal/community.Partition.TotalBenefit":   true,
+	"imc/internal/graph.Graph.NumNodes":               true,
+	"imc/internal/graph.Graph.NumEdges":               true,
+}
+
+// impurity describes why a function is impure: a human-readable reason
+// plus the offending position, or nil when pure.
+type impurity struct {
+	reason string
+	pos    ast.Node
+}
+
+// purityState is the per-package fixed-point computation.
+type purityState struct {
+	pkg *Package
+	// summaries maps each declared function object to its first
+	// impurity (nil = pure so far).
+	summaries map[types.Object]*impurity
+	decls     map[types.Object]*ast.FuncDecl
+}
+
+func runPurity(pkg *Package, r *Reporter) {
+	if pkg.Info == nil {
+		return
+	}
+	dirs := funcDirectives(pkg)
+	st := &purityState{
+		pkg:       pkg,
+		summaries: make(map[types.Object]*impurity),
+		decls:     make(map[types.Object]*ast.FuncDecl),
+	}
+	for _, file := range pkg.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj := pkg.Info.Defs[fd.Name]; obj != nil {
+				st.decls[obj] = fd
+			}
+		}
+	}
+	// Bottom-up fixed point: start optimistic (everything pure), then
+	// recompute summaries until stable — recursion settles correctly
+	// because impurity only ever spreads, never retracts.
+	for changed := true; changed; {
+		changed = false
+		for obj, fd := range st.decls {
+			imp := st.classify(fd)
+			prev := st.summaries[obj]
+			if (prev == nil) != (imp == nil) {
+				st.summaries[obj] = imp
+				changed = true
+			}
+		}
+	}
+	// Report every violation inside marked functions.
+	for obj, fd := range st.decls {
+		if !hasDirective(dirs, fd, directivePure) {
+			continue
+		}
+		_ = obj
+		st.reportViolations(fd, r)
+	}
+}
+
+// classify returns fd's first impurity (or nil), consulting current
+// summaries for same-package calls.
+func (st *purityState) classify(fd *ast.FuncDecl) *impurity {
+	var found *impurity
+	st.walk(fd, func(imp *impurity) bool {
+		if found == nil {
+			found = imp
+		}
+		return false // first reason is enough for a summary
+	})
+	return found
+}
+
+// reportViolations reports every impurity in a marked function.
+func (st *purityState) reportViolations(fd *ast.FuncDecl, r *Reporter) {
+	st.walk(fd, func(imp *impurity) bool {
+		r.Reportf("purity", imp.pos.Pos(), "//imc:pure function %s %s", fd.Name.Name, imp.reason)
+		return true // keep going: report all sites
+	})
+}
+
+// walk scans fd's body for impurities, invoking visit for each; visit
+// returns whether to continue scanning.
+func (st *purityState) walk(fd *ast.FuncDecl, visit func(*impurity) bool) {
+	locals := localObjects(st.pkg, fd)
+	stop := false
+	emit := func(imp *impurity) {
+		if !stop && !visit(imp) {
+			stop = true
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if stop {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				st.checkStore(fd, lhs, n.Rhs, locals, emit)
+			}
+		case *ast.IncDecStmt:
+			st.checkStore(fd, n.X, nil, locals, emit)
+		case *ast.SendStmt:
+			emit(&impurity{reason: "performs a channel send", pos: n})
+		case *ast.GoStmt:
+			emit(&impurity{reason: "spawns a goroutine", pos: n})
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				emit(&impurity{reason: "performs a channel receive", pos: n})
+			}
+		case *ast.CallExpr:
+			st.checkCall(n, emit)
+		}
+		return true
+	})
+}
+
+// checkStore classifies one assignment target. rhs (the assignment's
+// right-hand sides, nil for ++/--) refines the message when an
+// argument slice is being retained.
+func (st *purityState) checkStore(fd *ast.FuncDecl, lhs ast.Expr, rhs []ast.Expr, locals map[types.Object]bool, emit func(*impurity)) {
+	root := storeRoot(lhs)
+	id, ok := root.(*ast.Ident)
+	if !ok {
+		// Store through an arbitrary expression (e.g. f().field = x):
+		// not provably local.
+		emit(&impurity{reason: "writes through a non-local expression", pos: lhs})
+		return
+	}
+	if id.Name == "_" {
+		return
+	}
+	obj := identObject(st.pkg, id)
+	if obj == nil {
+		return
+	}
+	if locals[obj] {
+		// Writing a local is fine — unless the write path dereferences
+		// a pointer-typed local that aliases a parameter; tracking that
+		// precisely needs escape analysis, so we accept locals.
+		// A plain `x = …` to a local never mutates shared state; an
+		// indexed write x[i] through a local SLICE that came from a
+		// parameter does, which parameter-derived check below covers
+		// only for direct parameters. Documented limitation.
+		return
+	}
+	if isParamObject(st.pkg, fd, obj) {
+		// Plain reassignment of the parameter variable itself is a
+		// local effect; writing THROUGH it (index, deref, field) is
+		// what callers observe.
+		if _, plain := lhs.(*ast.Ident); plain {
+			return
+		}
+		emit(&impurity{reason: fmt.Sprintf("writes through parameter %s", id.Name), pos: lhs})
+		return
+	}
+	// Package-level (or outer-scope captured) state.
+	imp := &impurity{reason: fmt.Sprintf("writes package-level state %s", id.Name), pos: lhs}
+	if retainsParamSlice(st.pkg, fd, rhs) {
+		imp.reason = fmt.Sprintf("retains an argument slice in package-level state %s", id.Name)
+	}
+	emit(imp)
+}
+
+// checkCall classifies one call expression.
+func (st *purityState) checkCall(call *ast.CallExpr, emit func(*impurity)) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj := identObject(st.pkg, fun)
+		if obj == nil {
+			return
+		}
+		if _, isBuiltin := obj.(*types.Builtin); isBuiltin {
+			return // len/cap/append/copy/make write only locals here; stores are caught at assignment
+		}
+		if _, isType := obj.(*types.TypeName); isType {
+			return // conversion
+		}
+		st.checkCallee(call, obj, emit)
+	case *ast.SelectorExpr:
+		// pkg.Fn or value.Method.
+		if sel, ok := st.pkg.Info.Selections[fun]; ok {
+			if _, isIface := sel.Recv().Underlying().(*types.Interface); isIface {
+				emit(&impurity{reason: "calls an interface method (dynamic dispatch)", pos: call})
+				return
+			}
+			st.checkCallee(call, sel.Obj(), emit)
+			return
+		}
+		// Qualified identifier (package function) or conversion.
+		obj := identObject(st.pkg, fun.Sel)
+		if obj == nil {
+			emit(&impurity{reason: "calls an unresolvable function", pos: call})
+			return
+		}
+		if _, isType := obj.(*types.TypeName); isType {
+			return
+		}
+		st.checkCallee(call, obj, emit)
+	default:
+		// Function value, method expression, etc.
+		emit(&impurity{reason: "makes a dynamic call (function value or interface method)", pos: call})
+	}
+}
+
+// checkCallee decides whether the resolved callee object is pure.
+func (st *purityState) checkCallee(call *ast.CallExpr, obj types.Object, emit func(*impurity)) {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		// Calling a variable: dynamic.
+		emit(&impurity{reason: fmt.Sprintf("makes a dynamic call through %s", obj.Name()), pos: call})
+		return
+	}
+	pkgOf := fn.Pkg()
+	if pkgOf == nil {
+		return // universe (error.Error etc.): treat as pure reads
+	}
+	if pkgOf.Path() == st.pkg.Path {
+		if imp := st.summaries[fn]; imp != nil {
+			emit(&impurity{reason: fmt.Sprintf("calls impure %s (which %s)", fn.Name(), imp.reason), pos: call})
+		} else if _, known := st.decls[fn]; !known {
+			// Same-package function without a body we saw (assembly,
+			// generated): conservative.
+			emit(&impurity{reason: fmt.Sprintf("calls %s, whose body is not analyzable", fn.Name()), pos: call})
+		}
+		return
+	}
+	if pureStdlib[pkgOf.Path()] {
+		return
+	}
+	if assumedPure[qualifiedName(fn)] {
+		return
+	}
+	emit(&impurity{reason: fmt.Sprintf("calls %s.%s, which is not known to be pure", pkgOf.Path(), fn.Name()), pos: call})
+}
+
+// qualifiedName renders fn as "pkgpath.Recv.Name" (receiver optional,
+// pointers stripped) for the assumedPure table.
+func qualifiedName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return fn.Pkg().Path() + "." + fn.Name()
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	name := ""
+	if named, ok := rt.(*types.Named); ok {
+		name = named.Obj().Name()
+	}
+	return fn.Pkg().Path() + "." + name + "." + fn.Name()
+}
+
+// storeRoot peels index/selector/star/paren layers off an assignment
+// target, returning the root expression.
+func storeRoot(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+// localObjects collects every object declared inside fd's body (:=,
+// var, range vars, type switches). Parameters and results are NOT
+// locals for purity purposes — they are the caller-visible surface.
+func localObjects(pkg *Package, fd *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	if pkg.Info == nil {
+		return out
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := pkg.Info.Defs[id]; obj != nil {
+			out[obj] = true
+		}
+		return true
+	})
+	return out
+}
+
+// isParamObject reports whether obj is one of fd's parameters, results,
+// or receiver.
+func isParamObject(pkg *Package, fd *ast.FuncDecl, obj types.Object) bool {
+	check := func(fl *ast.FieldList) bool {
+		if fl == nil {
+			return false
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if pkg.Info.Defs[name] == obj {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return check(fd.Recv) || check(fd.Type.Params) || check(fd.Type.Results)
+}
+
+// retainsParamSlice reports whether any rhs expression mentions a
+// slice-typed parameter identifier — the aliasing half of the purity
+// contract.
+func retainsParamSlice(pkg *Package, fd *ast.FuncDecl, rhs []ast.Expr) bool {
+	if pkg.Info == nil {
+		return false
+	}
+	params := make(map[types.Object]bool)
+	collect := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				obj := pkg.Info.Defs[name]
+				if obj == nil || obj.Type() == nil {
+					continue
+				}
+				if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+					params[obj] = true
+				}
+			}
+		}
+	}
+	collect(fd.Recv)
+	collect(fd.Type.Params)
+	found := false
+	for _, e := range rhs {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := pkg.Info.Uses[id]; obj != nil && params[obj] {
+					found = true
+				}
+			}
+			return !found
+		})
+	}
+	return found
+}

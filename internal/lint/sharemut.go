@@ -1,0 +1,406 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ShareMut guards the repository's share-then-freeze convention for
+// slice-backed values (RIC masks, bitsets, RR sets, cover entries):
+// once a slice has been handed to another goroutine or stored into a
+// long-lived container (a pool's inverted index, a sample's cover
+// list), its backing array is shared, and mutating it afterwards is a
+// data race or a silent corruption of pooled state.
+//
+// The analyzer runs a forward dataflow over each function's CFG. A
+// slice variable becomes *shared* when it is:
+//
+//   - referenced inside a `go` statement (free variable or argument);
+//   - sent on a channel;
+//   - stored into a non-local container (an element or field write
+//     whose root is not a function-local variable, or an append whose
+//     result lands in such a place).
+//
+// After the share, the analyzer reports:
+//
+//   - element writes (`v[i] = x`, `v[i] += x`, `v[i]++`);
+//   - growth that can write the shared backing array
+//     (`v = append(v, …)`, including through `v = v[:0]` reslicing,
+//     which keeps the array);
+//   - use as the destination of copy().
+//
+// Flow-sensitivity is what makes the check usable: mutations BEFORE
+// the share are fine, shares on one branch only taint that branch, a
+// wholesale reassignment from a fresh make() clears the taint, and —
+// the one happens-before edge the analyzer understands —
+// sync.WaitGroup.Wait() clears goroutine-shares (the repo's fan-out
+// idiom joins all workers before touching their results).
+var ShareMut = &Analyzer{
+	Name: "sharemut",
+	Doc:  "flag mutation of slice values after they were shared with a goroutine or stored into a pool/index",
+	Run:  runShareMut,
+}
+
+// shareOrigin says how a variable became shared.
+type shareOrigin struct {
+	pos token.Pos
+	// viaGoroutine distinguishes goroutine-shares (released by
+	// WaitGroup.Wait) from container-stores (never released).
+	viaGoroutine bool
+}
+
+// shareFact maps each shared slice object to its share origin.
+type shareFact map[types.Object]shareOrigin
+
+type shareMutProblem struct {
+	pkg *Package
+	// sigVars is the set of variables declared in function signatures
+	// (receivers, params, results), precomputed once per package.
+	sigVars map[types.Object]bool
+}
+
+func (p *shareMutProblem) Entry() any { return shareFact{} }
+
+func (p *shareMutProblem) Merge(a, b any) any {
+	fa, fb := a.(shareFact), b.(shareFact)
+	out := make(shareFact, len(fa)+len(fb))
+	for k, v := range fa {
+		out[k] = v
+	}
+	for k, v := range fb {
+		if old, ok := out[k]; !ok || v.pos < old.pos {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func (p *shareMutProblem) Equal(a, b any) bool {
+	fa, fb := a.(shareFact), b.(shareFact)
+	if len(fa) != len(fb) {
+		return false
+	}
+	for k, v := range fa {
+		if w, ok := fb[k]; !ok || w != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *shareMutProblem) Transfer(fact any, n ast.Node) any {
+	f := fact.(shareFact)
+	out := make(shareFact, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	if rb, ok := n.(rangeBind); ok {
+		n = rb.Range
+	}
+	switch s := n.(type) {
+	case *ast.GoStmt:
+		for obj := range sliceObjectsIn(p.pkg, s.Call) {
+			out[obj] = shareOrigin{pos: s.Pos(), viaGoroutine: true}
+		}
+	case *ast.SendStmt:
+		for obj := range sliceObjectsIn(p.pkg, s.Value) {
+			out[obj] = shareOrigin{pos: s.Pos(), viaGoroutine: true}
+		}
+	case *ast.AssignStmt:
+		p.transferAssign(out, s)
+	case *ast.ExprStmt:
+		if isWaitCall(p.pkg, s.X) {
+			for obj, origin := range out {
+				if origin.viaGoroutine {
+					delete(out, obj)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// transferAssign handles taint introduction and clearing on one
+// assignment.
+func (p *shareMutProblem) transferAssign(out shareFact, as *ast.AssignStmt) {
+	if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		var rhs ast.Expr
+		if len(as.Lhs) == len(as.Rhs) {
+			rhs = as.Rhs[i]
+		} else if len(as.Rhs) == 1 {
+			rhs = as.Rhs[0]
+		}
+		if storesIntoNonLocal(p.pkg, p.sigVars, lhs) && rhs != nil {
+			// Storing into a container: every BODY-LOCAL slice mentioned
+			// on the right is now aliased by long-lived state. Struct
+			// fields and parameters mentioned there are already
+			// long-lived (s.index[v] = append(s.index[v], …) is the
+			// container growing itself, not a fresh handoff) — only a
+			// local buffer changes ownership at this store.
+			for obj := range sliceObjectsIn(p.pkg, rhs) {
+				if isBodyLocalVar(p.sigVars, obj) {
+					out[obj] = shareOrigin{pos: as.Pos()}
+				}
+			}
+			continue
+		}
+		// Plain reassignment of a tracked variable from an expression
+		// that does not alias it clears the taint (fresh buffer).
+		if id, ok := lhs.(*ast.Ident); ok && rhs != nil {
+			obj := identObject(p.pkg, id)
+			if obj == nil {
+				continue
+			}
+			if _, tracked := out[obj]; tracked && !exprMentions(p.pkg, rhs, obj) {
+				delete(out, obj)
+			}
+		}
+	}
+}
+
+func runShareMut(pkg *Package, r *Reporter) {
+	if pkg.Info == nil {
+		return
+	}
+	sigVars := signatureVars(pkg)
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkShareMut(pkg, fd.Body, sigVars, r)
+		}
+	}
+}
+
+func checkShareMut(pkg *Package, body *ast.BlockStmt, sigVars map[types.Object]bool, r *Reporter) {
+	cfg := BuildCFG(body)
+	prob := &shareMutProblem{pkg: pkg, sigVars: sigVars}
+	in := Forward(cfg, prob)
+	ReplayBlocks(cfg, prob, in, func(fact any, n ast.Node) {
+		f := fact.(shareFact)
+		if rb, ok := n.(rangeBind); ok {
+			n = rb.Range
+		}
+		reportSharedMutations(pkg, n, f, r)
+	})
+}
+
+// reportSharedMutations flags mutations of currently-shared objects in
+// one statement. It does not descend into nested function literals —
+// their bodies run under their own schedule and their own CFG facts
+// would be needed; the share event itself already covers the handoff.
+func reportSharedMutations(pkg *Package, n ast.Node, f shareFact, r *Reporter) {
+	if len(f) == 0 {
+		return
+	}
+	describe := func(origin shareOrigin) string {
+		how := "stored into shared state"
+		if origin.viaGoroutine {
+			how = "shared with a goroutine"
+		}
+		return how
+	}
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		for i, lhs := range s.Lhs {
+			// Element write through a shared slice.
+			if idx, ok := lhs.(*ast.IndexExpr); ok {
+				if obj := sliceBaseObject(pkg, idx.X); obj != nil {
+					if origin, shared := f[obj]; shared {
+						r.Reportf("sharemut", lhs.Pos(),
+							"writes element of %s, which was %s at line %d; mutation after sharing is a race — clone before sharing or stop mutating",
+							obj.Name(), describe(origin), pkg.Fset.Position(origin.pos).Line)
+					}
+				}
+			}
+			// Growth: v = append(v, …) or v = v[:0] on a shared v.
+			if id, ok := lhs.(*ast.Ident); ok && len(s.Lhs) == len(s.Rhs) {
+				obj := identObject(pkg, id)
+				if obj == nil {
+					continue
+				}
+				origin, shared := f[obj]
+				if !shared {
+					continue
+				}
+				if exprMentions(pkg, s.Rhs[i], obj) {
+					r.Reportf("sharemut", s.Pos(),
+						"grows or reslices %s in place, but it was %s at line %d and still owns that backing array; allocate a fresh buffer instead",
+						obj.Name(), describe(origin), pkg.Fset.Position(origin.pos).Line)
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		if idx, ok := s.X.(*ast.IndexExpr); ok {
+			if obj := sliceBaseObject(pkg, idx.X); obj != nil {
+				if origin, shared := f[obj]; shared {
+					r.Reportf("sharemut", s.Pos(),
+						"mutates element of %s, which was %s at line %d",
+						obj.Name(), describe(origin), pkg.Fset.Position(origin.pos).Line)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		// copy(shared, …) overwrites the shared backing array.
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "copy" && isBuiltin(pkg, id) && len(call.Args) == 2 {
+				if obj := sliceBaseObject(pkg, call.Args[0]); obj != nil {
+					if origin, shared := f[obj]; shared {
+						r.Reportf("sharemut", call.Pos(),
+							"copies into %s, which was %s at line %d",
+							obj.Name(), describe(origin), pkg.Fset.Position(origin.pos).Line)
+					}
+				}
+			}
+		}
+	}
+}
+
+// sliceObjectsIn collects every slice-typed local identifier referenced
+// in expr (including inside nested function literals — a goroutine
+// closure's free variables).
+func sliceObjectsIn(pkg *Package, expr ast.Node) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(expr, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pkg.Info.Uses[id]
+		if obj == nil || obj.Type() == nil {
+			return true
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return true
+		}
+		if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+			out[obj] = true
+		}
+		return true
+	})
+	return out
+}
+
+// storesIntoNonLocal reports whether lhs writes an element or field of
+// something that outlives the function: its root is a selector chain
+// into a receiver/parameter, a package-level variable, or an index into
+// any of those. A plain local identifier (or blank) is local.
+func storesIntoNonLocal(pkg *Package, sigVars map[types.Object]bool, lhs ast.Expr) bool {
+	switch lhs.(type) {
+	case *ast.IndexExpr, *ast.SelectorExpr, *ast.StarExpr:
+	default:
+		return false
+	}
+	root := storeRoot(lhs)
+	id, ok := root.(*ast.Ident)
+	if !ok {
+		return true
+	}
+	obj := identObject(pkg, id)
+	if obj == nil {
+		return true
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return true
+	}
+	// Package-level variable: non-local. Parameters/receivers: writes
+	// through them reach caller-owned or pool-owned state — non-local
+	// when the write path goes through a field/index (which it does,
+	// or we would not be here). Body-declared locals of value kind:
+	// local — the container stores we care about (p.index[v],
+	// s.cover[i]) all root at receivers.
+	if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+		return true // package scope
+	}
+	return sigVars[v]
+}
+
+// signatureVars collects every variable declared in a function
+// signature (receiver, parameter, result) of the package — computed
+// once so the dataflow transfer function stays cheap.
+func signatureVars(pkg *Package) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	addList := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := pkg.Info.Defs[name]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				addList(fn.Recv)
+				addList(fn.Type.Params)
+				addList(fn.Type.Results)
+			case *ast.FuncLit:
+				addList(fn.Type.Params)
+				addList(fn.Type.Results)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isBodyLocalVar reports whether obj is a slice variable declared in a
+// function body: not a struct field, not a signature variable
+// (receiver/param/result), not package-level. Only such variables can
+// change ownership at a container store — everything else was already
+// long-lived or caller-owned.
+func isBodyLocalVar(sigVars map[types.Object]bool, obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	if v.IsField() || sigVars[v] {
+		return false
+	}
+	if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+		return false // package scope
+	}
+	return true
+}
+
+// exprMentions reports whether expr references obj.
+func exprMentions(pkg *Package, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pkg.Info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isWaitCall matches a call to sync.WaitGroup.Wait.
+func isWaitCall(pkg *Package, expr ast.Expr) bool {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Wait" {
+		return false
+	}
+	tv, ok := pkg.Info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	name := tv.Type.String()
+	return name == "sync.WaitGroup" || name == "*sync.WaitGroup"
+}

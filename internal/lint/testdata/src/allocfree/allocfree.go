@@ -1,0 +1,151 @@
+// Package allocfree is a lint fixture for the //imc:hotpath contract:
+// every want-annotated line marks a per-iteration allocation the
+// analyzer must flag; every other line — one-time setup, amortized
+// scratch, unannotated functions — must stay silent.
+package allocfree
+
+type gen struct {
+	queue []int
+}
+
+func sink(v interface{}) {}
+
+//imc:hotpath
+func makesPerIteration(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		buf := make([]int, 8) // want "make inside a hot loop"
+		total += len(buf) + i
+	}
+	return total
+}
+
+//imc:hotpath
+func setupOutsideLoop(n int) int {
+	buf := make([]int, n) // clean: one-time setup before the loop
+	total := 0
+	for i := range buf {
+		total += buf[i]
+	}
+	return total
+}
+
+//imc:hotpath
+func newPerIteration(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		p := new(gen) // want "new inside a hot loop"
+		total += len(p.queue)
+	}
+	return total
+}
+
+//imc:hotpath
+func appendChurn(items []int) []int {
+	var out []int
+	for _, v := range items {
+		out = append(out, v) // want "append to a non-scratch slice"
+	}
+	return out
+}
+
+//imc:hotpath
+func appendScratch(g *gen, items []int) {
+	g.queue = g.queue[:0] // sanctions g.queue as amortized scratch
+	for _, v := range items {
+		g.queue = append(g.queue, v) // clean: scratch growth amortizes
+	}
+}
+
+//imc:hotpath
+func appendPrealloc(items []int) []int {
+	out := make([]int, 0, len(items)) // capacity preallocated
+	for _, v := range items {
+		out = append(out, v) // clean: within preallocated capacity
+	}
+	return out
+}
+
+//imc:hotpath
+func closureInLoop(items []int) int {
+	total := 0
+	for _, v := range items {
+		f := func() int { return v * v } // want "closure literal"
+		total += f()
+	}
+	return total
+}
+
+//imc:hotpath
+func literalsInLoop(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		xs := []int{i, i + 1}  // want "slice literal"
+		m := map[int]int{i: i} // want "map literal"
+		total += xs[0] + len(m)
+	}
+	return total
+}
+
+//imc:hotpath
+func stringConcat(names []string, prefix string) int {
+	total := 0
+	for _, name := range names {
+		msg := prefix + name // want "string concatenation"
+		total += len(msg)
+	}
+	return total
+}
+
+//imc:hotpath
+func stringGrow(names []string) string {
+	var all string
+	for _, name := range names {
+		all += name // want "string +="
+	}
+	return all
+}
+
+//imc:hotpath
+func boxesInLoop(vals []int) {
+	for _, v := range vals {
+		sink(v) // want "boxes it on the heap"
+	}
+}
+
+//imc:hotpath
+func pointerNoBox(vals []*gen) {
+	for _, v := range vals {
+		sink(v) // clean: a pointer fits the interface data word
+	}
+}
+
+//imc:hotpath
+func rangedExprOnce(n int) int {
+	total := 0
+	for _, v := range make([]int, n) { // clean: evaluated once, before iteration
+		total += v
+	}
+	return total
+}
+
+//imc:hotpath
+func nestedRangedExpr(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		for _, v := range make([]int, 4) { // want "make inside a hot loop"
+			total += v + i
+		}
+	}
+	return total
+}
+
+// unannotated carries no //imc:hotpath: its allocations are its own
+// business and must not be reported.
+func unannotated(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}

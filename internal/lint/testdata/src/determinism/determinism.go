@@ -25,7 +25,7 @@ func untilDeadline(deadline time.Time) time.Duration {
 }
 
 func sanctionedWallClock() time.Time {
-	return time.Now() //lint:allow determinism — fixture: demonstrates the escape hatch
+	return time.Now() //lint:allow determinism: fixture demonstrates the escape hatch
 }
 
 func leakyMapAppend(m map[string]int) []string {
@@ -38,7 +38,7 @@ func leakyMapAppend(m map[string]int) []string {
 
 func leakyMapPrint(m map[string]int) {
 	for k, v := range m {
-		fmt.Sprintf("%s=%d", k, v) // Sprint does not emit; silent
+		fmt.Sprintf("%s=%d", k, v)  // Sprint does not emit; silent
 		fmt.Printf("%s=%d\n", k, v) // want "nondeterministic order"
 	}
 }

@@ -1,0 +1,117 @@
+// Package errflow is a lint fixture for the flow-sensitive error
+// tracker: want-annotated lines mark assignments whose error value is
+// overwritten or dropped on some path; the clean functions encode the
+// idioms the analyzer must NOT flag (loop-check, named results,
+// closure captures, explicit discards, sticky-writer expression calls).
+package errflow
+
+import "errors"
+
+var sentinel = errors.New("boom")
+
+func doA() error { return sentinel }
+
+func doB() error { return nil }
+
+func pair() (int, error) { return 1, nil }
+
+func cond() bool { return true }
+
+// Straight-line overwrite: doA's failure is silently lost.
+func overwrite() error {
+	err := doA() // want "overwritten"
+	err = doB()
+	return err
+}
+
+// Overwritten on one branch only — still a lost error on that path.
+func branchOverwrite() error {
+	err := doA() // want "overwritten"
+	if cond() {
+		err = doB()
+	}
+	return err
+}
+
+// Checked under one condition, dropped when cond() is false.
+func branchDrop() int {
+	err := doA() // want "never checked"
+	if cond() {
+		if err != nil {
+			return 1
+		}
+	}
+	return 0
+}
+
+// Tuple assignment whose error is dropped on the early-return path.
+func tupleDrop() int {
+	v, err := pair() // want "never checked"
+	if v > 0 {
+		return v
+	}
+	if err != nil {
+		return -1
+	}
+	return 0
+}
+
+// The loop idiom: assigned then checked before every back edge — clean.
+func loopChecked(n int) error {
+	for i := 0; i < n; i++ {
+		if err := doA(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reassignment around the back edge is the same assignment site, not an
+// overwrite, and the value is read after the loop — clean.
+func loopReassign(n int) error {
+	var err error
+	for i := 0; i < n; i++ {
+		err = doB()
+	}
+	return err
+}
+
+// Checked immediately in the if-init idiom — clean.
+func checkedNow() error {
+	if err := doB(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Explicit discard is visible intent — clean.
+func discard() {
+	err := doA()
+	_ = err
+}
+
+// Named error results belong to the signature: a naked return hands
+// them to the caller without an identifier use — clean.
+func namedResult() (err error) {
+	err = doA()
+	return
+}
+
+// A goroutine assigning an outer error variable (the errgroup idiom)
+// surfaces it to code this closure cannot see — clean.
+func closureCapture() error {
+	var err error
+	done := make(chan struct{})
+	go func() {
+		err = doA()
+		close(done)
+	}()
+	<-done
+	return err
+}
+
+// Expression-statement calls discarding their error outright are the
+// sticky-writer pattern, deliberately out of scope — clean.
+func stickyWriter() {
+	doA()
+}

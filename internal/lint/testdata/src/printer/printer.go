@@ -8,7 +8,7 @@ import (
 )
 
 func printsToStdout(v int) {
-	fmt.Println("value:", v)    // want "fmt.Println"
+	fmt.Println("value:", v)     // want "fmt.Println"
 	fmt.Printf("value: %d\n", v) // want "fmt.Printf"
 	fmt.Print(v)                 // want "fmt.Print"
 }

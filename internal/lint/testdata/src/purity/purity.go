@@ -1,0 +1,116 @@
+// Package purity is a lint fixture for the //imc:pure contract:
+// want-annotated lines mark writes to shared state, impure calls, and
+// channel/goroutine effects inside marked functions. Unmarked impure
+// functions must stay silent, and the marked pure ones (including the
+// mutually recursive pair) prove the bottom-up fixed point converges.
+package purity
+
+import (
+	"fmt"
+	"math"
+)
+
+var counter int
+
+var cache []float64
+
+type measurer interface{ Len() int }
+
+//imc:pure
+func pureNorm(xs []float64) float64 {
+	total := 0.0
+	for _, x := range xs {
+		total += x * x
+	}
+	return math.Sqrt(total)
+}
+
+//imc:pure
+func callsPure(xs []float64) float64 {
+	return pureNorm(xs)
+}
+
+//imc:pure
+func writesGlobal(x int) int {
+	counter++ // want "writes package-level state counter"
+	return x + counter
+}
+
+func helper() int {
+	counter++
+	return counter
+}
+
+//imc:pure
+func callsImpure(x int) int {
+	return x + helper() // want "calls impure helper"
+}
+
+//imc:pure
+func retains(xs []float64) float64 {
+	cache = xs // want "retains an argument slice in package-level state cache"
+	return 0
+}
+
+//imc:pure
+func writesParam(xs []float64, f float64) {
+	for i := range xs {
+		xs[i] *= f // want "writes through parameter xs"
+	}
+}
+
+//imc:pure
+func sends(c chan int, x int) int {
+	c <- x // want "channel send"
+	return x
+}
+
+//imc:pure
+func receives(c chan int) int {
+	return <-c // want "channel receive"
+}
+
+//imc:pure
+func spawns(xs []float64) float64 {
+	go callsPure(xs) // want "spawns a goroutine"
+	return 0
+}
+
+//imc:pure
+func callsIface(m measurer) int {
+	return m.Len() // want "dynamic dispatch"
+}
+
+//imc:pure
+func callsValue(f func() int) int {
+	return f() // want "dynamic call"
+}
+
+//imc:pure
+func formats(x int) string {
+	return fmt.Sprintf("%d", x) // want "not known to be pure"
+}
+
+// Mutual recursion: the optimistic fixed point must classify both as
+// pure rather than looping or defaulting to impure.
+
+//imc:pure
+func even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return odd(n - 1)
+}
+
+//imc:pure
+func odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return even(n - 1)
+}
+
+// unmarked is impure but carries no directive — silent.
+func unmarked() {
+	counter++
+}

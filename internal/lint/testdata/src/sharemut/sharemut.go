@@ -1,0 +1,79 @@
+// Package sharemut is a lint fixture for the share-then-freeze checker:
+// want-annotated lines mutate a slice after it was handed to a
+// goroutine, sent on a channel, or stored into long-lived state. The
+// clean functions encode the sanctioned orders — mutate before sharing,
+// reassign a fresh buffer, or join workers with WaitGroup.Wait first.
+package sharemut
+
+import "sync"
+
+type pool struct {
+	index [][]int
+}
+
+func mutateAfterGo(buf []int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		_ = buf[0]
+		wg.Done()
+	}()
+	buf[0] = 1 // want "writes element of buf"
+	wg.Wait()
+}
+
+func mutateAfterWait(buf []int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		_ = buf[0]
+		wg.Done()
+	}()
+	wg.Wait()
+	buf[0] = 1 // clean: Wait joins the goroutine first
+}
+
+func storeThenMutate(p *pool, v int) {
+	row := make([]int, 4)
+	p.index[v] = row
+	row[0] = 9 // want "writes element of row"
+}
+
+func mutateBeforeShare(p *pool, v int) {
+	row := make([]int, 4)
+	row[0] = 1 // clean: not yet shared
+	p.index[v] = row
+}
+
+func freshAfterStore(p *pool, v int) {
+	row := make([]int, 4)
+	p.index[v] = row
+	row = make([]int, 4)
+	row[0] = 9 // clean: fresh backing array, pool keeps the old one
+}
+
+func growShared(p *pool, v int) {
+	row := make([]int, 0, 4)
+	p.index[v] = row
+	row = append(row, v) // want "grows or reslices row"
+	_ = row
+}
+
+func bumpShared(done chan []int, counts []int) {
+	done <- counts
+	counts[0]++ // want "mutates element of counts"
+}
+
+func copyIntoShared(p *pool, v int, src []int) {
+	row := make([]int, 4)
+	p.index[v] = row
+	copy(row, src) // want "copies into row"
+}
+
+func branchShare(p *pool, v int, cond bool) {
+	row := make([]int, 4)
+	if cond {
+		p.index[v] = row
+	}
+	row[0] = 1 // want "writes element of row"
+}

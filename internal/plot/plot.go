@@ -152,7 +152,9 @@ func axisLabel(v float64) string {
 	switch {
 	case math.Abs(v) >= 1000:
 		return fmt.Sprintf("%.3g", v)
-	case v == math.Trunc(v): //lint:allow floatcompare — exact integrality test picks the label format; drift only changes cosmetics
+	case math.Abs(v-math.Round(v)) < 1e-9:
+		// Near-integers (within accumulated float drift) print without
+		// decimals; this only picks the label format, never the value.
 		return fmt.Sprintf("%.0f", v)
 	default:
 		return fmt.Sprintf("%.2f", v)

@@ -10,20 +10,20 @@ import (
 	"imc/internal/xrand"
 )
 
-func benchInstance(b *testing.B) (*graph.Graph, *community.Partition) {
-	b.Helper()
+func benchInstance(tb testing.TB) (*graph.Graph, *community.Partition) {
+	tb.Helper()
 	g, err := gen.BarabasiAlbert(2000, 5, 3)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	g = graph.ApplyWeights(g, graph.WeightedCascade, 0, 0)
 	part, err := community.Louvain(g, 3)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	part, err = part.SplitBySize(8, 3)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	part.SetBoundedThresholds(2)
 	part.SetPopulationBenefits()

@@ -1,0 +1,67 @@
+package ric
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzPoolRoundTrip feeds arbitrary bytes to the pool deserializer.
+// Invariants under fuzzing:
+//
+//  1. ReadInto never panics — malformed input must surface as an error.
+//  2. Any input ReadInto accepts re-serializes, and Save∘ReadInto is a
+//     fixpoint: saving the loaded pool and loading THAT must produce
+//     byte-identical output and equal sample metadata. (The original
+//     fuzz input itself need not round-trip byte-for-byte: trailing
+//     garbage after the declared sample count is ignored by design.)
+func FuzzPoolRoundTrip(f *testing.F) {
+	g, part := smallInstance(f)
+	seedPool := buildPool(f, g, part, 50, 7)
+	var seed bytes.Buffer
+	if err := seedPool.Save(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add(seed.Bytes()[:len(seed.Bytes())/2])
+	corrupt := append([]byte(nil), seed.Bytes()...)
+	corrupt[12] ^= 0xff
+	f.Add(corrupt)
+	f.Add([]byte("IMCP"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p1, err := NewPool(g, part, PoolOptions{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p1.ReadInto(bytes.NewReader(data)); err != nil {
+			return // rejected input is fine; panics are the bug
+		}
+		var save1 bytes.Buffer
+		if err := p1.Save(&save1); err != nil {
+			t.Fatalf("accepted input failed to re-serialize: %v", err)
+		}
+		p2, err := NewPool(g, part, PoolOptions{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p2.ReadInto(bytes.NewReader(save1.Bytes())); err != nil {
+			t.Fatalf("own Save output rejected: %v", err)
+		}
+		if p1.NumSamples() != p2.NumSamples() {
+			t.Fatalf("sample count drifted: %d -> %d", p1.NumSamples(), p2.NumSamples())
+		}
+		for i := 0; i < p1.NumSamples(); i++ {
+			if p1.Sample(i) != p2.Sample(i) {
+				t.Fatalf("sample %d drifted: %+v vs %+v", i, p1.Sample(i), p2.Sample(i))
+			}
+		}
+		var save2 bytes.Buffer
+		if err := p2.Save(&save2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(save1.Bytes(), save2.Bytes()) {
+			t.Fatal("Save∘ReadInto is not a fixpoint: second save differs from first")
+		}
+	})
+}

@@ -66,17 +66,26 @@ func NewGenerator(g *graph.Graph, part *community.Partition, model diffusion.Mod
 // Generate draws one RIC sample (paper Alg. 1): select a source
 // community, reverse-BFS a deterministic subgraph, and record each
 // touching node's member coverage.
+//
+// Allocation contract: every node the collective BFS explores reaches
+// at least one member (the BFS walks reverse live edges starting FROM
+// the members), so the sample's cover set is exactly gen.resetNodes.
+// That makes the footprint exact — one node slice, one mask-header
+// slice, and one bit slab carved into per-node masks: three
+// allocations per sample, all retained by the pool, none wasted.
+//
+//imc:hotpath
 func (gen *Generator) Generate(rng *xrand.RNG) rawSample {
 	commIdx, members := gen.collectiveBFS(rng)
 	comm := gen.part.Community(commIdx)
 	gen.coverGen++
 
-	raw := rawSample{
-		comm:       int32(commIdx),
-		threshold:  int32(comm.Threshold),
-		numMembers: int32(len(members)),
-	}
 	numMembers := len(members)
+	touch := len(gen.resetNodes)
+	words := (numMembers + maskWordBits - 1) / maskWordBits
+	slab := make([]uint64, touch*words)
+	coverNodes := make([]graph.NodeID, 0, touch)
+	coverBits := make([]Mask, 0, touch)
 	for j, m := range members {
 		gen.epoch++
 		gen.queue = gen.queue[:0]
@@ -84,8 +93,16 @@ func (gen *Generator) Generate(rng *xrand.RNG) rawSample {
 		gen.nodeEpoch[m] = gen.epoch
 		for head := 0; head < len(gen.queue); head++ {
 			v := gen.queue[head]
-			slot := gen.coverSlotFor(v, numMembers, &raw)
-			raw.coverBits[slot].set(j)
+			slot := gen.coverSlot[v]
+			if gen.coverEpoch[v] != gen.coverGen {
+				slot = int32(len(coverNodes))
+				coverNodes = append(coverNodes, v)
+				coverBits = append(coverBits, Mask(slab[:words:words]))
+				slab = slab[words:]
+				gen.coverEpoch[v] = gen.coverGen
+				gen.coverSlot[v] = slot
+			}
+			coverBits[slot].set(j)
 			for _, w := range gen.liveIn[v] {
 				if gen.nodeEpoch[w] != gen.epoch {
 					gen.nodeEpoch[w] = gen.epoch
@@ -95,13 +112,21 @@ func (gen *Generator) Generate(rng *xrand.RNG) rawSample {
 		}
 	}
 	gen.release()
-	return raw
+	return rawSample{
+		comm:       int32(commIdx),
+		threshold:  int32(comm.Threshold),
+		numMembers: int32(numMembers),
+		coverNodes: coverNodes,
+		coverBits:  coverBits,
+	}
 }
 
 // Influenced draws one RIC sample and reports whether the seed set
 // (given as an n-length membership slice) influences it, without
 // materializing the cover index. This is the hot path of the Estimate
 // procedure (paper Alg. 6).
+//
+//imc:hotpath
 func (gen *Generator) Influenced(rng *xrand.RNG, inSeed []bool) bool {
 	commIdx, members := gen.collectiveBFS(rng)
 	comm := gen.part.Community(commIdx)
@@ -123,6 +148,8 @@ func (gen *Generator) Influenced(rng *xrand.RNG, inSeed []bool) bool {
 // FractionalInfluence draws one RIC sample and returns
 // min(|I_g(S)|/h_g, 1) — the fractional statistic whose expectation is
 // ν(S)/b (paper eq. 6). Used by the ν-guided stop rule.
+//
+//imc:hotpath
 func (gen *Generator) FractionalInfluence(rng *xrand.RNG, inSeed []bool) float64 {
 	commIdx, members := gen.collectiveBFS(rng)
 	comm := gen.part.Community(commIdx)
@@ -145,6 +172,8 @@ func (gen *Generator) FractionalInfluence(rng *xrand.RNG, inSeed []bool) float64
 
 // memberReachedBy BFSes backwards from one member over the live
 // subgraph, reporting whether any seed node reaches the member.
+//
+//imc:hotpath
 func (gen *Generator) memberReachedBy(m graph.NodeID, inSeed []bool) bool {
 	gen.epoch++
 	gen.queue = gen.queue[:0]
@@ -170,6 +199,8 @@ func (gen *Generator) memberReachedBy(m graph.NodeID, inSeed []bool) bool {
 // deciding each edge's live state exactly once. On return gen.liveIn
 // holds the sampled deterministic subgraph restricted to the explored
 // region, and gen.resetNodes lists the nodes to clean up.
+//
+//imc:hotpath
 func (gen *Generator) collectiveBFS(rng *xrand.RNG) (int, []graph.NodeID) {
 	commIdx := gen.alias.Draw(rng)
 	members := gen.part.Community(commIdx).Members
@@ -204,6 +235,8 @@ func (gen *Generator) collectiveBFS(rng *xrand.RNG) (int, []graph.NodeID) {
 
 // sampleInEdgesIC decides each incoming edge of u independently with its
 // own probability (Independent Cascade).
+//
+//imc:hotpath
 func (gen *Generator) sampleInEdgesIC(u graph.NodeID, rng *xrand.RNG) {
 	froms, ws, _ := gen.g.InNeighbors(u)
 	live := gen.liveIn[u][:0]
@@ -219,6 +252,8 @@ func (gen *Generator) sampleInEdgesIC(u graph.NodeID, rng *xrand.RNG) {
 // probability proportional to edge weight and total probability
 // min(Σw, 1) — the standard reverse construction for the Linear
 // Threshold model.
+//
+//imc:hotpath
 func (gen *Generator) sampleInEdgesLT(u graph.NodeID, rng *xrand.RNG) {
 	froms, ws, _ := gen.g.InNeighbors(u)
 	live := gen.liveIn[u][:0]
@@ -241,20 +276,6 @@ func (gen *Generator) sampleInEdgesLT(u graph.NodeID, rng *xrand.RNG) {
 		}
 	}
 	gen.liveIn[u] = live
-}
-
-// coverSlotFor returns (allocating on first sight) the rawSample cover
-// slot of node v.
-func (gen *Generator) coverSlotFor(v graph.NodeID, numMembers int, raw *rawSample) int32 {
-	if gen.coverEpoch[v] == gen.coverGen {
-		return gen.coverSlot[v]
-	}
-	slot := int32(len(raw.coverNodes))
-	raw.coverNodes = append(raw.coverNodes, v)
-	raw.coverBits = append(raw.coverBits, newMask(numMembers))
-	gen.coverEpoch[v] = gen.coverGen
-	gen.coverSlot[v] = slot
-	return slot
 }
 
 // release clears the live adjacency lists touched by the last sample.

@@ -37,7 +37,14 @@ func (gen *Generator) GenerateNaive(rng *xrand.RNG) rawSample {
 		gen.nodeEpoch[m] = gen.epoch
 		for head := 0; head < len(gen.queue); head++ {
 			v := gen.queue[head]
-			slot := gen.coverSlotFor(v, len(members), &raw)
+			slot := gen.coverSlot[v]
+			if gen.coverEpoch[v] != gen.coverGen {
+				slot = int32(len(raw.coverNodes))
+				raw.coverNodes = append(raw.coverNodes, v)
+				raw.coverBits = append(raw.coverBits, newMask(len(members)))
+				gen.coverEpoch[v] = gen.coverGen
+				gen.coverSlot[v] = slot
+			}
 			raw.coverBits[slot].set(j)
 			froms, ws, _ := gen.g.InNeighbors(v)
 			for i, w := range froms {

@@ -89,9 +89,10 @@ func (p *Pool) Generate(count int) error {
 				errOnce.Do(func() { firstErr = err })
 				return
 			}
+			var rng xrand.RNG
 			for i := w; i < count; i += workers {
-				rng := p.root.Split(uint64(base + i))
-				raws[i] = gen.Generate(rng)
+				p.root.SplitInto(uint64(base+i), &rng)
+				raws[i] = gen.Generate(&rng)
 			}
 		}(w)
 	}
@@ -160,6 +161,28 @@ type State struct {
 	count   []int32 // cached popcount of cover, valid where cover != nil
 	touched []int32 // samples with non-nil cover
 	seeds   []graph.NodeID
+	arena   []uint64 // chunked backing store cover masks are carved from
+}
+
+// arenaChunkWords sizes each arena chunk (8 KiB). Masks are a handful of
+// words each, so one chunk serves hundreds of newly touched samples
+// before the next allocation.
+const arenaChunkWords = 1024
+
+// carve returns a zeroed w-word mask backed by the state's arena,
+// allocating a fresh chunk only when the current one runs dry. Carved
+// masks live as long as the State; the arena is never reclaimed.
+func (s *State) carve(w int) Mask {
+	if len(s.arena) < w {
+		chunk := arenaChunkWords
+		if chunk < w {
+			chunk = w
+		}
+		s.arena = make([]uint64, chunk)
+	}
+	m := Mask(s.arena[:w:w])
+	s.arena = s.arena[w:]
+	return m
 }
 
 // NewState returns an empty coverage state for the pool.
@@ -171,14 +194,20 @@ func (p *Pool) NewState() *State {
 	}
 }
 
-// Add incorporates seed v into the state.
+// Add incorporates seed v into the state. Newly touched samples get
+// their mask carved from the state's arena instead of a per-sample
+// Clone — one chunk allocation amortized over hundreds of samples.
+//
+//imc:hotpath
 func (s *State) Add(v graph.NodeID) {
 	s.seeds = append(s.seeds, v)
 	for _, e := range s.pool.index[v] {
 		if s.cover[e.Sample] == nil {
-			s.cover[e.Sample] = e.Bits.Clone()
+			m := s.carve(len(e.Bits))
+			copy(m, e.Bits)
+			s.cover[e.Sample] = m
 			s.count[e.Sample] = int32(e.Bits.OnesCount())
-			s.touched = append(s.touched, e.Sample)
+			s.touched = append(s.touched, e.Sample) //lint:allow allocfree: monotonic accumulator, never reset; growth is amortized O(1)
 			continue
 		}
 		e.Bits.OrInto(s.cover[e.Sample])
@@ -284,6 +313,8 @@ func (p *Pool) CoverageCount(seeds []graph.NodeID) int {
 }
 
 // scale is b/|R|: one influenced sample's contribution to ĉ_R.
+//
+//imc:pure
 func (p *Pool) scale() float64 {
 	return p.part.TotalBenefit() / float64(len(p.samples))
 }

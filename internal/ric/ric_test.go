@@ -56,7 +56,7 @@ func exactBenefit(g *graph.Graph, part *community.Partition, seeds []graph.NodeI
 	return total
 }
 
-func buildPool(t *testing.T, g *graph.Graph, part *community.Partition, count int, seed uint64) *Pool {
+func buildPool(t testing.TB, g *graph.Graph, part *community.Partition, count int, seed uint64) *Pool {
 	t.Helper()
 	pool, err := NewPool(g, part, PoolOptions{Seed: seed})
 	if err != nil {
@@ -70,7 +70,7 @@ func buildPool(t *testing.T, g *graph.Graph, part *community.Partition, count in
 
 // smallInstance builds a 6-node graph with two 3-node communities and
 // moderate weights; every edge subset is enumerable.
-func smallInstance(t *testing.T) (*graph.Graph, *community.Partition) {
+func smallInstance(t testing.TB) (*graph.Graph, *community.Partition) {
 	t.Helper()
 	b := graph.NewBuilder(6)
 	b.AddEdge(0, 1, 0.4)

@@ -1,0 +1,43 @@
+package ris
+
+import (
+	"testing"
+
+	"imc/internal/diffusion"
+	"imc/internal/gen"
+	"imc/internal/graph"
+	"imc/internal/xrand"
+)
+
+// TestSampleHitsDoesNotAllocate locks in the //imc:hotpath contract of
+// the RR sampler's streaming path: after the per-worker scratch has
+// grown to steady state, drawing a sample and checking seed membership
+// is allocation-free. Each measured run replays one fixed PRNG stream,
+// so the walk — and the count — is deterministic.
+func TestSampleHitsDoesNotAllocate(t *testing.T) {
+	g, err := gen.BarabasiAlbert(1000, 4, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g = graph.ApplyWeights(g, graph.WeightedCascade, 0, 0)
+	inSeed := make([]bool, g.NumNodes())
+	for i := 0; i < 10; i++ {
+		inSeed[i*53] = true
+	}
+	for _, model := range []diffusion.Model{diffusion.IC, diffusion.LT} {
+		s := newRRSampler(g, model)
+		root := xrand.New(3)
+		var rng xrand.RNG
+		for i := 0; i < 500; i++ {
+			root.SplitInto(uint64(i), &rng)
+			s.sampleHits(&rng, inSeed)
+		}
+		avg := testing.AllocsPerRun(100, func() {
+			root.SplitInto(9, &rng)
+			s.sampleHits(&rng, inSeed)
+		})
+		if avg != 0 {
+			t.Errorf("%v: sampleHits allocates %.1f objects per run, want 0", model, avg)
+		}
+	}
+}

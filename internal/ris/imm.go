@@ -107,13 +107,19 @@ func SolveIMM(g *graph.Graph, opts Options) (Solution, error) {
 }
 
 // lnChooseFloat returns ln C(n, k) via log-gamma.
+//
+//imc:pure
 func lnChooseFloat(n, k float64) float64 {
 	if k < 0 || k > n {
 		return 0
 	}
-	lg := func(x float64) float64 {
-		v, _ := math.Lgamma(x + 1)
-		return v
-	}
-	return lg(n) - lg(k) - lg(n-k)
+	return lgammaPlus1(n) - lgammaPlus1(k) - lgammaPlus1(n-k)
+}
+
+// lgammaPlus1 returns ln Γ(x+1) = ln x!.
+//
+//imc:pure
+func lgammaPlus1(x float64) float64 {
+	v, _ := math.Lgamma(x + 1)
+	return v
 }

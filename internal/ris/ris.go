@@ -126,6 +126,13 @@ type rrPool struct {
 	workers int
 	sets    [][]graph.NodeID
 	index   [][]int32
+
+	// Greedy scratch, reused across doubling rounds. covered tracks RR
+	// sets already hit and must be re-created when the pool outgrows it;
+	// deg and chosen are node-sized and stable.
+	deg     []int32
+	covered *bitset.Set
+	chosen  *bitset.Set
 }
 
 func newRRPool(g *graph.Graph, opts Options) *rrPool {
@@ -167,9 +174,10 @@ func (p *rrPool) generate(count int) error {
 		go func(w int) {
 			defer wg.Done()
 			s := newRRSampler(p.g, p.opts.Model)
+			var rng xrand.RNG
 			for i := w; i < count; i += workers {
-				rng := p.root.Split(uint64(base + i))
-				out[i] = s.sample(rng)
+				p.root.SplitInto(uint64(base+i), &rng)
+				out[i] = s.sample(&rng)
 			}
 		}(w)
 	}
@@ -188,15 +196,30 @@ func (p *rrPool) generate(count int) error {
 // coverage over the current pool. Covered-set membership lives in a
 // packed bitset: RR pools reach millions of sets, where the 8× memory
 // saving over []bool keeps the greedy pass cache-resident.
+//
+//imc:hotpath
 func (p *rrPool) greedyMaxCover(k int) ([]graph.NodeID, int) {
 	n := p.g.NumNodes()
-	deg := make([]int32, n)
+	if cap(p.deg) < n {
+		p.deg = make([]int32, n)
+	}
+	deg := p.deg[:n]
 	for v := 0; v < n; v++ {
 		deg[v] = int32(len(p.index[v]))
 	}
-	covered := bitset.New(len(p.sets))
+	if p.covered == nil || p.covered.Len() < len(p.sets) {
+		p.covered = bitset.New(len(p.sets))
+	} else {
+		p.covered.Reset()
+	}
+	covered := p.covered
+	if p.chosen == nil || p.chosen.Len() < n {
+		p.chosen = bitset.New(n)
+	} else {
+		p.chosen.Reset()
+	}
+	chosen := p.chosen
 	seeds := make([]graph.NodeID, 0, k)
-	chosen := bitset.New(n)
 	total := 0
 	for len(seeds) < k {
 		best, bestDeg := -1, int32(-1)
@@ -259,6 +282,8 @@ func newRRSampler(g *graph.Graph, model diffusion.Model) *rrSampler {
 }
 
 // sample draws one RR set.
+//
+//imc:hotpath
 func (s *rrSampler) sample(rng *xrand.RNG) []graph.NodeID {
 	root := graph.NodeID(rng.Intn(s.g.NumNodes()))
 	s.walk(root, rng, nil)
@@ -267,6 +292,8 @@ func (s *rrSampler) sample(rng *xrand.RNG) []graph.NodeID {
 
 // sampleHits draws one RR set, short-circuiting as soon as a seed node
 // is reached.
+//
+//imc:hotpath
 func (s *rrSampler) sampleHits(rng *xrand.RNG, inSeed []bool) bool {
 	root := graph.NodeID(rng.Intn(s.g.NumNodes()))
 	return s.walk(root, rng, inSeed)
@@ -274,6 +301,8 @@ func (s *rrSampler) sampleHits(rng *xrand.RNG, inSeed []bool) bool {
 
 // walk reverse-BFSes from root with on-the-fly edge sampling. When
 // inSeed is non-nil it returns early on the first seed hit.
+//
+//imc:hotpath
 func (s *rrSampler) walk(root graph.NodeID, rng *xrand.RNG, inSeed []bool) bool {
 	s.epoch++
 	s.queue = s.queue[:0]

@@ -48,17 +48,24 @@ func New(seed uint64) *RNG {
 // created with (not on how much r has been consumed), and calling Split
 // does not advance r — the properties parallel generation relies on.
 func (r *RNG) Split(stream uint64) *RNG {
+	out := new(RNG)
+	r.SplitInto(stream, out)
+	return out
+}
+
+// SplitInto reseeds out in place with the stream Split(stream) would
+// return, producing a byte-identical sequence without allocating. Hot
+// sampling loops that draw one child stream per sample reuse a single
+// RNG value this way instead of heap-allocating per iteration.
+func (r *RNG) SplitInto(stream uint64, out *RNG) {
 	st := r.id ^ bits.RotateLeft64(stream+1, 31)*0xd1342543de82ef95
-	childID := splitmix64(&st)
-	var out RNG
-	out.id = childID
+	out.id = splitmix64(&st)
 	for i := range out.s {
 		out.s[i] = splitmix64(&st)
 	}
 	if out.s[0]|out.s[1]|out.s[2]|out.s[3] == 0 {
 		out.s[0] = 1
 	}
-	return &out
 }
 
 // Uint64 returns the next 64 random bits (xoshiro256**).

@@ -274,3 +274,31 @@ func TestQuickAliasSupport(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSplitIntoMatchesSplit(t *testing.T) {
+	root := New(987654321)
+	var reused RNG
+	for stream := uint64(0); stream < 64; stream++ {
+		want := root.Split(stream)
+		root.SplitInto(stream, &reused)
+		for i := 0; i < 16; i++ {
+			if a, b := want.Uint64(), reused.Uint64(); a != b {
+				t.Fatalf("stream %d draw %d: Split=%#x SplitInto=%#x", stream, i, a, b)
+			}
+		}
+	}
+}
+
+func TestSplitIntoDoesNotAllocate(t *testing.T) {
+	root := New(7)
+	var child RNG
+	var sink uint64
+	allocs := testing.AllocsPerRun(100, func() {
+		root.SplitInto(3, &child)
+		sink += child.Uint64()
+	})
+	if allocs != 0 {
+		t.Errorf("SplitInto allocates %.1f times per call, want 0", allocs)
+	}
+	_ = sink
+}
