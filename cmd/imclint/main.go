@@ -1,4 +1,4 @@
-// Command imclint runs the repository's static-analysis suite: ten
+// Command imclint runs the repository's static-analysis suite: eleven
 // analyzers built on go/parser, go/ast, and go/types that machine-check
 // the determinism, concurrency, allocation, and numeric invariants the
 // RIC-sampling guarantees depend on (see DESIGN.md, "Static analysis &

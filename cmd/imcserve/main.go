@@ -33,13 +33,19 @@ func run() error {
 	var (
 		addr            = flag.String("addr", ":8080", "listen address")
 		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown deadline")
+		solveTimeout    = flag.Duration("solve-timeout", serve.DefaultSolveTimeout, "per-request deadline on heavy endpoints (negative disables)")
+		maxInflight     = flag.Int("max-inflight", 0, "max concurrent heavy requests before shedding with 429 (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	handler := serve.NewWithOptions(logger, nil, serve.Config{
+		SolveTimeout: *solveTimeout,
+		MaxInflight:  *maxInflight,
+	}).Handler()
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           serve.New(logger).Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -62,6 +68,10 @@ func run() error {
 		ctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
+			// The deadline passed with requests still in flight; the
+			// per-request solve deadline will reap them, but don't leave
+			// the listener half-open.
+			_ = srv.Close()
 			return fmt.Errorf("graceful shutdown: %w", err)
 		}
 		<-errCh // drain the ListenAndServe result

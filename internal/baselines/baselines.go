@@ -5,6 +5,7 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -120,11 +121,19 @@ func KS(g *graph.Graph, part *community.Partition, k int) ([]graph.NodeID, error
 // IM runs classic influence maximization (internal/ris) and returns its
 // seed set, ignoring community structure entirely.
 func IM(g *graph.Graph, part *community.Partition, k int, opts ris.Options) ([]graph.NodeID, error) {
+	return IMCtx(context.Background(), g, part, k, opts)
+}
+
+// IMCtx is IM with cooperative cancellation threaded into the RIS
+// solver.
+//
+//imc:longrun
+func IMCtx(ctx context.Context, g *graph.Graph, part *community.Partition, k int, opts ris.Options) ([]graph.NodeID, error) {
 	if err := check(g, part, k); err != nil {
 		return nil, err
 	}
 	opts.K = k
-	sol, err := ris.Solve(g, opts)
+	sol, err := ris.SolveCtx(ctx, g, opts)
 	if err != nil {
 		return nil, fmt.Errorf("baselines: IM: %w", err)
 	}

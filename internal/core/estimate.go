@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -15,6 +16,11 @@ import (
 	"imc/internal/ric"
 	"imc/internal/xrand"
 )
+
+// ctxPollBatch is how many fresh RIC samples Estimate draws between
+// cooperative ctx.Err() polls — batch-boundary cancellation that keeps
+// the check off the per-sample hot path.
+const ctxPollBatch = 1024
 
 // EstimateResult is the outcome of the Estimate procedure.
 type EstimateResult struct {
@@ -48,9 +54,17 @@ type EstimateOptions struct {
 // Estimate implements the paper's Alg. 6: draw fresh RIC samples until
 // the influenced mass reaches the stopping-rule threshold, returning an
 // estimate of c(S) with relative error ≤ ε′ with probability ≥ 1−δ′.
+func Estimate(g *graph.Graph, part *community.Partition, seeds []graph.NodeID, opts EstimateOptions) (EstimateResult, error) {
+	return EstimateCtx(context.Background(), g, part, seeds, opts)
+}
+
+// EstimateCtx is Estimate with cooperative cancellation: the sampling
+// loop polls ctx every ctxPollBatch draws (never per sample). A
+// completed run is byte-identical to the ctx-free path.
 //
 //imc:hotpath
-func Estimate(g *graph.Graph, part *community.Partition, seeds []graph.NodeID, opts EstimateOptions) (EstimateResult, error) {
+//imc:longrun
+func EstimateCtx(ctx context.Context, g *graph.Graph, part *community.Partition, seeds []graph.NodeID, opts EstimateOptions) (EstimateResult, error) {
 	if opts.Eps <= 0 || opts.Eps >= 1 {
 		return EstimateResult{}, fmt.Errorf("core: estimate eps %g out of (0, 1)", opts.Eps)
 	}
@@ -70,12 +84,20 @@ func Estimate(g *graph.Graph, part *community.Partition, seeds []graph.NodeID, o
 			inSeed[s] = true
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return EstimateResult{}, err
+	}
 	root := xrand.New(opts.Seed)
 	// Λ' = 1 + 4(e−2)·ln(2/δ')·(1+ε')/ε'².
 	lambda := 1 + 4*(math.E-2)*math.Log(2/opts.Delta)*(1+opts.Eps)/(opts.Eps*opts.Eps)
 	mass := 0.0
 	var rng xrand.RNG
 	for t := 1; t <= opts.TMax; t++ {
+		if t&(ctxPollBatch-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return EstimateResult{}, err
+			}
+		}
 		root.SplitInto(uint64(t), &rng)
 		if opts.Fractional {
 			mass += gen.FractionalInfluence(&rng, inSeed)

@@ -123,6 +123,19 @@ type Solution struct {
 // verify the candidate with the Estimate procedure, doubling the pool
 // until a statistical certificate or the Ψ bound is reached.
 func Solve(g *graph.Graph, part *community.Partition, solver maxr.Solver, opts Options) (Solution, error) {
+	return SolveCtx(context.Background(), g, part, solver, opts)
+}
+
+// SolveCtx is Solve with cooperative cancellation: the stop-and-stare
+// loop checks ctx between doubling rounds and threads it into sample
+// generation, the MAXR solver (when it implements maxr.CtxSolver), and
+// the Estimate verification batches. A run that completes returns
+// byte-identical seeds with or without a context — the checks never
+// touch the PRNG streams — while a cancelled run returns the ctx error
+// promptly (within one worker batch, ~1k samples).
+//
+//imc:longrun
+func SolveCtx(ctx context.Context, g *graph.Graph, part *community.Partition, solver maxr.Solver, opts Options) (Solution, error) {
 	opts, err := opts.normalized()
 	if err != nil {
 		return Solution{}, err
@@ -163,7 +176,7 @@ func Solve(g *graph.Graph, part *community.Partition, solver maxr.Solver, opts O
 	if initial > opts.MaxSamples {
 		initial = opts.MaxSamples
 	}
-	if err := pool.Generate(initial); err != nil {
+	if err := pool.GenerateCtx(ctx, initial); err != nil {
 		return Solution{}, err
 	}
 
@@ -197,7 +210,10 @@ func Solve(g *graph.Graph, part *community.Partition, solver maxr.Solver, opts O
 	sol := Solution{Alpha: alpha, Stopped: StopSampleCap}
 	doublings := 0
 	for {
-		seeds, chat, ratio, err := runSolver(pool, solver, opts)
+		if err := ctx.Err(); err != nil {
+			return Solution{}, err
+		}
+		seeds, chat, ratio, err := runSolver(ctx, pool, solver, opts)
 		if err != nil {
 			return Solution{}, err
 		}
@@ -217,7 +233,7 @@ func Solve(g *graph.Graph, part *community.Partition, solver maxr.Solver, opts O
 			if tmax < 1 {
 				tmax = 1
 			}
-			est, err := Estimate(g, part, seeds, EstimateOptions{
+			est, err := EstimateCtx(ctx, g, part, seeds, EstimateOptions{
 				Eps:        se2,
 				Delta:      estDelta,
 				TMax:       tmax,
@@ -250,7 +266,7 @@ func Solve(g *graph.Graph, part *community.Partition, solver maxr.Solver, opts O
 			sol.Stopped = StopSampleCap
 			break
 		}
-		if err := pool.Double(); err != nil {
+		if err := pool.DoubleCtx(ctx); err != nil {
 			return Solution{}, err
 		}
 		doublings++
@@ -275,6 +291,14 @@ func (d discardHandler) WithGroup(string) slog.Handler           { return d }
 // adaptive stop machinery. Benchmarks and examples that want direct
 // control over sampling effort use this entry point.
 func SolveFixed(g *graph.Graph, part *community.Partition, solver maxr.Solver, k, numSamples int, opts Options) (Solution, error) {
+	return SolveFixedCtx(context.Background(), g, part, solver, k, numSamples, opts)
+}
+
+// SolveFixedCtx is SolveFixed with cooperative cancellation threaded
+// into sample generation and the solver.
+//
+//imc:longrun
+func SolveFixedCtx(ctx context.Context, g *graph.Graph, part *community.Partition, solver maxr.Solver, k, numSamples int, opts Options) (Solution, error) {
 	if numSamples < 1 {
 		return Solution{}, fmt.Errorf("core: numSamples=%d must be ≥ 1", numSamples)
 	}
@@ -298,10 +322,10 @@ func SolveFixed(g *graph.Graph, part *community.Partition, solver maxr.Solver, k
 	if err != nil {
 		return Solution{}, err
 	}
-	if err := pool.Generate(numSamples); err != nil {
+	if err := pool.GenerateCtx(ctx, numSamples); err != nil {
 		return Solution{}, err
 	}
-	seeds, chat, ratio, err := runSolver(pool, solver, opts)
+	seeds, chat, ratio, err := runSolver(ctx, pool, solver, opts)
 	if err != nil {
 		return Solution{}, err
 	}
@@ -317,17 +341,18 @@ func SolveFixed(g *graph.Graph, part *community.Partition, solver maxr.Solver, k
 }
 
 // runSolver executes the configured selection step: the MAXR solver, or
-// greedy-on-ν when NuGuided.
-func runSolver(pool *ric.Pool, solver maxr.Solver, opts Options) (seeds []graph.NodeID, chat, ratio float64, err error) {
+// greedy-on-ν when NuGuided. The ctx reaches solvers that implement
+// maxr.CtxSolver; plain solvers get one up-front cancellation check.
+func runSolver(ctx context.Context, pool *ric.Pool, solver maxr.Solver, opts Options) (seeds []graph.NodeID, chat, ratio float64, err error) {
 	if opts.NuGuided {
-		seeds, err = maxr.GreedyNu(pool, opts.K)
+		seeds, err = maxr.GreedyNuCtx(ctx, pool, opts.K)
 		if err != nil {
 			return nil, 0, 0, err
 		}
 		chat = pool.CHat(seeds)
 	} else {
 		var res maxr.Result
-		res, err = solver.Solve(pool, opts.K)
+		res, err = maxr.SolveWithContext(ctx, solver, pool, opts.K)
 		if err != nil {
 			return nil, 0, 0, err
 		}

@@ -8,6 +8,7 @@
 package diffusion
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -19,6 +20,12 @@ import (
 	"imc/internal/graph"
 	"imc/internal/xrand"
 )
+
+// ctxPollBatch is how many cascades a worker simulates between
+// cooperative ctx.Err() polls. Batch-boundary polling keeps the
+// cancellation check out of the per-cascade hot path while bounding
+// cancellation latency to ~1k iterations per worker.
+const ctxPollBatch = 1024
 
 // Model selects the propagation model.
 type Model int
@@ -279,7 +286,15 @@ func (o MCOptions) normalized() (MCOptions, error) {
 // EstimateSpread Monte-Carlo-estimates the expected number of activated
 // nodes for the seed set.
 func EstimateSpread(g *graph.Graph, seeds []graph.NodeID, opts MCOptions) (float64, error) {
-	return mcAverage(g, seeds, opts, func(active []bool, count int) float64 {
+	return EstimateSpreadCtx(context.Background(), g, seeds, opts)
+}
+
+// EstimateSpreadCtx is EstimateSpread with cooperative cancellation:
+// workers poll ctx between iteration batches.
+//
+//imc:longrun
+func EstimateSpreadCtx(ctx context.Context, g *graph.Graph, seeds []graph.NodeID, opts MCOptions) (float64, error) {
+	return mcAverageCtx(ctx, g, seeds, opts, func(active []bool, count int) float64 {
 		return float64(count)
 	})
 }
@@ -287,24 +302,47 @@ func EstimateSpread(g *graph.Graph, seeds []graph.NodeID, opts MCOptions) (float
 // EstimateBenefit Monte-Carlo-estimates c(S): the expected benefit of
 // influenced communities.
 func EstimateBenefit(g *graph.Graph, p *community.Partition, seeds []graph.NodeID, opts MCOptions) (float64, error) {
-	return mcAverage(g, seeds, opts, func(active []bool, count int) float64 {
+	return EstimateBenefitCtx(context.Background(), g, p, seeds, opts)
+}
+
+// EstimateBenefitCtx is EstimateBenefit with cooperative cancellation:
+// workers poll ctx between iteration batches.
+//
+//imc:longrun
+func EstimateBenefitCtx(ctx context.Context, g *graph.Graph, p *community.Partition, seeds []graph.NodeID, opts MCOptions) (float64, error) {
+	return mcAverageCtx(ctx, g, seeds, opts, func(active []bool, count int) float64 {
 		return CommunityBenefit(p, active)
 	})
 }
 
 // EstimateFractionalBenefit Monte-Carlo-estimates ν(S) (eq. 6).
 func EstimateFractionalBenefit(g *graph.Graph, p *community.Partition, seeds []graph.NodeID, opts MCOptions) (float64, error) {
-	return mcAverage(g, seeds, opts, func(active []bool, count int) float64 {
+	return EstimateFractionalBenefitCtx(context.Background(), g, p, seeds, opts)
+}
+
+// EstimateFractionalBenefitCtx is EstimateFractionalBenefit with
+// cooperative cancellation: workers poll ctx between iteration batches.
+//
+//imc:longrun
+func EstimateFractionalBenefitCtx(ctx context.Context, g *graph.Graph, p *community.Partition, seeds []graph.NodeID, opts MCOptions) (float64, error) {
+	return mcAverageCtx(ctx, g, seeds, opts, func(active []bool, count int) float64 {
 		return FractionalBenefit(p, active)
 	})
 }
 
-// mcAverage fans iterations out over a bounded worker pool. Stream i of
-// the seed RNG drives iteration i, so results are independent of
-// scheduling.
-func mcAverage(g *graph.Graph, seeds []graph.NodeID, opts MCOptions, score func(active []bool, count int) float64) (float64, error) {
+// mcAverageCtx fans iterations out over a bounded worker pool. Stream i
+// of the seed RNG drives iteration i, so results are independent of
+// scheduling; the ctx polls never touch the PRNG, so a completed run is
+// byte-identical with or without a live context. On cancellation the
+// partial sums are discarded and the ctx error returned.
+//
+//imc:longrun
+func mcAverageCtx(ctx context.Context, g *graph.Graph, seeds []graph.NodeID, opts MCOptions, score func(active []bool, count int) float64) (float64, error) {
 	opts, err := opts.normalized()
 	if err != nil {
+		return 0, err
+	}
+	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
 	root := xrand.New(opts.Seed)
@@ -313,7 +351,11 @@ func mcAverage(g *graph.Graph, seeds []graph.NodeID, opts MCOptions, score func(
 		workers = opts.Iterations
 	}
 	partial := make([]float64, workers)
-	var wg sync.WaitGroup
+	var (
+		wg       sync.WaitGroup
+		firstErr error
+		errOnce  sync.Once
+	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -321,7 +363,15 @@ func mcAverage(g *graph.Graph, seeds []graph.NodeID, opts MCOptions, score func(
 			sim := NewSimulator(g, opts.Model)
 			sum := 0.0
 			var rng xrand.RNG
+			ran := 0
 			for it := w; it < opts.Iterations; it += workers {
+				if ran&(ctxPollBatch-1) == 0 {
+					if cerr := ctx.Err(); cerr != nil {
+						errOnce.Do(func() { firstErr = cerr })
+						return
+					}
+				}
+				ran++
 				root.SplitInto(uint64(it), &rng)
 				active, count := sim.Run(seeds, &rng)
 				sum += score(active, count)
@@ -330,6 +380,9 @@ func mcAverage(g *graph.Graph, seeds []graph.NodeID, opts MCOptions, score func(
 		}(w)
 	}
 	wg.Wait()
+	if firstErr != nil {
+		return 0, firstErr
+	}
 	total := 0.0
 	for _, s := range partial {
 		total += s
@@ -353,9 +406,19 @@ type StoppingRuleResult struct {
 // Stopping Rule Algorithm of Dagum, Karp, Luby and Ross (SIAM J.
 // Comput. 2000, §2.1) — the engine of the paper's Estimate procedure
 // (Alg. 6). sample must return draws in [0, 1].
+func StoppingRule(sample func(*xrand.RNG) float64, eps, delta float64, maxSamples int, rng *xrand.RNG) (StoppingRuleResult, error) {
+	return StoppingRuleCtx(context.Background(), sample, eps, delta, maxSamples, rng)
+}
+
+// StoppingRuleCtx is StoppingRule with cooperative cancellation: the
+// draw loop polls ctx every ctxPollBatch samples (never per draw, so
+// the hot path stays allocation-free), returning the ctx error with a
+// zero result on cancellation. A completed run is byte-identical to
+// StoppingRule: the poll never touches the PRNG stream.
 //
 //imc:hotpath
-func StoppingRule(sample func(*xrand.RNG) float64, eps, delta float64, maxSamples int, rng *xrand.RNG) (StoppingRuleResult, error) {
+//imc:longrun
+func StoppingRuleCtx(ctx context.Context, sample func(*xrand.RNG) float64, eps, delta float64, maxSamples int, rng *xrand.RNG) (StoppingRuleResult, error) {
 	if eps <= 0 || eps >= 1 {
 		return StoppingRuleResult{}, fmt.Errorf("diffusion: eps %g out of (0, 1)", eps)
 	}
@@ -365,10 +428,18 @@ func StoppingRule(sample func(*xrand.RNG) float64, eps, delta float64, maxSample
 	if maxSamples < 1 {
 		return StoppingRuleResult{}, errors.New("diffusion: maxSamples must be ≥ 1")
 	}
+	if err := ctx.Err(); err != nil {
+		return StoppingRuleResult{}, err
+	}
 	// Υ = 1 + 4(e−2)·ln(2/δ)·(1+ε)/ε².
 	upsilon := 1 + 4*(math.E-2)*math.Log(2/delta)*(1+eps)/(eps*eps)
 	sum := 0.0
 	for t := 1; t <= maxSamples; t++ {
+		if t&(ctxPollBatch-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return StoppingRuleResult{}, err
+			}
+		}
 		sum += sample(rng)
 		if sum >= upsilon {
 			return StoppingRuleResult{Mean: upsilon / float64(t), Samples: t, Converged: true}, nil

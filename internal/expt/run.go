@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -102,16 +103,29 @@ type AlgResult struct {
 // is then scored with the same Dagum estimator for every algorithm so
 // comparisons are apples-to-apples.
 func RunAlg(inst *Instance, alg string, k int, cfg RunConfig) (AlgResult, error) {
+	return RunAlgCtx(context.Background(), inst, alg, k, cfg)
+}
+
+// RunAlgCtx is RunAlg with cooperative cancellation: ctx is checked
+// between repetitions and threaded through seed selection and benefit
+// evaluation, so a cancelled run surfaces context.Canceled (wrapped,
+// errors.Is-matchable) within one kernel batch.
+//
+//imc:longrun
+func RunAlgCtx(ctx context.Context, inst *Instance, alg string, k int, cfg RunConfig) (AlgResult, error) {
 	cfg = cfg.normalized()
 	out := AlgResult{Alg: alg}
 	var acc stats.Running
 	for run := 0; run < cfg.Runs; run++ {
+		if err := ctx.Err(); err != nil {
+			return AlgResult{}, fmt.Errorf("expt: %s run %d: %w", alg, run, err)
+		}
 		seedBase := cfg.Seed + uint64(run)*1_000_003
-		seeds, elapsed, ratio, err := selectSeeds(inst, alg, k, cfg, seedBase)
+		seeds, elapsed, ratio, err := selectSeeds(ctx, inst, alg, k, cfg, seedBase)
 		if err != nil {
 			return AlgResult{}, fmt.Errorf("expt: %s run %d: %w", alg, run, err)
 		}
-		benefit, err := evaluateBenefit(inst, seeds, cfg, seedBase)
+		benefit, err := evaluateBenefit(ctx, inst, seeds, cfg, seedBase)
 		if err != nil {
 			return AlgResult{}, fmt.Errorf("expt: %s run %d eval: %w", alg, run, err)
 		}
@@ -127,7 +141,7 @@ func RunAlg(inst *Instance, alg string, k int, cfg RunConfig) (AlgResult, error)
 	return out, nil
 }
 
-func selectSeeds(inst *Instance, alg string, k int, cfg RunConfig, seed uint64) ([]graph.NodeID, time.Duration, float64, error) {
+func selectSeeds(ctx context.Context, inst *Instance, alg string, k int, cfg RunConfig, seed uint64) ([]graph.NodeID, time.Duration, float64, error) {
 	now := clock.OrWall(cfg.Now)
 	opts := core.Options{
 		K:          k,
@@ -141,26 +155,26 @@ func selectSeeds(inst *Instance, alg string, k int, cfg RunConfig, seed uint64) 
 	}
 	switch alg {
 	case AlgUBG:
-		sol, err := core.Solve(inst.G, inst.Part, maxr.UBG{}, opts)
+		sol, err := core.SolveCtx(ctx, inst.G, inst.Part, maxr.UBG{}, opts)
 		if err != nil {
 			return nil, 0, 0, err
 		}
 		return sol.Seeds, sol.Elapsed, sol.SandwichRatio, nil
 	case AlgUBGLS:
-		sol, err := core.Solve(inst.G, inst.Part, maxr.Refined{Base: maxr.UBG{}}, opts)
+		sol, err := core.SolveCtx(ctx, inst.G, inst.Part, maxr.Refined{Base: maxr.UBG{}}, opts)
 		if err != nil {
 			return nil, 0, 0, err
 		}
 		return sol.Seeds, sol.Elapsed, sol.SandwichRatio, nil
 	case AlgMAF:
-		sol, err := core.Solve(inst.G, inst.Part, maxr.MAF{Seed: seed}, opts)
+		sol, err := core.SolveCtx(ctx, inst.G, inst.Part, maxr.MAF{Seed: seed}, opts)
 		if err != nil {
 			return nil, 0, 0, err
 		}
 		return sol.Seeds, sol.Elapsed, 0, nil
 	case AlgMB:
 		solver := maxr.MB{MAF: maxr.MAF{Seed: seed}, BT: maxr.BT{MaxRoots: cfg.BTMaxRoots}}
-		sol, err := core.Solve(inst.G, inst.Part, solver, opts)
+		sol, err := core.SolveCtx(ctx, inst.G, inst.Part, solver, opts)
 		if err != nil {
 			return nil, 0, 0, err
 		}
@@ -179,7 +193,7 @@ func selectSeeds(inst *Instance, alg string, k int, cfg RunConfig, seed uint64) 
 		return seeds, now().Sub(start), 0, err
 	case AlgIM:
 		start := now()
-		seeds, err := baselines.IM(inst.G, inst.Part, k, ris.Options{
+		seeds, err := baselines.IMCtx(ctx, inst.G, inst.Part, k, ris.Options{
 			Eps:        cfg.Eps,
 			Delta:      cfg.Delta,
 			Seed:       seed,
@@ -196,8 +210,8 @@ func selectSeeds(inst *Instance, alg string, k int, cfg RunConfig, seed uint64) 
 
 // evaluateBenefit scores a seed set with the Dagum stopping-rule
 // estimator (the paper scores baselines the same way).
-func evaluateBenefit(inst *Instance, seeds []graph.NodeID, cfg RunConfig, seed uint64) (float64, error) {
-	est, err := core.Estimate(inst.G, inst.Part, seeds, core.EstimateOptions{
+func evaluateBenefit(ctx context.Context, inst *Instance, seeds []graph.NodeID, cfg RunConfig, seed uint64) (float64, error) {
+	est, err := core.EstimateCtx(ctx, inst.G, inst.Part, seeds, core.EstimateOptions{
 		Eps:   cfg.Eps,
 		Delta: cfg.Delta,
 		TMax:  cfg.EvalTMax,

@@ -10,6 +10,7 @@ var All = []*Analyzer{
 	Printer,
 	SeedPlumb,
 	CtxFirst,
+	CtxPlumb,
 	AllocFree,
 	ErrFlow,
 	Purity,
@@ -69,9 +70,9 @@ const clockPackage = "/internal/clock"
 //     sanctioned time.Now wrapper);
 //   - floatcompare, printer: library packages only;
 //   - seedplumb: the four sampling packages;
-//   - allocfree, purity: library packages only (the //imc: annotation
-//     contracts live in library code; cmd/ and examples/ are not on the
-//     sampling hot path);
+//   - allocfree, purity, ctxplumb: library packages only (the //imc:
+//     annotation contracts live in library code; cmd/ and examples/ are
+//     not on the sampling hot path);
 //   - goroutineleak, ctxfirst, errflow, sharemut: everywhere.
 func AnalyzersFor(modulePath, path string, candidates []*Analyzer) []*Analyzer {
 	lib := isLibraryPackage(modulePath, path)
@@ -82,7 +83,7 @@ func AnalyzersFor(modulePath, path string, candidates []*Analyzer) []*Analyzer {
 			if lib && path != modulePath+clockPackage {
 				out = append(out, a)
 			}
-		case "floatcompare", "printer", "allocfree", "purity":
+		case "floatcompare", "printer", "allocfree", "purity", "ctxplumb":
 			if lib {
 				out = append(out, a)
 			}

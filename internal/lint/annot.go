@@ -14,6 +14,10 @@ import (
 //	//imc:pure      — the function is an estimator/comparator; the
 //	                  purity analyzer forbids writes to package state,
 //	                  impure callees, and retention of argument slices.
+//	//imc:longrun   — the function is a long-running compute entry
+//	                  point; the ctxplumb analyzer requires it to take
+//	                  context.Context first and to forward that context
+//	                  to any longrun callee.
 //
 // Grammar: the directive must be its own comment line, attached to the
 // function declaration (in its doc comment or on the line of / above
@@ -24,6 +28,7 @@ import (
 const (
 	directiveHotPath = "hotpath"
 	directivePure    = "pure"
+	directiveLongRun = "longrun"
 )
 
 // parseDirective extracts the name of an `//imc:` directive comment

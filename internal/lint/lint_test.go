@@ -62,6 +62,7 @@ func TestAnalyzerFixtures(t *testing.T) {
 		"printer":       Printer,
 		"seedplumb":     SeedPlumb,
 		"ctxfirst":      CtxFirst,
+		"ctxplumb":      CtxPlumb,
 		"allocfree":     AllocFree,
 		"errflow":       ErrFlow,
 		"purity":        Purity,
@@ -209,11 +210,11 @@ func TestAnalyzersFor(t *testing.T) {
 		path string
 		want string
 	}{
-		{"imc", "determinism,floatcompare,goroutineleak,printer,ctxfirst,allocfree,errflow,purity,sharemut"},
-		{"imc/internal/graph", "determinism,floatcompare,goroutineleak,printer,ctxfirst,allocfree,errflow,purity,sharemut"},
-		{"imc/internal/ric", "determinism,floatcompare,goroutineleak,printer,seedplumb,ctxfirst,allocfree,errflow,purity,sharemut"},
-		{"imc/internal/maxr", "determinism,floatcompare,goroutineleak,printer,seedplumb,ctxfirst,allocfree,errflow,purity,sharemut"},
-		{"imc/internal/clock", "floatcompare,goroutineleak,printer,ctxfirst,allocfree,errflow,purity,sharemut"},
+		{"imc", "determinism,floatcompare,goroutineleak,printer,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut"},
+		{"imc/internal/graph", "determinism,floatcompare,goroutineleak,printer,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut"},
+		{"imc/internal/ric", "determinism,floatcompare,goroutineleak,printer,seedplumb,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut"},
+		{"imc/internal/maxr", "determinism,floatcompare,goroutineleak,printer,seedplumb,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut"},
+		{"imc/internal/clock", "floatcompare,goroutineleak,printer,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut"},
 		{"imc/cmd/imcrun", "goroutineleak,ctxfirst,errflow,sharemut"},
 		{"imc/examples/quickstart", "goroutineleak,ctxfirst,errflow,sharemut"},
 	}

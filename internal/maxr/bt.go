@@ -1,6 +1,7 @@
 package maxr
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sort"
@@ -31,7 +32,7 @@ type BT struct {
 	Workers int
 }
 
-var _ Solver = BT{}
+var _ CtxSolver = BT{}
 
 // Name implements Solver.
 func (b BT) Name() string { return "BT" }
@@ -51,7 +52,21 @@ func (b BT) depth() int {
 
 // Solve implements Solver.
 func (b BT) Solve(pool *ric.Pool, k int) (Result, error) {
+	return b.SolveCtx(context.Background(), pool, k)
+}
+
+// SolveCtx implements CtxSolver: every worker polls ctx once per root
+// subproblem (each root is an independent, typically sizable instance),
+// and the recursion checks ctx at each level's root scan. A completed
+// run is byte-identical to Solve — workers always fill the same
+// per-root result slots, so the poll never perturbs tie-breaking.
+//
+//imc:longrun
+func (b BT) SolveCtx(ctx context.Context, pool *ric.Pool, k int) (Result, error) {
 	if err := validate(pool, k); err != nil {
+		return Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
 	covers := pool.SampleCovers()
@@ -74,9 +89,12 @@ func (b BT) Solve(pool *ric.Pool, k int) (Result, error) {
 		go func(w int) {
 			defer wg.Done()
 			for i := w; i < len(roots); i += workers {
+				if ctx.Err() != nil {
+					return
+				}
 				u := roots[i]
 				inst := b.rootInstance(pool, covers, u)
-				team := b.solveInstance(inst, k-1, b.depth()-1)
+				team := b.solveInstance(ctx, inst, k-1, b.depth()-1)
 				results[i] = rootResult{
 					seeds: append([]graph.NodeID{u}, team...),
 					score: inst.influencedBy(team),
@@ -85,6 +103,9 @@ func (b BT) Solve(pool *ric.Pool, k int) (Result, error) {
 		}(w)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	bestScore := -1
 	var bestSeeds []graph.NodeID
 	for _, r := range results {
@@ -199,8 +220,11 @@ func (inst *btInstance) influencedBy(seeds []graph.NodeID) int {
 // solveInstance picks up to k nodes maximizing influenced instance
 // samples. depth ≤ 1 runs the greedy base case (exact (1−1/e) when each
 // residual threshold is ≤ 1, i.e. original thresholds ≤ 2); deeper
-// levels recurse over roots as §IV-C describes.
-func (b BT) solveInstance(inst *btInstance, k, depth int) []graph.NodeID {
+// levels recurse over roots as §IV-C describes. On cancellation it
+// returns early with a partial (possibly nil) team; the caller's
+// post-wait ctx check discards the whole result, so the short-circuit
+// never leaks into a completed run.
+func (b BT) solveInstance(ctx context.Context, inst *btInstance, k, depth int) []graph.NodeID {
 	if k <= 0 || len(inst.nodes) == 0 {
 		return nil
 	}
@@ -211,8 +235,11 @@ func (b BT) solveInstance(inst *btInstance, k, depth int) []graph.NodeID {
 	bestScore := -1
 	var best []graph.NodeID
 	for _, u := range roots {
+		if ctx.Err() != nil {
+			return best
+		}
 		sub := inst.subInstance(u)
-		team := b.solveInstance(sub, k-1, depth-1)
+		team := b.solveInstance(ctx, sub, k-1, depth-1)
 		score := sub.influencedBy(team)
 		if score > bestScore {
 			bestScore = score

@@ -2,6 +2,7 @@ package maxr
 
 import (
 	"container/heap"
+	"context"
 
 	"imc/internal/graph"
 	"imc/internal/ric"
@@ -97,18 +98,36 @@ func tieBreakGain(pool *ric.Pool, st *ric.State, v graph.NodeID) float64 {
 // regime the paper highlights; with it, the early picks build toward
 // thresholds and later rounds recover the coverage signal.
 func GreedyCHat(pool *ric.Pool, k int) ([]graph.NodeID, error) {
+	return GreedyCHatCtx(context.Background(), pool, k)
+}
+
+// GreedyCHatCtx is GreedyCHat with cooperative cancellation, polled
+// every ctxPollBatch marginal evaluations.
+//
+//imc:longrun
+func GreedyCHatCtx(ctx context.Context, pool *ric.Pool, k int) ([]graph.NodeID, error) {
 	if err := validate(pool, k); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	cands := candidates(pool)
 	st := pool.NewState()
 	seeds := make([]graph.NodeID, 0, k)
 	used := make(map[graph.NodeID]struct{}, k)
+	evals := 0
 	for len(seeds) < k {
 		best := graph.NodeID(-1)
 		bestGain := -1
 		bestFrac := -1.0
 		for _, v := range cands {
+			if evals&(ctxPollBatch-1) == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			evals++
 			if _, ok := used[v]; ok {
 				continue
 			}
@@ -180,7 +199,18 @@ func (h *celfHeap) Pop() any {
 // (Lemma 3 proves submodularity, so stale heap gains are valid upper
 // bounds and lazy evaluation is exact).
 func GreedyNu(pool *ric.Pool, k int) ([]graph.NodeID, error) {
+	return GreedyNuCtx(context.Background(), pool, k)
+}
+
+// GreedyNuCtx is GreedyNu with cooperative cancellation, polled every
+// ctxPollBatch CELF pops.
+//
+//imc:longrun
+func GreedyNuCtx(ctx context.Context, pool *ric.Pool, k int) ([]graph.NodeID, error) {
 	if err := validate(pool, k); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	cands := candidates(pool)
@@ -191,7 +221,14 @@ func GreedyNu(pool *ric.Pool, k int) ([]graph.NodeID, error) {
 	}
 	heap.Init(&h)
 	seeds := make([]graph.NodeID, 0, k)
+	pops := 0
 	for len(seeds) < k && h.Len() > 0 {
+		if pops&(ctxPollBatch-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		pops++
 		top := heap.Pop(&h).(celfItem)
 		if top.round == len(seeds) {
 			if top.gain <= 0 {

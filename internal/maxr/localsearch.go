@@ -1,6 +1,8 @@
 package maxr
 
 import (
+	"context"
+
 	"imc/internal/graph"
 	"imc/internal/ric"
 )
@@ -67,7 +69,7 @@ type Refined struct {
 	MaxRounds int
 }
 
-var _ Solver = Refined{}
+var _ CtxSolver = Refined{}
 
 // Name implements Solver.
 func (r Refined) Name() string { return r.Base.Name() + "+LS" }
@@ -80,8 +82,20 @@ func (r Refined) Guarantee(pool *ric.Pool, k int) float64 {
 
 // Solve implements Solver.
 func (r Refined) Solve(pool *ric.Pool, k int) (Result, error) {
-	res, err := r.Base.Solve(pool, k)
+	return r.SolveCtx(context.Background(), pool, k)
+}
+
+// SolveCtx implements CtxSolver: the base solve is ctx-aware (via
+// SolveWithContext) and the hill climb is gated by one poll per outer
+// pass boundary — the refinement never runs on a cancelled ctx.
+//
+//imc:longrun
+func (r Refined) SolveCtx(ctx context.Context, pool *ric.Pool, k int) (Result, error) {
+	res, err := SolveWithContext(ctx, r.Base, pool, k)
 	if err != nil {
+		return Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
 	seeds, _ := LocalSearch(pool, res.Seeds, r.MaxRounds)

@@ -1,6 +1,7 @@
 package maxr
 
 import (
+	"context"
 	"sort"
 
 	"imc/internal/graph"
@@ -24,7 +25,7 @@ type MAF struct {
 	SmartMembers bool
 }
 
-var _ Solver = MAF{}
+var _ CtxSolver = MAF{}
 
 // Name implements Solver.
 func (MAF) Name() string { return "MAF" }
@@ -41,10 +42,24 @@ func (MAF) Guarantee(pool *ric.Pool, k int) float64 {
 
 // Solve implements Solver.
 func (m MAF) Solve(pool *ric.Pool, k int) (Result, error) {
+	return m.SolveCtx(context.Background(), pool, k)
+}
+
+// SolveCtx implements CtxSolver. MAF's two candidate builds are cheap
+// (sort-dominated), so one poll before each suffices.
+//
+//imc:longrun
+func (m MAF) SolveCtx(ctx context.Context, pool *ric.Pool, k int) (Result, error) {
 	if err := validate(pool, k); err != nil {
 		return Result{}, err
 	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	s1 := m.buildS1(pool, k)
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	s2 := m.buildS2(pool, k)
 	r1 := finalize(pool, padSeeds(pool, s1, k))
 	r2 := finalize(pool, padSeeds(pool, s2, k))

@@ -20,6 +20,7 @@
 package maxr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -30,6 +31,13 @@ import (
 
 // ErrEmptyPool is returned when solving against a pool with no samples.
 var ErrEmptyPool = errors.New("maxr: pool has no samples")
+
+// ctxPollBatch is how many candidate evaluations (greedy marginals, CELF
+// pops, BT roots) a solver loop runs between cooperative ctx.Err()
+// polls. Batch-boundary polling keeps the check off the hot path and —
+// because it never touches solver state — leaves completed runs
+// byte-identical to the ctx-free path.
+const ctxPollBatch = 1024
 
 // Result is a solved MAXR instance.
 type Result struct {
@@ -50,6 +58,32 @@ type Solver interface {
 	Guarantee(pool *ric.Pool, k int) float64
 	// Solve picks up to k seeds maximizing influenced samples.
 	Solve(pool *ric.Pool, k int) (Result, error)
+}
+
+// CtxSolver is a Solver whose selection loop supports cooperative
+// cancellation. All solvers in this package implement it; the interface
+// exists so SolveWithContext can degrade gracefully for third-party
+// Solver implementations.
+type CtxSolver interface {
+	Solver
+	// SolveCtx is Solve with ctx polled at batch boundaries. A completed
+	// call returns exactly what Solve would.
+	SolveCtx(ctx context.Context, pool *ric.Pool, k int) (Result, error)
+}
+
+// SolveWithContext dispatches to s.SolveCtx when the solver supports
+// cancellation, and otherwise performs one up-front ctx check before the
+// uninterruptible s.Solve.
+//
+//imc:longrun
+func SolveWithContext(ctx context.Context, s Solver, pool *ric.Pool, k int) (Result, error) {
+	if cs, ok := s.(CtxSolver); ok {
+		return cs.SolveCtx(ctx, pool, k)
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	return s.Solve(pool, k)
 }
 
 func validate(pool *ric.Pool, k int) error {

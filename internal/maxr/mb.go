@@ -1,6 +1,7 @@
 package maxr
 
 import (
+	"context"
 	"math"
 
 	"imc/internal/ric"
@@ -17,7 +18,7 @@ type MB struct {
 	BT BT
 }
 
-var _ Solver = MB{}
+var _ CtxSolver = MB{}
 
 // Name implements Solver.
 func (MB) Name() string { return "MB" }
@@ -34,14 +35,21 @@ func (m MB) Guarantee(pool *ric.Pool, k int) float64 {
 
 // Solve implements Solver.
 func (m MB) Solve(pool *ric.Pool, k int) (Result, error) {
+	return m.SolveCtx(context.Background(), pool, k)
+}
+
+// SolveCtx implements CtxSolver: ctx reaches both halves.
+//
+//imc:longrun
+func (m MB) SolveCtx(ctx context.Context, pool *ric.Pool, k int) (Result, error) {
 	if err := validate(pool, k); err != nil {
 		return Result{}, err
 	}
-	rMAF, err := m.MAF.Solve(pool, k)
+	rMAF, err := m.MAF.SolveCtx(ctx, pool, k)
 	if err != nil {
 		return Result{}, err
 	}
-	rBT, err := m.BT.Solve(pool, k)
+	rBT, err := m.BT.SolveCtx(ctx, pool, k)
 	if err != nil {
 		return Result{}, err
 	}

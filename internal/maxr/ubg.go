@@ -1,6 +1,7 @@
 package maxr
 
 import (
+	"context"
 	"math"
 
 	"imc/internal/graph"
@@ -14,7 +15,7 @@ import (
 // (ĉ_R(S_ν)/ν_R(S_ν))·(1−1/e).
 type UBG struct{}
 
-var _ Solver = UBG{}
+var _ CtxSolver = UBG{}
 
 // Name implements Solver.
 func (UBG) Name() string { return "UBG" }
@@ -25,15 +26,23 @@ func (UBG) Name() string { return "UBG" }
 func (UBG) Guarantee(_ *ric.Pool, _ int) float64 { return 1 - 1/math.E }
 
 // Solve implements Solver.
-func (UBG) Solve(pool *ric.Pool, k int) (Result, error) {
+func (u UBG) Solve(pool *ric.Pool, k int) (Result, error) {
+	return u.SolveCtx(context.Background(), pool, k)
+}
+
+// SolveCtx implements CtxSolver: both greedy halves poll ctx at batch
+// boundaries.
+//
+//imc:longrun
+func (UBG) SolveCtx(ctx context.Context, pool *ric.Pool, k int) (Result, error) {
 	if err := validate(pool, k); err != nil {
 		return Result{}, err
 	}
-	sNu, err := GreedyNu(pool, k)
+	sNu, err := GreedyNuCtx(ctx, pool, k)
 	if err != nil {
 		return Result{}, err
 	}
-	sC, err := GreedyCHat(pool, k)
+	sC, err := GreedyCHatCtx(ctx, pool, k)
 	if err != nil {
 		return Result{}, err
 	}

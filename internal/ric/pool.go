@@ -1,6 +1,7 @@
 package ric
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -11,6 +12,13 @@ import (
 	"imc/internal/graph"
 	"imc/internal/xrand"
 )
+
+// ctxPollBatch is how many samples a worker draws between cooperative
+// ctx.Err() polls. Polling per batch — never per node — keeps the
+// cancellation check off the sampling hot path; a poll costs one atomic
+// load, so a batch of 1024 makes the overhead unmeasurable while still
+// bounding cancellation latency to ~1k samples per worker.
+const ctxPollBatch = 1024
 
 // Pool is a growing collection R of RIC samples together with the
 // inverted cover index (node → samples it touches, with member masks)
@@ -66,8 +74,22 @@ func NewPool(g *graph.Graph, part *community.Partition, opts PoolOptions) (*Pool
 
 // Generate draws count additional samples and folds them into the pool.
 func (p *Pool) Generate(count int) error {
+	return p.GenerateCtx(context.Background(), count)
+}
+
+// GenerateCtx draws count additional samples and folds them into the
+// pool, polling ctx between sample batches. On cancellation the pool is
+// left exactly as it was — no partial batch is folded in — so a
+// completed call is byte-identical to the ctx-free path: the check
+// never touches the PRNG streams.
+//
+//imc:longrun
+func (p *Pool) GenerateCtx(ctx context.Context, count int) error {
 	if count <= 0 {
 		return errors.New("ric: sample count must be positive")
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	base := len(p.samples)
 	raws := make([]rawSample, count)
@@ -90,7 +112,15 @@ func (p *Pool) Generate(count int) error {
 				return
 			}
 			var rng xrand.RNG
+			drawn := 0
 			for i := w; i < count; i += workers {
+				if drawn&(ctxPollBatch-1) == 0 {
+					if cerr := ctx.Err(); cerr != nil {
+						errOnce.Do(func() { firstErr = cerr })
+						return
+					}
+				}
+				drawn++
 				p.root.SplitInto(uint64(base+i), &rng)
 				raws[i] = gen.Generate(&rng)
 			}
@@ -118,11 +148,18 @@ func (p *Pool) Generate(count int) error {
 
 // Double doubles the pool size (the IMCAF stop-and-stare schedule).
 func (p *Pool) Double() error {
+	return p.DoubleCtx(context.Background())
+}
+
+// DoubleCtx doubles the pool size, polling ctx between sample batches.
+//
+//imc:longrun
+func (p *Pool) DoubleCtx(ctx context.Context) error {
 	n := len(p.samples)
 	if n == 0 {
 		return errors.New("ric: cannot double an empty pool")
 	}
-	return p.Generate(n)
+	return p.GenerateCtx(ctx, n)
 }
 
 // NumSamples returns |R|.

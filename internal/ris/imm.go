@@ -1,6 +1,7 @@
 package ris
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -21,6 +22,15 @@ import (
 // Guarantee: 1 − 1/e − ε with probability ≥ 1 − δ (ℓ is derived from
 // Delta as ℓ = max(ln(1/δ)/ln n, 0.1)).
 func SolveIMM(g *graph.Graph, opts Options) (Solution, error) {
+	return SolveIMMCtx(context.Background(), g, opts)
+}
+
+// SolveIMMCtx is SolveIMM with cooperative cancellation threaded into
+// both phases' RR-set generation and checked between geometric-search
+// iterations.
+//
+//imc:longrun
+func SolveIMMCtx(ctx context.Context, g *graph.Graph, opts Options) (Solution, error) {
 	if opts.K < 1 {
 		return Solution{}, fmt.Errorf("ris: K=%d must be ≥ 1", opts.K)
 	}
@@ -63,13 +73,16 @@ func SolveIMM(g *graph.Graph, opts Options) (Solution, error) {
 
 	// Phase 1: geometric search for a lower bound on OPT.
 	for i := 1; float64(i) <= log2N-1; i++ {
+		if err := ctx.Err(); err != nil {
+			return Solution{}, err
+		}
 		x := n / math.Pow(2, float64(i))
 		thetaI := int(math.Ceil(lambdP / x))
 		if thetaI > opts.MaxSamples {
 			thetaI = opts.MaxSamples
 		}
 		if deficit := thetaI - pool.size(); deficit > 0 {
-			if err := pool.generate(deficit); err != nil {
+			if err := pool.generateCtx(ctx, deficit); err != nil {
 				return Solution{}, err
 			}
 		}
@@ -93,7 +106,7 @@ func SolveIMM(g *graph.Graph, opts Options) (Solution, error) {
 		theta = opts.MaxSamples
 	}
 	if deficit := theta - pool.size(); deficit > 0 {
-		if err := pool.generate(deficit); err != nil {
+		if err := pool.generateCtx(ctx, deficit); err != nil {
 			return Solution{}, err
 		}
 	}

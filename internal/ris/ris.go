@@ -10,6 +10,7 @@
 package ris
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -23,6 +24,10 @@ import (
 	"imc/internal/graph"
 	"imc/internal/xrand"
 )
+
+// ctxPollBatch is how many RR sets a worker draws between cooperative
+// ctx.Err() polls — batch-boundary cancellation, matching ric.Pool.
+const ctxPollBatch = 1024
 
 // Options configures the IM solver.
 type Options struct {
@@ -61,6 +66,16 @@ type Solution struct {
 // greedily cover it, and stop once an independent stopping-rule
 // estimate confirms the pool estimate.
 func Solve(g *graph.Graph, opts Options) (Solution, error) {
+	return SolveCtx(context.Background(), g, opts)
+}
+
+// SolveCtx is Solve with cooperative cancellation: the doubling loop
+// checks ctx per round and threads it into RR-set generation and the
+// stopping-rule verification. A completed run is byte-identical to the
+// ctx-free path.
+//
+//imc:longrun
+func SolveCtx(ctx context.Context, g *graph.Graph, opts Options) (Solution, error) {
 	if opts.K < 1 {
 		return Solution{}, fmt.Errorf("ris: K=%d must be ≥ 1", opts.K)
 	}
@@ -87,7 +102,7 @@ func Solve(g *graph.Graph, opts Options) (Solution, error) {
 	pool := newRRPool(g, opts)
 	e3 := opts.Eps / 4
 	lambda := (1 + opts.Eps/4) * (1 + opts.Eps/4) * 3 / (e3 * e3) * math.Log(3/(2*opts.Delta))
-	if err := pool.generate(int(math.Ceil(lambda))); err != nil {
+	if err := pool.generateCtx(ctx, int(math.Ceil(lambda))); err != nil {
 		return Solution{}, err
 	}
 	var (
@@ -95,9 +110,15 @@ func Solve(g *graph.Graph, opts Options) (Solution, error) {
 		coverage int
 	)
 	for round := 0; ; round++ {
+		if err := ctx.Err(); err != nil {
+			return Solution{}, err
+		}
 		seeds, coverage = pool.greedyMaxCover(opts.K)
 		if float64(coverage) >= lambda {
-			est, converged := pool.estimateSpread(seeds, opts.Eps/4, opts.Delta/3, 2*pool.size(), uint64(round))
+			est, converged, err := pool.estimateSpread(ctx, seeds, opts.Eps/4, opts.Delta/3, 2*pool.size(), uint64(round))
+			if err != nil {
+				return Solution{}, err
+			}
 			poolEst := pool.spread(coverage)
 			if converged && poolEst <= (1+opts.Eps/4)*est {
 				break
@@ -106,7 +127,7 @@ func Solve(g *graph.Graph, opts Options) (Solution, error) {
 		if pool.size()*2 > opts.MaxSamples {
 			break
 		}
-		if err := pool.generate(pool.size()); err != nil {
+		if err := pool.generateCtx(ctx, pool.size()); err != nil {
 			return Solution{}, err
 		}
 	}
@@ -158,9 +179,15 @@ func (p *rrPool) spread(coverage int) float64 {
 	return float64(p.g.NumNodes()) * float64(coverage) / float64(len(p.sets))
 }
 
-func (p *rrPool) generate(count int) error {
+// generateCtx draws count fresh RR sets, polling ctx between sample
+// batches. On cancellation the pool is left untouched — no partial
+// batch is folded in.
+func (p *rrPool) generateCtx(ctx context.Context, count int) error {
 	if count < 1 {
 		return errors.New("ris: sample count must be positive")
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	base := len(p.sets)
 	out := make([][]graph.NodeID, count)
@@ -168,20 +195,35 @@ func (p *rrPool) generate(count int) error {
 	if workers > count {
 		workers = count
 	}
-	var wg sync.WaitGroup
+	var (
+		wg       sync.WaitGroup
+		firstErr error
+		errOnce  sync.Once
+	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			s := newRRSampler(p.g, p.opts.Model)
 			var rng xrand.RNG
+			drawn := 0
 			for i := w; i < count; i += workers {
+				if drawn&(ctxPollBatch-1) == 0 {
+					if cerr := ctx.Err(); cerr != nil {
+						errOnce.Do(func() { firstErr = cerr })
+						return
+					}
+				}
+				drawn++
 				p.root.SplitInto(uint64(base+i), &rng)
 				out[i] = s.sample(&rng)
 			}
 		}(w)
 	}
 	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
 	for i, set := range out {
 		id := int32(base + i)
 		p.sets = append(p.sets, set)
@@ -249,23 +291,28 @@ func (p *rrPool) greedyMaxCover(k int) ([]graph.NodeID, int) {
 
 // estimateSpread draws fresh RR sets until the Dagum stopping rule
 // certifies an estimate of Pr[S ∩ RR ≠ ∅], returning n times it.
-func (p *rrPool) estimateSpread(seeds []graph.NodeID, eps, delta float64, tmax int, salt uint64) (float64, bool) {
+// Cancellation surfaces as a non-nil error; other stopping-rule errors
+// keep their historical "not converged" treatment.
+func (p *rrPool) estimateSpread(ctx context.Context, seeds []graph.NodeID, eps, delta float64, tmax int, salt uint64) (float64, bool, error) {
 	inSeed := make([]bool, p.g.NumNodes())
 	for _, s := range seeds {
 		inSeed[s] = true
 	}
 	s := newRRSampler(p.g, p.opts.Model)
 	root := xrand.New(p.opts.Seed ^ 0xa5a5a5a5a5a5a5a5 ^ salt<<40)
-	res, err := diffusion.StoppingRule(func(rng *xrand.RNG) float64 {
+	res, err := diffusion.StoppingRuleCtx(ctx, func(rng *xrand.RNG) float64 {
 		if s.sampleHits(rng, inSeed) {
 			return 1
 		}
 		return 0
 	}, eps, delta, tmax, root)
 	if err != nil {
-		return 0, false
+		if cerr := ctx.Err(); cerr != nil {
+			return 0, false, cerr
+		}
+		return 0, false, nil
 	}
-	return float64(p.g.NumNodes()) * res.Mean, res.Converged
+	return float64(p.g.NumNodes()) * res.Mean, res.Converged, nil
 }
 
 // rrSampler owns the reverse-BFS scratch for one worker.

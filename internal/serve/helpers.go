@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"context"
+
 	"imc/internal/diffusion"
 	"imc/internal/expt"
 	"imc/internal/graph"
@@ -10,16 +12,16 @@ import (
 )
 
 // estimateBenefit Monte-Carlo-scores a seed set against an instance.
-func estimateBenefit(inst *expt.Instance, seeds []graph.NodeID, iters int, seed uint64) (float64, error) {
-	return diffusion.EstimateBenefit(inst.G, inst.Part, seeds, diffusion.MCOptions{
+func estimateBenefit(ctx context.Context, inst *expt.Instance, seeds []graph.NodeID, iters int, seed uint64) (float64, error) {
+	return diffusion.EstimateBenefitCtx(ctx, inst.G, inst.Part, seeds, diffusion.MCOptions{
 		Iterations: iters,
 		Seed:       seed ^ 0x9e3779b97f4a7c15,
 	})
 }
 
 // estimateSpread Monte-Carlo-estimates raw activation count.
-func estimateSpread(inst *expt.Instance, seeds []graph.NodeID, iters int, seed uint64) (float64, error) {
-	return diffusion.EstimateSpread(inst.G, seeds, diffusion.MCOptions{
+func estimateSpread(ctx context.Context, inst *expt.Instance, seeds []graph.NodeID, iters int, seed uint64) (float64, error) {
+	return diffusion.EstimateSpreadCtx(ctx, inst.G, seeds, diffusion.MCOptions{
 		Iterations: iters,
 		Seed:       seed ^ 0x517cc1b727220a95,
 	})
@@ -31,24 +33,29 @@ func traceCascade(inst *expt.Instance, seeds []graph.NodeID, seed uint64) []diff
 }
 
 // solveBudgeted runs the cost-aware solver over a fresh pool and
-// Monte-Carlo-scores the pick.
-func solveBudgeted(inst *expt.Instance, budget, costUnit float64, samples int, seed uint64) ([]graph.NodeID, float64, float64, error) {
+// Monte-Carlo-scores the pick. Sampling and scoring — the dominant
+// costs — are ctx-aware; the greedy selection between them runs on an
+// already-bounded pool and gets one up-front check.
+func solveBudgeted(ctx context.Context, inst *expt.Instance, budget, costUnit float64, samples int, seed uint64) ([]graph.NodeID, float64, float64, error) {
 	pool, err := ric.NewPool(inst.G, inst.Part, ric.PoolOptions{Seed: seed})
 	if err != nil {
 		return nil, 0, 0, err
 	}
-	if err := pool.Generate(samples); err != nil {
+	if err := pool.GenerateCtx(ctx, samples); err != nil {
 		return nil, 0, 0, err
 	}
 	cost := maxr.UniformCost
 	if costUnit > 0 {
 		cost = maxr.DegreeCost(inst.G, costUnit)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, 0, 0, err
+	}
 	res, err := maxr.SolveBudgeted(pool, cost, budget)
 	if err != nil {
 		return nil, 0, 0, err
 	}
-	benefit, err := estimateBenefit(inst, res.Seeds, 2000, seed)
+	benefit, err := estimateBenefit(ctx, inst, res.Seeds, 2000, seed)
 	if err != nil {
 		return nil, 0, 0, err
 	}

@@ -13,10 +13,13 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -26,23 +29,63 @@ import (
 	"imc/internal/gen"
 )
 
+// Config tunes the server's robustness knobs.
+type Config struct {
+	// SolveTimeout is the per-request deadline applied to the heavy
+	// endpoints (/solve, /estimate, /budgeted). Zero means the 60 s
+	// default; a negative value disables the deadline (the request
+	// context still propagates client disconnects).
+	SolveTimeout time.Duration
+	// MaxInflight bounds how many heavy requests run concurrently;
+	// excess requests are shed with 429 + Retry-After. Zero or negative
+	// means GOMAXPROCS.
+	MaxInflight int
+}
+
+// DefaultSolveTimeout is the per-request deadline when none is set.
+const DefaultSolveTimeout = 60 * time.Second
+
 // Server is the HTTP handler set. Create with New and mount via
 // Handler.
 type Server struct {
-	logger *slog.Logger
-	now    clock.Func
-	start  time.Time
+	logger       *slog.Logger
+	now          clock.Func
+	start        time.Time
+	solveTimeout time.Duration
+
+	// inflight is the heavy-endpoint admission semaphore: a slot is
+	// acquired non-blocking, so a full channel sheds load immediately
+	// instead of queueing latency.
+	inflight chan struct{}
 
 	mu    sync.Mutex
 	cache map[string]*expt.Instance
 	// maxCached bounds the instance cache (simple clear-all eviction:
 	// instances are cheap to rebuild relative to their memory).
 	maxCached int
+	// building holds one in-flight build per cache key (singleflight):
+	// concurrent misses wait on the first builder's done channel instead
+	// of rebuilding the same instance N times.
+	building map[string]*buildResult
+	// buildInstance is the instance factory; a test seam defaulting to
+	// expt.BuildInstance.
+	buildInstance func(expt.InstanceConfig) (*expt.Instance, error)
 
-	// Request counters, keyed by path, for /metrics.
-	statsMu  sync.Mutex
-	requests map[string]int64
-	errors   map[string]int64
+	// Request counters for /metrics, keyed by registered route (anything
+	// else is bucketed under "other" so path scans can't grow the maps).
+	statsMu   sync.Mutex
+	requests  map[string]int64
+	errors4xx map[string]int64
+	errors5xx map[string]int64
+}
+
+// buildResult is one singleflight build slot. inst and err are written
+// exactly once, before done is closed; the channel close publishes them
+// to every waiter.
+type buildResult struct {
+	done chan struct{}
+	inst *expt.Instance
+	err  error
 }
 
 // New returns a server on the real wall clock. logger may be nil.
@@ -54,32 +97,98 @@ func New(logger *slog.Logger) *Server {
 // real wall clock). Tests inject a pinned clock to make uptime and
 // latency fields reproducible.
 func NewWithClock(logger *slog.Logger, now clock.Func) *Server {
+	return NewWithOptions(logger, now, Config{})
+}
+
+// NewWithOptions returns a server with explicit robustness settings.
+func NewWithOptions(logger *slog.Logger, now clock.Func, cfg Config) *Server {
 	if logger == nil {
 		logger = slog.Default()
 	}
 	now = clock.OrWall(now)
+	if cfg.SolveTimeout == 0 {
+		cfg.SolveTimeout = DefaultSolveTimeout
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = runtime.GOMAXPROCS(0)
+	}
 	return &Server{
-		logger:    logger,
-		now:       now,
-		start:     now(),
-		cache:     make(map[string]*expt.Instance),
-		maxCached: 16,
-		requests:  make(map[string]int64),
-		errors:    make(map[string]int64),
+		logger:        logger,
+		now:           now,
+		start:         now(),
+		solveTimeout:  cfg.SolveTimeout,
+		inflight:      make(chan struct{}, cfg.MaxInflight),
+		cache:         make(map[string]*expt.Instance),
+		maxCached:     16,
+		building:      make(map[string]*buildResult),
+		buildInstance: expt.BuildInstance,
+		requests:      make(map[string]int64),
+		errors4xx:     make(map[string]int64),
+		errors5xx:     make(map[string]int64),
 	}
 }
 
-// Handler returns the routed http.Handler.
+// routes is the set of registered paths; /metrics counters collapse
+// everything else into "other" so a path scan cannot grow the maps.
+var routes = map[string]bool{
+	"/healthz":  true,
+	"/datasets": true,
+	"/solve":    true,
+	"/estimate": true,
+	"/budgeted": true,
+	"/trace":    true,
+	"/metrics":  true,
+}
+
+// metricsPath maps a request path to its counter key.
+func metricsPath(p string) string {
+	if routes[p] {
+		return p
+	}
+	return "other"
+}
+
+// Handler returns the routed http.Handler. The compute-heavy endpoints
+// sit behind the in-flight semaphore.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /datasets", s.handleDatasets)
-	mux.HandleFunc("POST /solve", s.handleSolve)
-	mux.HandleFunc("POST /estimate", s.handleEstimate)
-	mux.HandleFunc("POST /budgeted", s.handleBudgeted)
+	mux.HandleFunc("POST /solve", s.heavy(s.handleSolve))
+	mux.HandleFunc("POST /estimate", s.heavy(s.handleEstimate))
+	mux.HandleFunc("POST /budgeted", s.heavy(s.handleBudgeted))
 	mux.HandleFunc("POST /trace", s.handleTrace)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s.logRequests(mux)
+}
+
+// heavy guards a compute-heavy handler with the in-flight semaphore:
+// the slot is acquired without blocking, so when all slots are busy the
+// request is shed immediately with 429 + Retry-After instead of
+// queueing behind work the client may no longer want.
+func (s *Server) heavy(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+		default:
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, kindOverloaded,
+				errors.New("server at capacity, retry later"))
+			return
+		}
+		next(w, r)
+	}
+}
+
+// requestCtx derives the solver context for one heavy request: the
+// request context (so client disconnects cancel the work) bounded by
+// the configured per-request deadline.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.solveTimeout < 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.solveTimeout)
 }
 
 // statusRecorder captures the response code for metrics.
@@ -98,10 +207,14 @@ func (s *Server) logRequests(next http.Handler) http.Handler {
 		start := s.now()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		next.ServeHTTP(rec, r)
+		key := metricsPath(r.URL.Path)
 		s.statsMu.Lock()
-		s.requests[r.URL.Path]++
-		if rec.status >= 400 {
-			s.errors[r.URL.Path]++
+		s.requests[key]++
+		switch {
+		case rec.status >= 500:
+			s.errors5xx[key]++
+		case rec.status >= 400:
+			s.errors4xx[key]++
 		}
 		s.statsMu.Unlock()
 		s.logger.Info("request",
@@ -110,11 +223,15 @@ func (s *Server) logRequests(next http.Handler) http.Handler {
 	})
 }
 
-// Metrics is the /metrics reply.
+// Metrics is the /metrics reply. Errors is the combined per-route
+// error count; Errors4xx/Errors5xx split client mistakes from server
+// failures (including shed and timed-out requests).
 type Metrics struct {
 	UptimeSeconds   float64          `json:"uptimeSeconds"`
 	Requests        map[string]int64 `json:"requests"`
 	Errors          map[string]int64 `json:"errors"`
+	Errors4xx       map[string]int64 `json:"errors4xx"`
+	Errors5xx       map[string]int64 `json:"errors5xx"`
 	CachedInstances int              `json:"cachedInstances"`
 }
 
@@ -124,9 +241,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	for k, v := range s.requests {
 		reqs[k] = v
 	}
-	errs := make(map[string]int64, len(s.errors))
-	for k, v := range s.errors {
-		errs[k] = v
+	e4 := make(map[string]int64, len(s.errors4xx))
+	combined := make(map[string]int64, len(s.errors4xx)+len(s.errors5xx))
+	for k, v := range s.errors4xx {
+		e4[k] = v
+		combined[k] += v
+	}
+	e5 := make(map[string]int64, len(s.errors5xx))
+	for k, v := range s.errors5xx {
+		e5[k] = v
+		combined[k] += v
 	}
 	s.statsMu.Unlock()
 	s.mu.Lock()
@@ -135,7 +259,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, Metrics{
 		UptimeSeconds:   s.now().Sub(s.start).Seconds(),
 		Requests:        reqs,
-		Errors:          errs,
+		Errors:          combined,
+		Errors4xx:       e4,
+		Errors5xx:       e5,
 		CachedInstances: cached,
 	})
 }
@@ -200,26 +326,45 @@ type SolveResponse struct {
 	ElapsedMS    int64   `json:"elapsedMs"`
 }
 
+// knownAlgs is the algorithm whitelist for /solve, validated up front
+// so a typo stays a 400 instead of surfacing as a solver failure.
+var knownAlgs = func() map[string]bool {
+	m := make(map[string]bool, len(expt.AllAlgorithms)+2)
+	for _, a := range expt.AllAlgorithms {
+		m[a] = true
+	}
+	m[expt.AlgUBGLS] = true
+	m[expt.AlgDD] = true
+	return m
+}()
+
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	var req SolveRequest
 	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, kindValidation, err)
 		return
 	}
 	if req.K < 1 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("k must be ≥ 1, got %d", req.K))
-		return
-	}
-	inst, err := s.instance(req.InstanceRequest)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, kindValidation, fmt.Errorf("k must be ≥ 1, got %d", req.K))
 		return
 	}
 	alg := strings.ToUpper(req.Alg)
 	if alg == "" {
 		alg = expt.AlgUBG
 	}
-	res, err := expt.RunAlg(inst, alg, req.K, expt.RunConfig{
+	if !knownAlgs[alg] {
+		writeError(w, http.StatusBadRequest, kindValidation,
+			fmt.Errorf("unknown algorithm %q (valid: %v)", alg, expt.AllAlgorithms))
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	inst, err := s.instance(ctx, req.InstanceRequest)
+	if err != nil {
+		writeInstanceError(w, err)
+		return
+	}
+	res, err := expt.RunAlgCtx(ctx, inst, alg, req.K, expt.RunConfig{
 		Eps:        req.Eps,
 		Delta:      req.Delta,
 		Seed:       req.Seed,
@@ -228,7 +373,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		BTMaxRoots: req.BTMaxRoots,
 	})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeSolverError(w, err)
 		return
 	}
 	seeds := make([]int32, len(res.Seeds))
@@ -261,16 +406,18 @@ type EstimateResponse struct {
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	var req EstimateRequest
 	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, kindValidation, err)
 		return
 	}
 	if len(req.Seeds) == 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("seeds must be non-empty"))
+		writeError(w, http.StatusBadRequest, kindValidation, fmt.Errorf("seeds must be non-empty"))
 		return
 	}
-	inst, err := s.instance(req.InstanceRequest)
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	inst, err := s.instance(ctx, req.InstanceRequest)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeInstanceError(w, err)
 		return
 	}
 	iters := req.Iterations
@@ -282,14 +429,14 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	}
 	seeds := make([]int32, len(req.Seeds))
 	copy(seeds, req.Seeds)
-	benefit, err := estimateBenefit(inst, seeds, iters, req.Seed)
+	benefit, err := estimateBenefit(ctx, inst, seeds, iters, req.Seed)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeSolverError(w, err)
 		return
 	}
-	spread, err := estimateSpread(inst, seeds, iters, req.Seed)
+	spread, err := estimateSpread(ctx, inst, seeds, iters, req.Seed)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeSolverError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, EstimateResponse{
@@ -322,16 +469,18 @@ type BudgetedResponse struct {
 func (s *Server) handleBudgeted(w http.ResponseWriter, r *http.Request) {
 	var req BudgetedRequest
 	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, kindValidation, err)
 		return
 	}
 	if req.Budget <= 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("budget must be positive"))
+		writeError(w, http.StatusBadRequest, kindValidation, fmt.Errorf("budget must be positive"))
 		return
 	}
-	inst, err := s.instance(req.InstanceRequest)
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	inst, err := s.instance(ctx, req.InstanceRequest)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeInstanceError(w, err)
 		return
 	}
 	samples := req.NumSamples
@@ -342,9 +491,9 @@ func (s *Server) handleBudgeted(w http.ResponseWriter, r *http.Request) {
 		samples = 1 << 18
 	}
 	start := s.now()
-	seeds, spent, benefit, err := solveBudgeted(inst, req.Budget, req.CostUnit, samples, req.Seed)
+	seeds, spent, benefit, err := solveBudgeted(ctx, inst, req.Budget, req.CostUnit, samples, req.Seed)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeSolverError(w, err)
 		return
 	}
 	out := make([]int32, len(seeds))
@@ -381,16 +530,16 @@ type TraceResponse struct {
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	var req TraceRequest
 	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, kindValidation, err)
 		return
 	}
 	if len(req.Seeds) == 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("seeds must be non-empty"))
+		writeError(w, http.StatusBadRequest, kindValidation, fmt.Errorf("seeds must be non-empty"))
 		return
 	}
-	inst, err := s.instance(req.InstanceRequest)
+	inst, err := s.instance(r.Context(), req.InstanceRequest)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeInstanceError(w, err)
 		return
 	}
 	rounds := traceCascade(inst, req.Seeds, req.Seed)
@@ -405,7 +554,11 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 }
 
 // instance returns a cached or freshly built instance for the request.
-func (s *Server) instance(req InstanceRequest) (*expt.Instance, error) {
+// Concurrent misses on one key are deduplicated (singleflight): the
+// first caller builds, the rest wait on its done channel — or bail when
+// their own ctx is cancelled. The build itself is not ctx-bound: it is
+// bounded work whose result every waiter (and the cache) can still use.
+func (s *Server) instance(ctx context.Context, req InstanceRequest) (*expt.Instance, error) {
 	if req.Dataset == "" {
 		req.Dataset = "facebook"
 	}
@@ -422,9 +575,20 @@ func (s *Server) instance(req InstanceRequest) (*expt.Instance, error) {
 		s.mu.Unlock()
 		return inst, nil
 	}
+	if b, ok := s.building[key]; ok {
+		s.mu.Unlock()
+		select {
+		case <-b.done:
+			return b.inst, b.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	b := &buildResult{done: make(chan struct{})}
+	s.building[key] = b
 	s.mu.Unlock()
 
-	inst, err := expt.BuildInstance(expt.InstanceConfig{
+	inst, err := s.buildInstance(expt.InstanceConfig{
 		Dataset:   req.Dataset,
 		Scale:     req.Scale,
 		Formation: formation,
@@ -432,16 +596,19 @@ func (s *Server) instance(req InstanceRequest) (*expt.Instance, error) {
 		Bounded:   req.Bounded,
 		Seed:      req.Seed,
 	})
-	if err != nil {
-		return nil, err
-	}
+	b.inst, b.err = inst, err
+
 	s.mu.Lock()
-	if len(s.cache) >= s.maxCached {
-		s.cache = make(map[string]*expt.Instance)
+	delete(s.building, key)
+	if err == nil {
+		if len(s.cache) >= s.maxCached {
+			s.cache = make(map[string]*expt.Instance)
+		}
+		s.cache[key] = inst
 	}
-	s.cache[key] = inst
 	s.mu.Unlock()
-	return inst, nil
+	close(b.done)
+	return inst, err
 }
 
 func decodeJSON(r *http.Request, dst any) error {
@@ -459,6 +626,42 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// Error kinds reported in the JSON error body, so clients can branch on
+// a stable token instead of parsing messages.
+const (
+	kindValidation = "validation"
+	kindCanceled   = "canceled"
+	kindTimeout    = "timeout"
+	kindOverloaded = "overloaded"
+	kindInternal   = "internal"
+)
+
+func writeError(w http.ResponseWriter, status int, kind string, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error(), "kind": kind})
+}
+
+// writeSolverError classifies a post-validation failure: cancellation
+// and deadline expiry are service-level conditions (503 — the request
+// was valid, the server stopped the work), everything else is an
+// internal failure (500). Validation errors never reach this path.
+func writeSolverError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusServiceUnavailable, kindTimeout, err)
+	case errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, kindCanceled, err)
+	default:
+		writeError(w, http.StatusInternalServerError, kindInternal, err)
+	}
+}
+
+// writeInstanceError classifies an instance-build failure: ctx errors
+// are service-level (503), anything else is a bad instance spec
+// (unknown dataset, invalid scale — the client's mistake, 400).
+func writeInstanceError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		writeSolverError(w, err)
+		return
+	}
+	writeError(w, http.StatusBadRequest, kindValidation, err)
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 
@@ -12,7 +13,9 @@ import (
 
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(New(nil).Handler())
+	// Plenty of in-flight slots: these tests exercise handler behavior,
+	// not load shedding (TestLoadShedding pins MaxInflight itself).
+	ts := httptest.NewServer(NewWithOptions(nil, nil, Config{MaxInflight: 64}).Handler())
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -208,19 +211,20 @@ func TestTraceEndToEnd(t *testing.T) {
 
 func TestInstanceCaching(t *testing.T) {
 	s := New(nil)
+	ctx := context.Background()
 	req := InstanceRequest{Dataset: "facebook", Scale: 0.03, Seed: 5}
-	a, err := s.instance(req)
+	a, err := s.instance(ctx, req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := s.instance(req)
+	b, err := s.instance(ctx, req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a != b {
 		t.Fatal("identical request not served from cache")
 	}
-	other, err := s.instance(InstanceRequest{Dataset: "facebook", Scale: 0.03, Seed: 6})
+	other, err := s.instance(ctx, InstanceRequest{Dataset: "facebook", Scale: 0.03, Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
