@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench fuzz experiments examples clean
+.PHONY: all build vet lint graph api test race bench fuzz experiments examples clean
 
 all: build vet lint test
 
@@ -14,6 +14,14 @@ vet:
 
 lint:
 	$(GO) run ./cmd/imclint ./...
+
+# Dump the whole-program call graph with per-function effect summaries.
+graph:
+	$(GO) run ./cmd/imclint -graph ./...
+
+# Regenerate the exported-API golden snapshot after a deliberate change.
+api:
+	$(GO) run ./cmd/imclint -update-api ./...
 
 test:
 	$(GO) test ./...

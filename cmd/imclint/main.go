@@ -1,12 +1,12 @@
-// Command imclint runs the repository's static-analysis suite: eleven
+// Command imclint runs the repository's static-analysis suite: fourteen
 // analyzers built on go/parser, go/ast, and go/types that machine-check
-// the determinism, concurrency, allocation, and numeric invariants the
-// RIC-sampling guarantees depend on (see DESIGN.md, "Static analysis &
-// invariants").
+// the determinism, concurrency, allocation, layering, and numeric
+// invariants the RIC-sampling guarantees depend on (see DESIGN.md,
+// "Static analysis & invariants").
 //
 // Usage:
 //
-//	imclint [-check name,name] [-list] [-json] [-baseline file] [packages]
+//	imclint [-check name,name] [-list] [-graph] [-update-api] [-json] [-baseline file] [packages]
 //
 // Packages default to ./... relative to the enclosing module. Exit
 // status is 1 when any diagnostic fires, 0 on a clean tree, 2 on usage
@@ -14,11 +14,18 @@
 // `//lint:allow <check>: <reason>` comment on the offending line or the
 // line above; the suite reports stale or malformed suppressions itself.
 //
-// -json emits findings as a JSON array (the same shape -baseline
-// consumes), so `imclint -json > lint-baseline.json` freezes the
-// current findings and `imclint -baseline lint-baseline.json` reports
-// only regressions. Baseline matching ignores line numbers: unrelated
-// edits that shift a known finding do not resurface it.
+// -graph dumps the whole-program call graph (node/edge/SCC stats, then
+// one entry per function with its effect summary and resolved callees)
+// and exits. -update-api regenerates the exported-API snapshot the
+// apisurface analyzer checks against.
+//
+// -json emits a {"callgraph": stats, "findings": [...]} object (the
+// findings array is the shape -baseline consumes; -baseline also still
+// accepts a bare array), so `imclint -json > lint-baseline.json`
+// freezes the current findings and `imclint -baseline
+// lint-baseline.json` reports only regressions. Baseline matching
+// ignores line numbers: unrelated edits that shift a known finding do
+// not resurface it.
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"imc/internal/lint"
 )
@@ -37,7 +45,7 @@ func main() {
 }
 
 // finding is the machine-readable form of one diagnostic — the schema
-// of both -json output and -baseline input.
+// of the -json findings array and of -baseline input.
 type finding struct {
 	Check   string `json:"check"`
 	File    string `json:"file"`
@@ -52,14 +60,24 @@ func (f finding) key() string {
 	return f.Check + "\x00" + f.File + "\x00" + f.Message
 }
 
+// report is the -json output shape: call-graph stats alongside the
+// findings, so the CI artifact records the interprocedural view the
+// findings were computed against.
+type report struct {
+	CallGraph lint.CallGraphStats `json:"callgraph"`
+	Findings  []finding           `json:"findings"`
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("imclint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		checks   = fs.String("check", "", "comma-separated analyzer subset (default: all)")
-		list     = fs.Bool("list", false, "list analyzers and exit")
-		jsonOut  = fs.Bool("json", false, "emit findings as a JSON array")
-		baseline = fs.String("baseline", "", "JSON findings file; matching findings are not reported")
+		checks    = fs.String("check", "", "comma-separated analyzer subset (default: all)")
+		list      = fs.Bool("list", false, "list analyzers and exit")
+		graph     = fs.Bool("graph", false, "dump the whole-program call graph and exit")
+		updateAPI = fs.Bool("update-api", false, "regenerate the exported-API snapshot and exit")
+		jsonOut   = fs.Bool("json", false, "emit callgraph stats + findings as JSON")
+		baseline  = fs.String("baseline", "", "JSON findings file; matching findings are not reported")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -67,7 +85,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *list {
 		for _, a := range lint.All {
-			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-14s %-16s %s\n", a.Name, a.Kind, a.Doc)
 		}
 		return 0
 	}
@@ -89,8 +107,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "imclint:", err)
 			return 2
 		}
-		var old []finding
-		if err := json.Unmarshal(data, &old); err != nil {
+		old, err := parseBaseline(data)
+		if err != nil {
 			fmt.Fprintf(stderr, "imclint: parsing baseline %s: %v\n", *baseline, err)
 			return 2
 		}
@@ -113,6 +131,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "imclint:", err)
 		return 2
+	}
+	prog := lint.NewProgram(loader.ModulePath, loader.ModuleDir, pkgs, fullModuleLoad(fs.Args()))
+
+	if *graph {
+		var b strings.Builder
+		prog.Graph.Dump(&b)
+		io.WriteString(stdout, b.String())
+		return 0
+	}
+	if *updateAPI {
+		if !prog.FullModule {
+			fmt.Fprintln(stderr, "imclint: -update-api requires a full-module load (run without package arguments)")
+			return 2
+		}
+		if err := os.WriteFile(prog.APISnapPath, lint.WriteAPISnapshot(prog), 0o644); err != nil {
+			fmt.Fprintln(stderr, "imclint:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", relToModule(loader.ModuleDir, prog.APISnapPath))
+		return 0
 	}
 
 	findings := []finding{} // non-nil so -json prints [] on a clean tree
@@ -139,7 +177,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(findings); err != nil {
+		if err := enc.Encode(report{CallGraph: prog.Graph.Stats(), Findings: findings}); err != nil {
 			fmt.Fprintln(stderr, "imclint:", err)
 			return 2
 		}
@@ -152,6 +190,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// fullModuleLoad reports whether the package arguments cover the whole
+// module — the precondition for apisurface (a partial load cannot tell
+// "removed" from "not requested") and -update-api.
+func fullModuleLoad(args []string) bool {
+	if len(args) == 0 {
+		return true
+	}
+	for _, a := range args {
+		if a == "./..." || a == "..." {
+			return true
+		}
+	}
+	return false
+}
+
+// parseBaseline accepts both baseline shapes: the current
+// {"findings": [...]} report object and the pre-v3 bare array.
+func parseBaseline(data []byte) ([]finding, error) {
+	var rep report
+	if err := json.Unmarshal(data, &rep); err == nil && rep.Findings != nil {
+		return rep.Findings, nil
+	}
+	var old []finding
+	if err := json.Unmarshal(data, &old); err != nil {
+		return nil, err
+	}
+	return old, nil
 }
 
 // relToModule renders path relative to the module root, the stable

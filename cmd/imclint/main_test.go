@@ -66,10 +66,65 @@ func TestListIncludesFlowAnalyzers(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("-list exit = %d, want 0", code)
 	}
-	for _, name := range []string{"determinism", "allocfree", "errflow", "purity", "sharemut"} {
+	for _, name := range []string{"determinism", "allocfree", "errflow", "purity", "sharemut",
+		"layering", "apisurface", "exhaustive"} {
 		if !strings.Contains(out, name) {
 			t.Errorf("-list output missing %q", name)
 		}
+	}
+}
+
+// TestListGolden locks -list output exactly: analyzer order, names,
+// kinds, and doc one-liners are part of the tool's interface.
+func TestListGolden(t *testing.T) {
+	code, out, _ := runCmd(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exit = %d, want 0", code)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "list.txt"))
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if out != string(want) {
+		t.Errorf("-list output differs from golden testdata/list.txt:\ngot:\n%s\nwant:\n%s", out, want)
+	}
+	for _, kind := range []string{"syntactic", "flow-sensitive", "interprocedural"} {
+		if !strings.Contains(out, kind) {
+			t.Errorf("-list output missing kind %q", kind)
+		}
+	}
+}
+
+// TestGraphDump smoke-tests the -graph debug dump: stats header plus
+// one entry per function of the fixture package.
+func TestGraphDump(t *testing.T) {
+	code, out, errb := runCmd(t, "-graph", fixtureDir)
+	if code != 0 {
+		t.Fatalf("-graph exit = %d, want 0; stderr=%q", code, errb)
+	}
+	if !strings.HasPrefix(out, "callgraph: nodes=") {
+		t.Errorf("-graph output missing stats header: %q", out)
+	}
+	if !strings.Contains(out, "sccs=") || !strings.Contains(out, "largest-scc=") {
+		t.Errorf("-graph output missing SCC stats: %q", out)
+	}
+	// Running it twice must produce byte-identical output.
+	_, again, _ := runCmd(t, "-graph", fixtureDir)
+	if out != again {
+		t.Error("-graph output is not deterministic across runs")
+	}
+}
+
+// TestUpdateAPIRequiresFullLoad: regenerating the snapshot from a
+// partial package list would silently drop every unloaded package's
+// section, so the flag refuses anything but a full-module load.
+func TestUpdateAPIRequiresFullLoad(t *testing.T) {
+	code, _, errb := runCmd(t, "-update-api", "internal/clock")
+	if code != 2 {
+		t.Fatalf("-update-api with package args: exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb, "full-module") {
+		t.Errorf("stderr = %q, want full-module refusal", errb)
 	}
 }
 
@@ -87,15 +142,19 @@ func TestJSONGolden(t *testing.T) {
 	if out != string(want) {
 		t.Errorf("-json output differs from golden testdata/determinism.json:\ngot:\n%s\nwant:\n%s", out, want)
 	}
-	// And it must round-trip through the baseline schema.
-	var fs []finding
-	if err := json.Unmarshal([]byte(out), &fs); err != nil {
-		t.Fatalf("output is not valid findings JSON: %v", err)
+	// And it must round-trip through the report schema, call-graph
+	// stats included.
+	var rep report
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("output is not valid report JSON: %v", err)
 	}
-	if len(fs) == 0 {
+	if len(rep.Findings) == 0 {
 		t.Fatal("expected at least one finding in JSON output")
 	}
-	for _, f := range fs {
+	if rep.CallGraph.Nodes == 0 {
+		t.Error("callgraph stats missing from JSON output")
+	}
+	for _, f := range rep.Findings {
 		if f.Check == "" || f.File == "" || f.Line == 0 || f.Message == "" {
 			t.Errorf("finding with empty field: %+v", f)
 		}
@@ -120,15 +179,21 @@ func TestBaselineFilters(t *testing.T) {
 	}
 
 	code, out, _ = runCmd(t, "-json", "-baseline", base, "-check", "determinism", fixtureDir)
-	if code != 0 || strings.TrimSpace(out) != "[]" {
-		t.Errorf("baselined -json: exit=%d out=%q, want 0 and []", code, out)
+	var cleanRep report
+	if err := json.Unmarshal([]byte(out), &cleanRep); err != nil {
+		t.Fatalf("baselined -json output is not a report: %v", err)
+	}
+	if code != 0 || len(cleanRep.Findings) != 0 {
+		t.Errorf("baselined -json: exit=%d findings=%d, want 0 and none", code, len(cleanRep.Findings))
 	}
 
-	// A partial baseline must keep reporting the rest.
-	var fs []finding
-	if err := json.Unmarshal([]byte(snapshot), &fs); err != nil || len(fs) < 2 {
-		t.Fatalf("need >= 2 findings to test partial baseline, got %d (err=%v)", len(fs), err)
+	// A partial baseline must keep reporting the rest — and the
+	// pre-v3 bare-array baseline shape must still be accepted.
+	var rep report
+	if err := json.Unmarshal([]byte(snapshot), &rep); err != nil || len(rep.Findings) < 2 {
+		t.Fatalf("need >= 2 findings to test partial baseline, got %d (err=%v)", len(rep.Findings), err)
 	}
+	fs := rep.Findings
 	partial, err := json.Marshal(fs[:1])
 	if err != nil {
 		t.Fatal(err)

@@ -26,34 +26,62 @@ import (
 //     amortizes to zero allocations across samples; growth of anything
 //     else is per-iteration churn.
 //
-// The analyzer is intentionally intra-procedural: a helper that
-// allocates is flagged where IT loops, or at its own annotation. Loop
-// membership comes from the CFG (see cfg.go), so allocations in a
+// Loop membership comes from the CFG (see cfg.go), so allocations in a
 // loop's one-time setup (init statements, the ranged-over expression)
 // are not flagged while the condition, post statement, and body are.
+//
+// Since v3 the check is transitive: every statically-resolved call made
+// inside a hot loop is checked against the callee's effect summary
+// (summary.go), and a callee that may allocate — anywhere down its
+// transitive call tree — is flagged with the offending chain. Two
+// deliberate boundaries keep the contract compositional rather than
+// viral:
+//
+//   - callees that are themselves annotated `//imc:hotpath` are NOT
+//     chased: the contract is enforced at their own declaration, and
+//     their depth-0 allocations (setup outside their loops) are legal
+//     there, hence legal to reach;
+//   - dynamic call sites (interface methods, function values) are NOT
+//     chased — ctx.Err() polls and injected samplers in hot loops would
+//     otherwise drown the signal. The gap is surfaced, not hidden: the
+//     EffDynamic summary bit and `imclint -graph` count every such
+//     site (see DESIGN.md §7.3).
+//
+// Scratch recognition is package-wide: a struct field sanctioned as
+// amortized scratch anywhere in the package (reset with `x.f = x.f[:0]`
+// or sized with a 3-argument make, typically in the constructor) is
+// trusted in every method that appends to it.
 var AllocFree = &Analyzer{
 	Name: "allocfree",
-	Doc:  "forbid per-iteration allocation (make, literals, closures, string concat, boxing, unamortized append) inside loops of //imc:hotpath functions",
+	Doc:  "forbid per-iteration allocation (make, literals, closures, string concat, boxing, unamortized append, allocating callees) inside loops of //imc:hotpath functions",
+	Kind: KindInterprocedural,
 	Run:  runAllocFree,
 }
 
 func runAllocFree(pkg *Package, r *Reporter) {
 	dirs := funcDirectives(pkg)
+	pkgScratch := packageScratchFields(pkg)
 	for _, file := range pkg.Files {
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil || !hasDirective(dirs, fd, directiveHotPath) {
 				continue
 			}
-			checkAllocFree(pkg, fd, r)
+			checkAllocFree(pkg, fd, pkgScratch, r)
 		}
 	}
 }
 
-// checkAllocFree analyzes one annotated function.
-func checkAllocFree(pkg *Package, fd *ast.FuncDecl, r *Reporter) {
+// checkAllocFree analyzes one annotated function: the intra-procedural
+// in-loop construct scan, then (inside a whole-program load) the
+// transitive check on every in-loop call edge.
+func checkAllocFree(pkg *Package, fd *ast.FuncDecl, pkgScratch map[types.Object]bool, r *Reporter) {
 	cfg := BuildCFG(fd.Body)
 	scratch := scratchSlices(pkg, fd.Body)
+	for obj := range pkgScratch {
+		scratch[obj] = true
+	}
+	var inLoop []ast.Node
 	for _, blk := range cfg.Blocks {
 		if blk.LoopDepth < 1 {
 			continue
@@ -66,8 +94,49 @@ func checkAllocFree(pkg *Package, fd *ast.FuncDecl, r *Reporter) {
 				_ = rb
 				continue
 			}
+			inLoop = append(inLoop, stmt)
 			inspectAllocs(pkg, stmt, scratch, r)
 		}
+	}
+	checkTransitiveAllocs(pkg, fd, inLoop, r)
+}
+
+// checkTransitiveAllocs flags in-loop calls whose callees may allocate
+// anywhere down the call tree, printing the chain to the evidence.
+func checkTransitiveAllocs(pkg *Package, fd *ast.FuncDecl, inLoop []ast.Node, r *Reporter) {
+	prog := pkg.Prog
+	if prog == nil || pkg.Info == nil {
+		return
+	}
+	fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+	node := prog.Graph.Node(fn)
+	if node == nil {
+		return
+	}
+	edgeAt := make(map[*ast.CallExpr]*CallEdge, len(node.Calls))
+	for i := range node.Calls {
+		edgeAt[node.Calls[i].Site] = &node.Calls[i]
+	}
+	seen := make(map[*CallEdge]bool)
+	var edges []*CallEdge
+	for _, stmt := range inLoop {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false // runs on its own schedule; the literal itself was flagged
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if e := edgeAt[call]; e != nil && !seen[e] {
+					seen[e] = true
+					edges = append(edges, e)
+				}
+			}
+			return true
+		})
+	}
+	for _, v := range walkContract(pkg, edges, EffAlloc, directiveHotPath) {
+		r.Reportf("allocfree", v.Edge.Site.Pos(),
+			"call in a hot loop may allocate transitively: %s → %s (%s at %s); make the chain allocation-free or annotate the callee //imc:hotpath",
+			fd.Name.Name, formatChain(v.Chain), v.Desc, shortPos(v.Pos))
 	}
 }
 

@@ -15,6 +15,9 @@ var All = []*Analyzer{
 	ErrFlow,
 	Purity,
 	ShareMut,
+	Layering,
+	APISurface,
+	Exhaustive,
 }
 
 // ByName resolves a comma-separated analyzer list ("determinism,printer").
@@ -73,7 +76,11 @@ const clockPackage = "/internal/clock"
 //   - allocfree, purity, ctxplumb: library packages only (the //imc:
 //     annotation contracts live in library code; cmd/ and examples/ are
 //     not on the sampling hot path);
-//   - goroutineleak, ctxfirst, errflow, sharemut: everywhere.
+//   - apisurface: library packages only (cmd/ binaries and examples/
+//     have no API consumers);
+//   - exhaustive: the dispatch packages (expt, serve) whose switches
+//     route on registered algorithm/scheme const sets;
+//   - goroutineleak, ctxfirst, errflow, sharemut, layering: everywhere.
 func AnalyzersFor(modulePath, path string, candidates []*Analyzer) []*Analyzer {
 	lib := isLibraryPackage(modulePath, path)
 	var out []*Analyzer
@@ -83,7 +90,7 @@ func AnalyzersFor(modulePath, path string, candidates []*Analyzer) []*Analyzer {
 			if lib && path != modulePath+clockPackage {
 				out = append(out, a)
 			}
-		case "floatcompare", "printer", "allocfree", "purity", "ctxplumb":
+		case "floatcompare", "printer", "allocfree", "purity", "ctxplumb", "apisurface":
 			if lib {
 				out = append(out, a)
 			}
@@ -91,9 +98,20 @@ func AnalyzersFor(modulePath, path string, candidates []*Analyzer) []*Analyzer {
 			if samplingPackages[path] {
 				out = append(out, a)
 			}
+		case "exhaustive":
+			if dispatchPackages[path] {
+				out = append(out, a)
+			}
 		default:
 			out = append(out, a)
 		}
 	}
 	return out
+}
+
+// dispatchPackages route requests to algorithms by name — the switches
+// the exhaustive analyzer polices.
+var dispatchPackages = map[string]bool{
+	"imc/internal/expt":  true,
+	"imc/internal/serve": true,
 }

@@ -1,0 +1,373 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"sort"
+	"strings"
+)
+
+// The apisurface analyzer freezes the module's exported API in a golden
+// snapshot (internal/lint/testdata/api.snap) and fails the build on any
+// drift: removals and signature changes are breaking, additions are
+// merely unapproved — either way the diff must be blessed by
+// regenerating the snapshot with `imclint -update-api`, which puts the
+// API change in the PR where reviewers see it.
+//
+// The snapshot is line-oriented, one section per library package:
+//
+//	package internal/graph
+//	const Trivalency: WeightScheme = 2
+//	func Load: func(string, WeightScheme) (*Graph, error)
+//	type Graph: struct{...}
+//	method (*Graph).NumNodes: func() int
+//
+// Signatures are rendered without parameter names, so renaming a
+// parameter does not churn the snapshot; types from other packages are
+// rendered with their full import path, so the strings are stable
+// regardless of which package they appear in. Only exported identifiers
+// (and, inside structs and interfaces, exported fields and methods)
+// participate — unexported plumbing can change freely.
+
+// APISurface diffs each package's exported API against the snapshot.
+var APISurface = &Analyzer{
+	Name: "apisurface",
+	Doc:  "exported API must match the golden snapshot; approve changes with imclint -update-api",
+	Kind: KindInterprocedural,
+	Run:  checkAPISurface,
+}
+
+func checkAPISurface(pkg *Package, r *Reporter) {
+	prog := pkg.Prog
+	// A partial load cannot distinguish "package removed" from "package
+	// not requested", so the gate only runs on full-module programs.
+	if prog == nil || !prog.FullModule || pkg.Types == nil {
+		return
+	}
+	if !isLibraryPackage(prog.ModulePath, pkg.Path) {
+		return
+	}
+	snap, err := prog.apiSnapshot()
+	if err != nil {
+		if !prog.apiChecked {
+			prog.apiChecked = true
+			r.ReportAt("apisurface", token.Position{Filename: prog.APISnapPath, Line: 1},
+				"cannot load API snapshot: %v (regenerate with imclint -update-api)", err)
+		}
+		return
+	}
+	rel, ok := prog.relPath(pkg.Path)
+	if !ok {
+		return
+	}
+	// Once per program, before any per-package early return: sections
+	// whose package vanished entirely.
+	if !prog.apiChecked {
+		prog.apiChecked = true
+		live := make(map[string]bool)
+		for _, p := range prog.Packages {
+			if pr, ok := prog.relPath(p.Path); ok {
+				live[pr] = true
+			}
+		}
+		var gone []string
+		for section := range snap {
+			if !live[section] {
+				gone = append(gone, section)
+			}
+		}
+		sort.Strings(gone)
+		for _, section := range gone {
+			r.ReportAt("apisurface", token.Position{Filename: prog.APISnapPath, Line: 1},
+				"package %s in the API snapshot no longer exists; approve with imclint -update-api", section)
+		}
+	}
+	current, positions := apiEntries(pkg)
+	want := snap[rel]
+	if want == nil {
+		r.ReportAt("apisurface", pkg.Fset.Position(firstFilePos(pkg)),
+			"package %s has no section in the API snapshot; approve with imclint -update-api", rel)
+		return
+	}
+	var keys []string
+	for k := range current {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		got := current[k]
+		pos := pkg.Fset.Position(positions[k])
+		old, known := want[k]
+		switch {
+		case !known:
+			r.ReportAt("apisurface", pos,
+				"new exported API %q; approve with imclint -update-api", k)
+		case old != got:
+			r.ReportAt("apisurface", pos,
+				"exported API changed: %q was %q, now %q; approve with imclint -update-api", k, old, got)
+		}
+	}
+	var removed []string
+	for k := range want {
+		if _, ok := current[k]; !ok {
+			removed = append(removed, k)
+		}
+	}
+	sort.Strings(removed)
+	for _, k := range removed {
+		r.ReportAt("apisurface", pkg.Fset.Position(firstFilePos(pkg)),
+			"exported API removed: %q (was %q); approve with imclint -update-api", k, want[k])
+	}
+}
+
+// apiSnapshot parses APISnapPath once per program.
+func (p *Program) apiSnapshot() (map[string]map[string]string, error) {
+	if !p.apiSet {
+		p.apiSet = true
+		p.apiSnap, p.apiErr = parseAPISnapshot(p.APISnapPath)
+	}
+	return p.apiSnap, p.apiErr
+}
+
+// parseAPISnapshot reads the snapshot into section → key → value.
+func parseAPISnapshot(path string) (map[string]map[string]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]map[string]string)
+	var section map[string]string
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimRight(line, " \t")
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if rel, ok := strings.CutPrefix(line, "package "); ok {
+			rel = strings.TrimSpace(rel)
+			if _, dup := out[rel]; dup {
+				return nil, fmt.Errorf("%s:%d: duplicate section %q", path, ln+1, rel)
+			}
+			section = make(map[string]string)
+			out[rel] = section
+			continue
+		}
+		if section == nil {
+			return nil, fmt.Errorf("%s:%d: entry before any package section", path, ln+1)
+		}
+		key, value, ok := strings.Cut(line, ": ")
+		if !ok {
+			return nil, fmt.Errorf("%s:%d: malformed entry %q", path, ln+1, line)
+		}
+		if _, dup := section[key]; dup {
+			return nil, fmt.Errorf("%s:%d: duplicate key %q", path, ln+1, key)
+		}
+		section[key] = value
+	}
+	return out, nil
+}
+
+// WriteAPISnapshot renders the program's current exported API in
+// snapshot form — what `imclint -update-api` writes.
+func WriteAPISnapshot(prog *Program) []byte {
+	var b strings.Builder
+	b.WriteString("# API surface snapshot — one section per library package, one line per\n")
+	b.WriteString("# exported identifier. Checked by the apisurface analyzer; regenerate\n")
+	b.WriteString("# with: go run ./cmd/imclint -update-api\n")
+	type sec struct {
+		rel string
+		pkg *Package
+	}
+	var secs []sec
+	for _, pkg := range prog.Packages {
+		if pkg.Types == nil || !isLibraryPackage(prog.ModulePath, pkg.Path) {
+			continue
+		}
+		if rel, ok := prog.relPath(pkg.Path); ok {
+			secs = append(secs, sec{rel, pkg})
+		}
+	}
+	sort.Slice(secs, func(i, j int) bool { return secs[i].rel < secs[j].rel })
+	for _, s := range secs {
+		entries, _ := apiEntries(s.pkg)
+		var keys []string
+		for k := range entries {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString("\npackage ")
+		b.WriteString(s.rel)
+		b.WriteString("\n")
+		for _, k := range keys {
+			b.WriteString(k)
+			b.WriteString(": ")
+			b.WriteString(entries[k])
+			b.WriteString("\n")
+		}
+	}
+	return []byte(b.String())
+}
+
+// apiEntries renders one package's exported API as key → value lines
+// plus a position per key for diagnostics.
+func apiEntries(pkg *Package) (map[string]string, map[string]token.Pos) {
+	entries := make(map[string]string)
+	positions := make(map[string]token.Pos)
+	scope := pkg.Types.Scope()
+	qual := apiQualifier(pkg.Types)
+	for _, name := range scope.Names() {
+		if !ast.IsExported(name) {
+			continue
+		}
+		obj := scope.Lookup(name)
+		add := func(key, value string, pos token.Pos) {
+			entries[key] = value
+			positions[key] = pos
+		}
+		switch obj := obj.(type) {
+		case *types.Const:
+			add("const "+name, apiType(obj.Type(), qual)+" = "+obj.Val().ExactString(), obj.Pos())
+		case *types.Var:
+			add("var "+name, apiType(obj.Type(), qual), obj.Pos())
+		case *types.Func:
+			add("func "+name, apiType(obj.Type(), qual), obj.Pos())
+		case *types.TypeName:
+			if obj.IsAlias() {
+				add("type "+name, "= "+apiType(obj.Type(), qual), obj.Pos())
+				continue
+			}
+			named, ok := obj.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			add("type "+name, apiTypeDecl(named, qual), obj.Pos())
+			for i := 0; i < named.NumMethods(); i++ {
+				m := named.Method(i)
+				if !m.Exported() {
+					continue
+				}
+				recv := "(" + name + ")"
+				if sig, ok := m.Type().(*types.Signature); ok && sig.Recv() != nil {
+					if _, isPtr := sig.Recv().Type().(*types.Pointer); isPtr {
+						recv = "(*" + name + ")"
+					}
+				}
+				add("method "+recv+"."+m.Name(), apiType(m.Type(), qual), m.Pos())
+			}
+		}
+	}
+	return entries, positions
+}
+
+// apiQualifier renders same-package types bare and foreign types with
+// their full import path — position-independent and collision-free.
+func apiQualifier(self *types.Package) types.Qualifier {
+	return func(p *types.Package) string {
+		if p == self {
+			return ""
+		}
+		return p.Path()
+	}
+}
+
+// apiTypeDecl renders a named type's API-relevant shape: exported
+// fields for structs, exported methods for interfaces, the underlying
+// type otherwise. Type parameters are included for generics.
+func apiTypeDecl(named *types.Named, qual types.Qualifier) string {
+	prefix := apiTypeParams(named.TypeParams(), qual)
+	switch u := named.Underlying().(type) {
+	case *types.Struct:
+		var fields []string
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if !f.Exported() {
+				continue
+			}
+			fields = append(fields, f.Name()+" "+apiType(f.Type(), qual))
+		}
+		return prefix + "struct{" + strings.Join(fields, "; ") + "}"
+	case *types.Interface:
+		var methods []string
+		for i := 0; i < u.NumMethods(); i++ {
+			m := u.Method(i)
+			if !m.Exported() {
+				continue
+			}
+			sig := apiType(m.Type(), qual)
+			methods = append(methods, m.Name()+strings.TrimPrefix(sig, "func"))
+		}
+		sort.Strings(methods)
+		return prefix + "interface{" + strings.Join(methods, "; ") + "}"
+	default:
+		return prefix + apiType(u, qual)
+	}
+}
+
+// apiTypeParams renders "[T constraint, ...] " or "".
+func apiTypeParams(tps *types.TypeParamList, qual types.Qualifier) string {
+	if tps == nil || tps.Len() == 0 {
+		return ""
+	}
+	var parts []string
+	for i := 0; i < tps.Len(); i++ {
+		tp := tps.At(i)
+		parts = append(parts, tp.Obj().Name()+" "+types.TypeString(tp.Constraint(), qual))
+	}
+	return "[" + strings.Join(parts, ", ") + "] "
+}
+
+// apiType renders a type without parameter names: signatures get a
+// custom tuple renderer (types.TypeString would embed declared names,
+// churning the snapshot on renames); everything else recurses through
+// the obvious constructors and falls back to types.TypeString for
+// named/basic leaves.
+func apiType(t types.Type, qual types.Qualifier) string {
+	switch t := t.(type) {
+	case *types.Signature:
+		s := "func(" + apiTuple(t.Params(), t.Variadic(), qual) + ")"
+		switch r := t.Results(); r.Len() {
+		case 0:
+		case 1:
+			s += " " + apiType(r.At(0).Type(), qual)
+		default:
+			s += " (" + apiTuple(r, false, qual) + ")"
+		}
+		return s
+	case *types.Pointer:
+		return "*" + apiType(t.Elem(), qual)
+	case *types.Slice:
+		return "[]" + apiType(t.Elem(), qual)
+	case *types.Array:
+		return fmt.Sprintf("[%d]%s", t.Len(), apiType(t.Elem(), qual))
+	case *types.Map:
+		return "map[" + apiType(t.Key(), qual) + "]" + apiType(t.Elem(), qual)
+	case *types.Chan:
+		switch t.Dir() {
+		case types.SendOnly:
+			return "chan<- " + apiType(t.Elem(), qual)
+		case types.RecvOnly:
+			return "<-chan " + apiType(t.Elem(), qual)
+		default:
+			return "chan " + apiType(t.Elem(), qual)
+		}
+	default:
+		return types.TypeString(t, qual)
+	}
+}
+
+// apiTuple renders a parameter/result tuple, types only.
+func apiTuple(tu *types.Tuple, variadic bool, qual types.Qualifier) string {
+	var parts []string
+	for i := 0; i < tu.Len(); i++ {
+		s := apiType(tu.At(i).Type(), qual)
+		if variadic && i == tu.Len()-1 {
+			if elem, ok := tu.At(i).Type().(*types.Slice); ok {
+				s = "..." + apiType(elem.Elem(), qual)
+			}
+		}
+		parts = append(parts, s)
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,9 +1,11 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"strings"
 	"testing"
 )
 
@@ -219,5 +221,135 @@ func s(items []int) int {
 	}
 	if bindDepth != 1 {
 		t.Errorf("range bind depth = %d, want 1", bindDepth)
+	}
+}
+
+// dumpCFG renders a CFG compactly for golden comparison: one line per
+// block with its loop depth, the kinds of its placed nodes, and its
+// successor list. The golden tests below pin the builder's block
+// structure on the exotic control-flow shapes.
+func dumpCFG(cfg *CFG) string {
+	var b strings.Builder
+	for _, blk := range cfg.Blocks {
+		fmt.Fprintf(&b, "b%d d%d:", blk.Index, blk.LoopDepth)
+		for _, n := range blk.Stmts {
+			b.WriteString(" ")
+			b.WriteString(nodeKind(n))
+		}
+		b.WriteString(" ->")
+		for _, s := range blk.Succs {
+			fmt.Fprintf(&b, " b%d", s.Index)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// nodeKind names one placed node for the dump.
+func nodeKind(n ast.Node) string {
+	if _, ok := n.(rangeBind); ok {
+		return "rangeBind"
+	}
+	return strings.TrimPrefix(fmt.Sprintf("%T", n), "*ast.")
+}
+
+func TestCFGGoldenDeferInLoop(t *testing.T) {
+	src := `package p
+func f(items []int) {
+	for _, v := range items {
+		defer release(v)
+	}
+	done := 0
+	_ = done
+}`
+	got := dumpCFG(parseFuncCFG(t, src, "f"))
+	want := `b0 d0: Ident -> b2
+b1 d0: ->
+b2 d1: rangeBind -> b3 b4
+b3 d0: AssignStmt AssignStmt -> b1
+b4 d1: DeferStmt -> b2
+`
+	if got != want {
+		t.Errorf("defer-in-loop CFG dump:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestCFGGoldenLabeledBreakContinue(t *testing.T) {
+	src := `package p
+func g(grid [][]int) int {
+	total := 0
+outer:
+	for _, row := range grid {
+		for _, v := range row {
+			if v < 0 {
+				continue outer
+			}
+			if v == 99 {
+				break outer
+			}
+			total += v
+		}
+	}
+	return total
+}`
+	got := dumpCFG(parseFuncCFG(t, src, "g"))
+	want := `b0 d0: AssignStmt -> b2
+b1 d0: ->
+b2 d0: Ident -> b4
+b3 d0: ReturnStmt -> b1
+b4 d1: rangeBind -> b3 b5
+b5 d1: Ident -> b6
+b6 d2: rangeBind -> b7 b8
+b7 d1: -> b4
+b8 d2: BinaryExpr -> b10 b9
+b9 d2: BinaryExpr -> b12 b11
+b10 d2: BranchStmt -> b4
+b11 d2: AssignStmt -> b6
+b12 d2: BranchStmt -> b3
+`
+	if got != want {
+		t.Errorf("labeled break/continue CFG dump:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestCFGGoldenGoto(t *testing.T) {
+	src := `package p
+func h(n int) int {
+	i := 0
+retry:
+	i++
+	if i < n {
+		goto retry
+	}
+	return i
+}`
+	got := dumpCFG(parseFuncCFG(t, src, "h"))
+	want := `b0 d0: AssignStmt -> b2
+b1 d0: ->
+b2 d0: IncDecStmt BinaryExpr -> b4 b3
+b3 d0: ReturnStmt -> b1
+b4 d0: BranchStmt -> b2
+`
+	if got != want {
+		t.Errorf("goto CFG dump:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestCFGGoldenSingleCaseSelect(t *testing.T) {
+	src := `package p
+func s(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	}
+}`
+	got := dumpCFG(parseFuncCFG(t, src, "s"))
+	want := `b0 d0: -> b3 b2
+b1 d0: ->
+b2 d0: -> b1
+b3 d0: AssignStmt ReturnStmt -> b1
+`
+	if got != want {
+		t.Errorf("single-case select CFG dump:\n%s\nwant:\n%s", got, want)
 	}
 }

@@ -12,6 +12,7 @@ import (
 var CtxFirst = &Analyzer{
 	Name: "ctxfirst",
 	Doc:  "context.Context must be the first parameter",
+	Kind: KindSyntactic,
 	Run:  runCtxFirst,
 }
 

@@ -18,6 +18,7 @@ import (
 var CtxPlumb = &Analyzer{
 	Name: "ctxplumb",
 	Doc:  "//imc:longrun functions must take ctx first and forward it to longrun callees",
+	Kind: KindSyntactic,
 	Run:  runCtxPlumb,
 }
 

@@ -17,6 +17,7 @@ import (
 var Determinism = &Analyzer{
 	Name: "determinism",
 	Doc:  "forbid math/rand, wall-clock reads, and map-range-ordered output in library code; use internal/xrand and internal/clock",
+	Kind: KindSyntactic,
 	Run:  runDeterminism,
 }
 

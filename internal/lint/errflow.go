@@ -31,6 +31,7 @@ import (
 var ErrFlow = &Analyzer{
 	Name: "errflow",
 	Doc:  "flow-sensitively flag error values overwritten or dropped before any path reads them",
+	Kind: KindFlowSensitive,
 	Run:  runErrFlow,
 }
 

@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// The exhaustive analyzer checks dispatch switches against the enum
+// registry built by the summary infrastructure (enumGroups): a switch
+// whose cases name members of a registered constant group — a named
+// type's package-level constants, or an untyped-string const block like
+// the algorithm-name set in internal/expt — must either cover every
+// member or carry a default. Without it, registering a ninth algorithm
+// compiles clean and silently falls through the dispatch in every
+// switch that forgot the new case.
+
+// Exhaustive flags non-exhaustive switches over registered const sets.
+var Exhaustive = &Analyzer{
+	Name: "exhaustive",
+	Doc:  "switches over registered const sets (algorithm names, weight schemes) must cover every member or have a default",
+	Kind: KindInterprocedural,
+	Run:  checkExhaustive,
+}
+
+func checkExhaustive(pkg *Package, r *Reporter) {
+	if pkg.Info == nil {
+		return
+	}
+	local := enumGroups(pkg)
+	// foreign caches other packages' registries (serve switches over
+	// expt's constants), resolvable only inside a whole-program load.
+	// The lookup is by package path and constant name, not object
+	// identity: the loader type-checks each package in its own universe,
+	// so the analyzed package's const objects are distinct from every
+	// importer's view of them (see CallGraph.byName).
+	foreign := make(map[string]map[string]*EnumGroup)
+	groupFor := func(obj types.Object) *EnumGroup {
+		if g, ok := local[obj]; ok {
+			return g
+		}
+		if pkg.Prog == nil || obj.Pkg() == nil || obj.Pkg() == pkg.Types {
+			return nil
+		}
+		path := obj.Pkg().Path()
+		idx, cached := foreign[path]
+		if !cached {
+			for _, other := range pkg.Prog.Packages {
+				if other.Path != path {
+					continue
+				}
+				idx = make(map[string]*EnumGroup)
+				for o, g := range enumGroups(other) {
+					idx[o.Name()] = g
+				}
+				break
+			}
+			foreign[path] = idx // nil when the package is outside the program
+		}
+		if idx == nil {
+			return nil
+		}
+		return idx[obj.Name()]
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			var (
+				group      *EnumGroup
+				hasDefault bool
+				covered    = make(map[string]bool)
+			)
+			for _, stmt := range sw.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				if cc.List == nil {
+					hasDefault = true
+					continue
+				}
+				for _, expr := range cc.List {
+					id := caseIdent(expr)
+					if id == nil {
+						continue
+					}
+					obj := identObject(pkg, id)
+					c, ok := obj.(*types.Const)
+					if !ok {
+						continue
+					}
+					g := groupFor(c)
+					if g == nil {
+						continue
+					}
+					if group == nil {
+						group = g
+					}
+					if g == group {
+						// By name, not Members[c]: for a foreign group
+						// c is this package's view of the constant, not
+						// the defining universe's object that keys
+						// Members. The declared name is the same in
+						// both.
+						covered[c.Name()] = true
+					}
+				}
+			}
+			if group == nil || hasDefault {
+				return true
+			}
+			var missing []string
+			seen := make(map[string]bool)
+			for _, name := range group.Order {
+				if !covered[name] && !seen[name] {
+					seen[name] = true
+					missing = append(missing, name)
+				}
+			}
+			if len(missing) > 0 {
+				r.Reportf("exhaustive", sw.Pos(),
+					"switch over %s is not exhaustive: missing %s (add the cases or a default)",
+					group.Name, strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+}
+
+// caseIdent unwraps a case expression to the identifier naming a
+// constant: bare `AlgUBG` or qualified `expt.AlgUBG`.
+func caseIdent(expr ast.Expr) *ast.Ident {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return e
+	case *ast.SelectorExpr:
+		return e.Sel
+	}
+	return nil
+}

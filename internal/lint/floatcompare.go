@@ -21,6 +21,7 @@ import (
 var FloatCompare = &Analyzer{
 	Name: "floatcompare",
 	Doc:  "flag ==/!= on floating-point operands; compare with an explicit tolerance",
+	Kind: KindSyntactic,
 	Run:  runFloatCompare,
 }
 

@@ -22,6 +22,7 @@ import (
 var GoroutineLeak = &Analyzer{
 	Name: "goroutineleak",
 	Doc:  "flag WaitGroup.Add inside spawned goroutines and naked unbuffered sends with no escape path",
+	Kind: KindSyntactic,
 	Run:  runGoroutineLeak,
 }
 

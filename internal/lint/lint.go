@@ -34,6 +34,21 @@ import (
 	"strings"
 )
 
+// AnalyzerKind classifies how deep an analyzer's reasoning goes —
+// shown by `imclint -list` so readers know what evidence a finding
+// rests on.
+type AnalyzerKind string
+
+const (
+	// KindSyntactic: single-file AST (plus local type info) pattern
+	// matching.
+	KindSyntactic AnalyzerKind = "syntactic"
+	// KindFlowSensitive: per-function CFG / dataflow reasoning.
+	KindFlowSensitive AnalyzerKind = "flow-sensitive"
+	// KindInterprocedural: whole-program call graph and summaries.
+	KindInterprocedural AnalyzerKind = "interprocedural"
+)
+
 // Analyzer is one named check. Run inspects a loaded package and files
 // diagnostics through the Reporter. Analyzers are stateless; the driver
 // decides which analyzers apply to which packages (see AnalyzersFor).
@@ -43,6 +58,9 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-line description shown by `imclint -list`.
 	Doc string
+	// Kind classifies the analysis depth (syntactic / flow-sensitive /
+	// interprocedural).
+	Kind AnalyzerKind
 	// Run executes the check.
 	Run func(pkg *Package, r *Reporter)
 }
@@ -184,6 +202,28 @@ func (r *Reporter) Reportf(check string, pos token.Pos, format string, args ...a
 	r.diags = append(r.diags, Diagnostic{
 		Check:   check,
 		Pos:     p,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportAt files a diagnostic at an already-resolved position. Used by
+// analyzers whose findings are not anchored to an AST node of the
+// package (snapshot diffs, contract-file errors). Allow-comment
+// suppression still applies when the position falls inside the package.
+func (r *Reporter) ReportAt(check string, pos token.Position, format string, args ...any) {
+	if byLine := r.allow[pos.Filename]; byLine != nil {
+		for _, line := range [2]int{pos.Line, pos.Line - 1} {
+			for _, ac := range byLine[line] {
+				if ac.suppresses(check) {
+					ac.used = true
+					return
+				}
+			}
+		}
+	}
+	r.diags = append(r.diags, Diagnostic{
+		Check:   check,
+		Pos:     pos,
 		Message: fmt.Sprintf(format, args...),
 	})
 }

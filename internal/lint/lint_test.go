@@ -67,9 +67,21 @@ func TestAnalyzerFixtures(t *testing.T) {
 		"errflow":       ErrFlow,
 		"purity":        Purity,
 		"sharemut":      ShareMut,
+		"exhaustive":    Exhaustive,
 	}
-	if len(fixtures) != len(All) {
-		t.Fatalf("fixture table covers %d analyzers, suite has %d", len(fixtures), len(All))
+	// layering and apisurface need a whole Program (contract file, API
+	// snapshot) rather than a bare fixture package; their fixture
+	// coverage lives in interproc_test.go. Everything else must have a
+	// golden fixture here.
+	programOnly := map[string]bool{"layering": true, "apisurface": true}
+	if len(fixtures)+len(programOnly) != len(All) {
+		t.Fatalf("fixture table covers %d analyzers (+%d program-level), suite has %d",
+			len(fixtures), len(programOnly), len(All))
+	}
+	for _, a := range All {
+		if fixtures[a.Name] == nil && !programOnly[a.Name] {
+			t.Fatalf("analyzer %s has neither a fixture nor program-level coverage", a.Name)
+		}
 	}
 	for name, analyzer := range fixtures {
 		t.Run(name, func(t *testing.T) {
@@ -210,13 +222,15 @@ func TestAnalyzersFor(t *testing.T) {
 		path string
 		want string
 	}{
-		{"imc", "determinism,floatcompare,goroutineleak,printer,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut"},
-		{"imc/internal/graph", "determinism,floatcompare,goroutineleak,printer,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut"},
-		{"imc/internal/ric", "determinism,floatcompare,goroutineleak,printer,seedplumb,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut"},
-		{"imc/internal/maxr", "determinism,floatcompare,goroutineleak,printer,seedplumb,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut"},
-		{"imc/internal/clock", "floatcompare,goroutineleak,printer,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut"},
-		{"imc/cmd/imcrun", "goroutineleak,ctxfirst,errflow,sharemut"},
-		{"imc/examples/quickstart", "goroutineleak,ctxfirst,errflow,sharemut"},
+		{"imc", "determinism,floatcompare,goroutineleak,printer,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface"},
+		{"imc/internal/graph", "determinism,floatcompare,goroutineleak,printer,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface"},
+		{"imc/internal/ric", "determinism,floatcompare,goroutineleak,printer,seedplumb,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface"},
+		{"imc/internal/maxr", "determinism,floatcompare,goroutineleak,printer,seedplumb,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface"},
+		{"imc/internal/clock", "floatcompare,goroutineleak,printer,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface"},
+		{"imc/internal/expt", "determinism,floatcompare,goroutineleak,printer,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface,exhaustive"},
+		{"imc/internal/serve", "determinism,floatcompare,goroutineleak,printer,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface,exhaustive"},
+		{"imc/cmd/imcrun", "goroutineleak,ctxfirst,errflow,sharemut,layering"},
+		{"imc/examples/quickstart", "goroutineleak,ctxfirst,errflow,sharemut,layering"},
 	}
 	for _, c := range cases {
 		if got := names(AnalyzersFor("imc", c.path, All)); got != c.want {

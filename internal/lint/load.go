@@ -33,6 +33,11 @@ type Package struct {
 	Info *types.Info
 	// TypeErrors collects the (tolerated) type-check errors.
 	TypeErrors []error
+	// Prog back-links the whole-program view when the package was loaded
+	// as part of one (NewProgram). Nil for bare fixture loads, in which
+	// case the interprocedural analyzers degrade to intra-procedural
+	// behavior or skip.
+	Prog *Program
 }
 
 // Loader discovers, parses, and type-checks the module's packages. Type

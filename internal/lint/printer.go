@@ -13,6 +13,7 @@ import (
 var Printer = &Analyzer{
 	Name: "printer",
 	Doc:  "forbid fmt.Print*/os.Stdout in library packages; return values or accept an io.Writer",
+	Kind: KindSyntactic,
 	Run:  runPrinter,
 }
 

@@ -22,16 +22,23 @@ import (
 //   - call an impure function. Same-package callees are classified by
 //     a bottom-up fixed point over the package's call graph; stdlib
 //     callees are pure only from the whitelisted numeric packages
-//     (math, math/bits); cross-package repo callees only when listed
-//     in assumedPure (read-only accessors, vouched for by hand, and
-//     verified in their own package when annotated there); dynamic
-//     calls (function values, interface methods) are assumed impure.
+//     (math, math/bits); dynamic calls (function values, interface
+//     methods) are assumed impure. Cross-package repo callees are
+//     judged by their whole-program effect summary (summary.go) when
+//     one is available — a callee whose transitive effect set contains
+//     IO, locking, channel ops, goroutine spawns, dynamic dispatch, or
+//     writes to package-level or parameter state is impure, and the
+//     finding prints the call chain down to the evidence. Callees
+//     annotated `//imc:pure` are trusted (the contract is enforced at
+//     their own declaration). On partial loads with no summaries the
+//     hand-vouched assumedPure table is the fallback.
 //
 // Unmarked functions are never reported — their summaries exist only
 // to classify calls from marked ones.
 var Purity = &Analyzer{
 	Name: "purity",
-	Doc:  "forbid //imc:pure functions from writing package or argument state, retaining argument slices, or calling impure callees",
+	Doc:  "forbid //imc:pure functions from writing package or argument state, retaining argument slices, or calling (transitively) impure callees",
+	Kind: KindInterprocedural,
 	Run:  runPurity,
 }
 
@@ -43,7 +50,9 @@ var pureStdlib = map[string]bool{
 }
 
 // assumedPure lists fully-qualified cross-package functions and
-// methods vouched for as read-only. Keys look like
+// methods vouched for as read-only — the FALLBACK for partial loads
+// where no whole-program summaries exist; full-module runs verify these
+// callees by summary instead of trusting the table. Keys look like
 // "imc/internal/community.Partition.NumCommunities" (receiver
 // pointer-ness stripped) or "imc/internal/graph.Graph.NumNodes".
 var assumedPure = map[string]bool{
@@ -285,6 +294,33 @@ func (st *purityState) checkCallee(call *ast.CallExpr, obj types.Object, emit fu
 	}
 	if pureStdlib[pkgOf.Path()] {
 		return
+	}
+	// Whole-program load: judge the cross-package callee by its effect
+	// summary instead of demanding a hand-vouched table entry.
+	if st.pkg.Prog != nil {
+		if node := st.pkg.Prog.Graph.Node(fn); node != nil && node.Summary != nil {
+			if node.Directives[directivePure] {
+				return // enforced at its own declaration
+			}
+			const banned = EffGlobalWrite | EffParamWrite | EffIO | EffLock | EffChan | EffGo | EffDynamic
+			hit := node.Summary.Effects & banned
+			if hit == 0 {
+				return
+			}
+			bit := firstEffect(hit)
+			names, local := chainThrough(node, bit, directivePure)
+			if local == nil {
+				return // the only chains run through //imc:pure boundaries
+			}
+			chain := append([]string{node.Name()}, names...)
+			pos := node.Pkg.Fset.Position(local.Pos)
+			emit(&impurity{
+				reason: fmt.Sprintf("calls %s, which transitively %s: %s (%s at %s)",
+					fn.Name(), effectDesc(bit), formatChain(chain), local.Desc, shortPos(pos)),
+				pos: call,
+			})
+			return
+		}
 	}
 	if assumedPure[qualifiedName(fn)] {
 		return

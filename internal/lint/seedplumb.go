@@ -16,6 +16,7 @@ import (
 var SeedPlumb = &Analyzer{
 	Name: "seedplumb",
 	Doc:  "exported functions that spawn workers must accept an xrand stream or seed (directly or via an options/receiver struct)",
+	Kind: KindSyntactic,
 	Run:  runSeedPlumb,
 }
 

@@ -19,6 +19,10 @@ func TestRepositoryIsClean(t *testing.T) {
 	if len(pkgs) < 15 {
 		t.Fatalf("Load ./... found only %d packages; loader is missing the tree", len(pkgs))
 	}
+	prog := NewProgram(loader.ModulePath, loader.ModuleDir, pkgs, true)
+	if s := prog.Graph.Stats(); s.Nodes == 0 || s.Edges == 0 {
+		t.Fatalf("call graph is empty (%+v); interprocedural checks would be vacuous", s)
+	}
 	for _, pkg := range pkgs {
 		active := AnalyzersFor(loader.ModulePath, pkg.Path, All)
 		for _, d := range Run(pkg, active) {

@@ -39,6 +39,7 @@ import (
 var ShareMut = &Analyzer{
 	Name: "sharemut",
 	Doc:  "flag mutation of slice values after they were shared with a goroutine or stored into a pool/index",
+	Kind: KindFlowSensitive,
 	Run:  runShareMut,
 }
 

@@ -1,0 +1,843 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file computes bottom-up function summaries over the call graph:
+// for every declared function, a conservative "may" lattice of effects
+// (allocates, does IO, locks, touches package-level state, channel ops,
+// spawns goroutines, calls through dynamic dispatch) closed under the
+// transitive-callee relation. The computation condenses the graph into
+// strongly connected components (iterative Tarjan) and propagates in
+// reverse topological order, iterating each SCC to a fixed point —
+// effects only ever grow, so convergence is immediate for acyclic
+// regions and takes at most |SCC| rounds inside recursion cycles.
+//
+// Each inherited effect remembers the call edge it arrived through, so
+// enforcement findings can print the offending call chain
+// ("Add → helper → make([]T, n) at file:line") instead of a bare
+// "callee is dirty" verdict.
+
+// Effect is one bit of a function's may-effect summary.
+type Effect uint32
+
+const (
+	// EffAlloc: the function may allocate (make/new, slice or map
+	// literals, closures, string concatenation, interface boxing, or
+	// append to a slice that is not recognized amortized scratch).
+	EffAlloc Effect = 1 << iota
+	// EffIO: the function may perform IO or a syscall (os, io, net,
+	// syscall, fmt printing, …).
+	EffIO
+	// EffLock: the function may take a lock (calls into sync).
+	EffLock
+	// EffGlobalWrite: the function may write package-level state.
+	EffGlobalWrite
+	// EffGlobalRead: the function may read package-level mutable state.
+	EffGlobalRead
+	// EffParamWrite: the function may write through a parameter or
+	// receiver (an effect its caller observes).
+	EffParamWrite
+	// EffChan: the function may perform a channel operation.
+	EffChan
+	// EffGo: the function may spawn a goroutine.
+	EffGo
+	// EffDynamic: the function makes a call the graph cannot resolve
+	// (interface dispatch or a function value) — its true effect set is
+	// unknown past that point.
+	EffDynamic
+)
+
+// effectNames order the String rendering.
+var effectNames = []struct {
+	bit  Effect
+	name string
+}{
+	{EffAlloc, "alloc"},
+	{EffIO, "io"},
+	{EffLock, "lock"},
+	{EffGlobalWrite, "gwrite"},
+	{EffGlobalRead, "gread"},
+	{EffParamWrite, "pwrite"},
+	{EffChan, "chan"},
+	{EffGo, "go"},
+	{EffDynamic, "dynamic"},
+}
+
+// String renders the set as "alloc|io|…".
+func (e Effect) String() string {
+	if e == 0 {
+		return "none"
+	}
+	var parts []string
+	for _, n := range effectNames {
+		if e&n.bit != 0 {
+			parts = append(parts, n.name)
+		}
+	}
+	return strings.Join(parts, "|")
+}
+
+// Evidence explains why one effect bit is set: either a local construct
+// (Via == nil; Pos/Desc point at it) or an inherited effect (Via is the
+// callee it came through; Pos is the call site in THIS function).
+type Evidence struct {
+	Pos  token.Pos
+	Desc string
+	Via  *FuncNode
+}
+
+// Summary is one function's effect summary.
+type Summary struct {
+	// Effects is the transitive may-effect set.
+	Effects Effect
+	// Local is the subset of Effects with in-body evidence (before
+	// callee propagation).
+	Local Effect
+	// evidence records, per effect bit, the first explanation found.
+	evidence map[Effect]*Evidence
+}
+
+// EvidenceFor returns the stored explanation for one effect bit.
+func (s *Summary) EvidenceFor(e Effect) *Evidence {
+	if s == nil {
+		return nil
+	}
+	return s.evidence[e]
+}
+
+// Chain reconstructs the call chain behind an inherited effect: the
+// sequence of function names from (but excluding) the starting node
+// down to the local evidence, plus that evidence. A cycle guard caps
+// traversal inside recursive SCCs.
+func (n *FuncNode) Chain(e Effect) (names []string, local *Evidence) {
+	seen := make(map[*FuncNode]bool)
+	cur := n
+	for cur != nil && !seen[cur] {
+		seen[cur] = true
+		ev := cur.Summary.EvidenceFor(e)
+		if ev == nil {
+			return names, nil
+		}
+		if ev.Via == nil {
+			return names, ev
+		}
+		names = append(names, ev.Via.Name())
+		cur = ev.Via
+	}
+	return names, nil
+}
+
+// computeSummaries fills node.Summary for every graph node: local
+// effects first, then SCC-condensed bottom-up propagation.
+func computeSummaries(g *CallGraph) {
+	scratchByPkg := make(map[*Package]map[types.Object]bool)
+	for _, node := range g.Nodes {
+		scratch := scratchByPkg[node.Pkg]
+		if scratch == nil {
+			scratch = packageScratchFields(node.Pkg)
+			scratchByPkg[node.Pkg] = scratch
+		}
+		node.Summary = localSummary(node, scratch)
+	}
+	sccs := tarjanSCC(g)
+	g.NumSCCs = len(sccs)
+	for _, scc := range sccs {
+		if len(scc) > g.LargestSCC {
+			g.LargestSCC = len(scc)
+		}
+	}
+	// Tarjan emits SCCs callees-first (reverse topological order of the
+	// condensation), so a single in-order pass with an inner fixed
+	// point settles everything.
+	for _, scc := range sccs {
+		for changed := true; changed; {
+			changed = false
+			for _, node := range scc {
+				for i := range node.Calls {
+					edge := &node.Calls[i]
+					var inherited Effect
+					var calleeName string
+					if edge.Callee != nil {
+						inherited = edge.Callee.Summary.Effects
+						calleeName = edge.Callee.Name()
+					} else {
+						inherited, calleeName = externalEffects(edge.ExtPkg, edge.ExtName)
+					}
+					newBits := inherited &^ node.Summary.Effects
+					if newBits == 0 {
+						continue
+					}
+					node.Summary.Effects |= newBits
+					changed = true
+					for _, en := range effectNames {
+						if newBits&en.bit == 0 {
+							continue
+						}
+						ev := &Evidence{Pos: edge.Site.Pos(), Via: edge.Callee}
+						if edge.Callee == nil {
+							ev.Desc = "calls " + calleeName
+						}
+						node.Summary.evidence[en.bit] = ev
+					}
+				}
+			}
+		}
+	}
+}
+
+// --- external (out-of-program) callee classification -------------------
+
+// cleanStdlib lists import paths whose entire API is, for our purposes,
+// allocation-free and side-effect-free. Kept deliberately tiny: adding
+// a package here is a policy decision, not a convenience.
+var cleanStdlib = map[string]bool{
+	"math":      true,
+	"math/bits": true,
+}
+
+// ioStdlib lists import paths whose calls count as IO/syscall.
+var ioStdlib = map[string]bool{
+	"os":       true,
+	"os/exec":  true,
+	"io":       true,
+	"io/fs":    true,
+	"bufio":    true,
+	"net":      true,
+	"net/http": true,
+	"syscall":  true,
+	"log":      true,
+	"log/slog": true,
+	"time":     true, // clock reads are environment reads
+}
+
+// externalEffects classifies a call into a package outside the loaded
+// program. Unknown packages default to "may allocate" — the safe
+// assumption for hot-path enforcement — but not to IO or global writes,
+// which would drown purity findings in noise.
+func externalEffects(pkgPath, name string) (Effect, string) {
+	display := pkgPath + "." + name
+	switch {
+	case cleanStdlib[pkgPath]:
+		return 0, display
+	case pkgPath == "sync" || pkgPath == "sync/atomic":
+		return EffLock, display
+	case pkgPath == "fmt":
+		if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") ||
+			strings.HasPrefix(name, "Scan") || strings.HasPrefix(name, "Fscan") {
+			return EffAlloc | EffIO, display
+		}
+		return EffAlloc, display
+	case ioStdlib[pkgPath]:
+		return EffAlloc | EffIO, display
+	default:
+		return EffAlloc, display
+	}
+}
+
+// --- local effect detection --------------------------------------------
+
+// localSummary scans one function body (nested literals included) for
+// directly-evidenced effects. scratch is the package-wide sanctioned
+// scratch-field set; function-local scratch slices are unioned in.
+func localSummary(node *FuncNode, scratch map[types.Object]bool) *Summary {
+	s := &Summary{evidence: make(map[Effect]*Evidence)}
+	if node.Decl.Body == nil {
+		// Unanalyzable body (assembly): assume the worst.
+		s.add(EffAlloc|EffIO|EffGlobalWrite|EffDynamic, node.Decl.Pos(), "has no analyzable body")
+		s.Local = s.Effects
+		return s
+	}
+	pkg := node.Pkg
+	local := scratchSlices(pkg, node.Decl.Body)
+	isScratch := func(obj types.Object) bool {
+		return obj != nil && (local[obj] || scratch[obj])
+	}
+	params := paramObjects(pkg, node.Decl)
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			s.add(EffAlloc, n.Pos(), "allocates a closure")
+			return true // fold the literal's body in
+		case *ast.CallExpr:
+			localCallEffects(pkg, n, s, isScratch)
+		case *ast.CompositeLit:
+			if pkg.Info != nil {
+				if tv, ok := pkg.Info.Types[n]; ok && tv.Type != nil {
+					switch tv.Type.Underlying().(type) {
+					case *types.Slice:
+						s.add(EffAlloc, n.Pos(), "allocates a slice literal")
+					case *types.Map:
+						s.add(EffAlloc, n.Pos(), "allocates a map literal")
+					}
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringExpr(pkg, n.X) {
+				s.add(EffAlloc, n.OpPos, "concatenates strings")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringExpr(pkg, n.Lhs[0]) {
+				s.add(EffAlloc, n.TokPos, "concatenates strings (+=)")
+			}
+			for _, lhs := range n.Lhs {
+				classifyStore(pkg, lhs, params, s)
+			}
+		case *ast.IncDecStmt:
+			classifyStore(pkg, n.X, params, s)
+		case *ast.SendStmt:
+			s.add(EffChan, n.Pos(), "performs a channel send")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				s.add(EffChan, n.Pos(), "performs a channel receive")
+			}
+		case *ast.SelectStmt:
+			s.add(EffChan, n.Pos(), "executes a select")
+		case *ast.GoStmt:
+			s.add(EffGo, n.Pos(), "spawns a goroutine")
+		case *ast.Ident:
+			if obj := packageLevelVar(pkg, n); obj != nil {
+				s.add(EffGlobalRead, n.Pos(), "reads package-level state "+n.Name)
+			}
+		}
+		return true
+	})
+	s.Local = s.Effects
+	return s
+}
+
+// add records an effect with local evidence (first occurrence wins, so
+// chains point at the earliest construct in source order).
+func (s *Summary) add(e Effect, pos token.Pos, desc string) {
+	for _, en := range effectNames {
+		if e&en.bit == 0 {
+			continue
+		}
+		if s.Effects&en.bit == 0 {
+			s.Effects |= en.bit
+			s.evidence[en.bit] = &Evidence{Pos: pos, Desc: desc}
+		}
+	}
+}
+
+// localCallEffects classifies one call expression's direct effects:
+// allocating builtins, boxing at the call boundary, channel close, and
+// dynamic dispatch. Static in-program callees contribute nothing here —
+// their effects arrive through propagation.
+func localCallEffects(pkg *Package, call *ast.CallExpr, s *Summary, isScratch func(types.Object) bool) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && isBuiltin(pkg, id) {
+		switch id.Name {
+		case "make":
+			s.add(EffAlloc, call.Pos(), "calls make")
+		case "new":
+			s.add(EffAlloc, call.Pos(), "calls new")
+		case "append":
+			if len(call.Args) > 0 && !isScratch(sliceBaseObject(pkg, call.Args[0])) {
+				s.add(EffAlloc, call.Pos(), "appends to a non-scratch slice")
+			}
+		case "close":
+			s.add(EffChan, call.Pos(), "closes a channel")
+		}
+		return
+	}
+	for _, arg := range boxedArgs(pkg, call) {
+		if tv, ok := pkg.Info.Types[arg]; ok && tv.Type != nil {
+			s.add(EffAlloc, arg.Pos(), fmt.Sprintf("boxes a %s into an interface", tv.Type))
+		}
+	}
+	if res := resolveCall(pkg, call); res.kind == callDynamic {
+		s.add(EffDynamic, call.Pos(), "makes a dynamic call (function value or interface method)")
+	}
+}
+
+// classifyStore records the summary effect of one assignment target:
+// EffGlobalWrite for package-level variables, EffParamWrite for writes
+// THROUGH a parameter or receiver (plain reassignment of the parameter
+// variable itself is a local effect). Blank and local targets are free.
+func classifyStore(pkg *Package, lhs ast.Expr, params map[types.Object]bool, s *Summary) {
+	root := storeRoot(lhs)
+	id, ok := root.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	if obj := packageLevelVar(pkg, id); obj != nil {
+		s.add(EffGlobalWrite, lhs.Pos(), "writes package-level state "+id.Name)
+		return
+	}
+	if obj := identObject(pkg, id); obj != nil && params[obj] {
+		if _, plain := lhs.(*ast.Ident); !plain {
+			s.add(EffParamWrite, lhs.Pos(), "writes through parameter "+id.Name)
+		}
+	}
+}
+
+// paramObjects collects fd's receiver, parameter, and result objects.
+func paramObjects(pkg *Package, fd *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	if pkg.Info == nil {
+		return out
+	}
+	collect := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := pkg.Info.Defs[name]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	collect(fd.Recv)
+	collect(fd.Type.Params)
+	collect(fd.Type.Results)
+	return out
+}
+
+// packageLevelVar resolves id to a package-scope *types.Var of the
+// analyzed package, or nil.
+func packageLevelVar(pkg *Package, id *ast.Ident) types.Object {
+	if pkg.Info == nil || pkg.Types == nil {
+		return nil
+	}
+	obj, ok := pkg.Info.Uses[id]
+	if !ok {
+		return nil
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	if v.Parent() != pkg.Types.Scope() {
+		return nil
+	}
+	return v
+}
+
+// boxedArgs returns the call arguments whose concrete non-pointer types
+// are converted to interface parameters — each such pass copies the
+// value to the heap. Shared by the intra allocfree pass and summaries.
+func boxedArgs(pkg *Package, call *ast.CallExpr) []ast.Expr {
+	if pkg.Info == nil {
+		return nil
+	}
+	tv, ok := pkg.Info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	params := sig.Params()
+	var out []ast.Expr
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at, ok := pkg.Info.Types[arg]
+		if !ok || at.Type == nil || at.IsNil() {
+			continue
+		}
+		if boxingAllocates(at.Type) {
+			out = append(out, arg)
+		}
+	}
+	return out
+}
+
+// packageScratchFields collects the struct-field objects sanctioned as
+// amortized scratch anywhere in the package: fields reset with
+// `x.f = x.f[:0]`, fields assigned a 3-argument make, and fields
+// initialized with a 3-argument make (or a [:0] reslice) inside a
+// composite literal. A field sanctioned in one function (typically the
+// constructor, which sizes it) is trusted in every other — growth of a
+// capacity-bounded or epoch-reset buffer amortizes to zero allocations
+// regardless of which method appends to it.
+func packageScratchFields(pkg *Package) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	if pkg.Info == nil {
+		return out
+	}
+	sanctionedRHS := func(rhs ast.Expr) bool {
+		if se, ok := rhs.(*ast.SliceExpr); ok && isZeroLenReslice(se) {
+			return true
+		}
+		if call, ok := rhs.(*ast.CallExpr); ok && len(call.Args) == 3 {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "make" && isBuiltin(pkg, id) {
+				return true
+			}
+		}
+		return false
+	}
+	fieldObj := func(obj types.Object) types.Object {
+		if v, ok := obj.(*types.Var); ok && v.IsField() {
+			return v
+		}
+		return nil
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, rhs := range n.Rhs {
+					if !sanctionedRHS(rhs) {
+						continue
+					}
+					if obj := fieldObj(sliceBaseObject(pkg, n.Lhs[i])); obj != nil {
+						out[obj] = true
+					}
+				}
+			case *ast.CompositeLit:
+				for _, elt := range n.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok || !sanctionedRHS(kv.Value) {
+						continue
+					}
+					if key, ok := kv.Key.(*ast.Ident); ok {
+						if obj := fieldObj(identObject(pkg, key)); obj != nil {
+							out[obj] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// --- SCC condensation --------------------------------------------------
+
+// tarjanSCC computes strongly connected components of the call graph
+// (in-program edges only) with an iterative Tarjan, returning them in
+// emission order — callees before callers.
+func tarjanSCC(g *CallGraph) [][]*FuncNode {
+	n := len(g.Nodes)
+	index := make([]int, n)
+	lowlink := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	idx := make(map[*FuncNode]int, n)
+	for i, node := range g.Nodes {
+		idx[node] = i
+		node.scc = -1
+	}
+	var (
+		counter int
+		numSCCs int
+		stack   []int
+		sccs    [][]*FuncNode
+	)
+	type frame struct {
+		v    int
+		edge int
+	}
+	for start := 0; start < n; start++ {
+		if index[start] != -1 {
+			continue
+		}
+		frames := []frame{{v: start}}
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.v
+			if f.edge == 0 {
+				index[v] = counter
+				lowlink[v] = counter
+				counter++
+				stack = append(stack, v)
+				onStack[v] = true
+			}
+			advanced := false
+			calls := g.Nodes[v].Calls
+			for f.edge < len(calls) {
+				e := calls[f.edge]
+				f.edge++
+				if e.Callee == nil {
+					continue
+				}
+				w := idx[e.Callee]
+				if index[w] == -1 {
+					frames = append(frames, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < lowlink[v] {
+					lowlink[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			if lowlink[v] == index[v] {
+				var comp []*FuncNode
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					g.Nodes[w].scc = numSCCs
+					comp = append(comp, g.Nodes[w])
+					if w == v {
+						break
+					}
+				}
+				numSCCs++
+				sccs = append(sccs, comp)
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := frames[len(frames)-1].v
+				if lowlink[v] < lowlink[parent] {
+					lowlink[parent] = lowlink[v]
+				}
+			}
+		}
+	}
+	return sccs
+}
+
+// --- transitive contract traversal -------------------------------------
+
+// contractViolation is one transitive contract breach found by
+// walkContract: the direct call edge that starts the chain, the interior
+// functions, and the local evidence at the end.
+type contractViolation struct {
+	// Edge is the call edge in the annotated function.
+	Edge *CallEdge
+	// Chain names the interior call path (excluding the direct callee
+	// when the violation is the callee's own, including it otherwise).
+	Chain []string
+	// Evidence is the terminal local fact ("calls make", …) with its
+	// position, or a synthesized fact for external callees.
+	Desc string
+	Pos  token.Position
+}
+
+// walkContract checks every resolved call edge in edges against the
+// banned effect set, traversing through unannotated in-program callees
+// and stopping at callees that carry boundary (they are enforced at
+// their own declaration). One violation is reported per offending edge:
+// the first banned effect's chain.
+func walkContract(pkg *Package, edges []*CallEdge, banned Effect, boundary string) []contractViolation {
+	var out []contractViolation
+	for _, edge := range edges {
+		if edge.Callee != nil {
+			if edge.Callee.Directives[boundary] {
+				continue // enforced at its own annotation
+			}
+			hit := edge.Callee.Summary.Effects & banned
+			if hit == 0 {
+				continue
+			}
+			bit := firstEffect(hit)
+			names, local := chainThrough(edge.Callee, bit, boundary)
+			if local == nil {
+				continue // the only paths run through annotated boundaries
+			}
+			v := contractViolation{
+				Edge:  edge,
+				Chain: append([]string{edge.Callee.Name()}, names...),
+				Desc:  local.Desc,
+			}
+			evPkg := edge.Callee.Pkg
+			v.Pos = evPkg.Fset.Position(local.Pos)
+			out = append(out, v)
+			continue
+		}
+		eff, name := externalEffects(edge.ExtPkg, edge.ExtName)
+		if eff&banned == 0 {
+			continue
+		}
+		out = append(out, contractViolation{
+			Edge:  edge,
+			Chain: []string{name},
+			Desc:  effectDesc(firstEffect(eff & banned)),
+			Pos:   pkg.Fset.Position(edge.Site.Pos()),
+		})
+	}
+	return out
+}
+
+// chainThrough walks evidence links from start for one effect bit,
+// refusing chains that pass through a boundary-annotated function (the
+// effect is that function's own business) and returning the terminal
+// local evidence. Returns nil evidence when no boundary-free chain
+// exists.
+func chainThrough(start *FuncNode, bit Effect, boundary string) (names []string, local *Evidence) {
+	seen := make(map[*FuncNode]bool)
+	cur := start
+	for cur != nil && !seen[cur] {
+		seen[cur] = true
+		ev := cur.Summary.EvidenceFor(bit)
+		if ev == nil {
+			return names, nil
+		}
+		if ev.Via == nil {
+			return names, ev
+		}
+		if ev.Via.Directives[boundary] {
+			// The stored chain routes through an enforced boundary.
+			// A cleaner path may exist, but hunting for it would make
+			// reporting order-dependent; treat as covered.
+			return names, nil
+		}
+		names = append(names, ev.Via.Name())
+		cur = ev.Via
+	}
+	return names, nil
+}
+
+// firstEffect returns the lowest set bit as an Effect.
+func firstEffect(e Effect) Effect {
+	return e & (-e)
+}
+
+// effectDesc renders a one-word reason for an external-callee effect.
+func effectDesc(e Effect) string {
+	switch e {
+	case EffAlloc:
+		return "may allocate"
+	case EffIO:
+		return "performs IO"
+	case EffLock:
+		return "takes a lock"
+	case EffGlobalWrite:
+		return "writes package-level state"
+	case EffGlobalRead:
+		return "reads package-level state"
+	case EffParamWrite:
+		return "writes through its parameters"
+	case EffChan:
+		return "performs channel operations"
+	case EffGo:
+		return "spawns goroutines"
+	case EffDynamic:
+		return "makes a dynamic call"
+	default:
+		return e.String()
+	}
+}
+
+// formatChain renders "a → b → c" for findings.
+func formatChain(chain []string) string {
+	return strings.Join(chain, " → ")
+}
+
+// shortPos renders evidence positions as "file.go:12" (base name only)
+// so messages stay stable under checkout moves.
+func shortPos(p token.Position) string {
+	name := p.Filename
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return fmt.Sprintf("%s:%d", name, p.Line)
+}
+
+// --- enum registry -----------------------------------------------------
+
+// EnumGroup is one registered enumeration: either all package-level
+// constants of a shared named type, or a block of same-typed untyped
+// constants declared in one const declaration. The exhaustive analyzer
+// checks switch statements against these groups.
+type EnumGroup struct {
+	// Name labels the group in findings: the named type's display name,
+	// or "<file:line> const block" for untyped blocks.
+	Name string
+	// Members maps each constant object to its declared name.
+	Members map[types.Object]string
+	// Order lists member names in declaration order.
+	Order []string
+}
+
+// enumGroups builds the package's enum registry: named-type groups
+// keyed by the type object, plus per-const-block groups for untyped
+// string constants (the dispatch-table idiom: AlgUBG, AlgMAF, …).
+func enumGroups(pkg *Package) map[types.Object]*EnumGroup {
+	byConst := make(map[types.Object]*EnumGroup)
+	if pkg.Info == nil || pkg.Types == nil {
+		return byConst
+	}
+	named := make(map[*types.TypeName]*EnumGroup)
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			var block *EnumGroup
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					obj, ok := pkg.Info.Defs[name].(*types.Const)
+					if !ok || obj.Parent() != pkg.Types.Scope() {
+						continue
+					}
+					if tn := namedTypeOf(obj.Type()); tn != nil {
+						grp := named[tn]
+						if grp == nil {
+							grp = &EnumGroup{Name: tn.Name(), Members: make(map[types.Object]string)}
+							named[tn] = grp
+						}
+						grp.Members[obj] = name.Name
+						grp.Order = append(grp.Order, name.Name)
+						byConst[obj] = grp
+						continue
+					}
+					if b, ok := obj.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						if block == nil {
+							pos := pkg.Fset.Position(gd.Pos())
+							block = &EnumGroup{
+								Name:    fmt.Sprintf("const block at %s", shortPos(pos)),
+								Members: make(map[types.Object]string),
+							}
+						}
+						block.Members[obj] = name.Name
+						block.Order = append(block.Order, name.Name)
+						byConst[obj] = block
+					}
+				}
+			}
+		}
+	}
+	return byConst
+}
+
+// namedTypeOf returns the defining TypeName when t is a named
+// non-basic-alias type declared at package scope, else nil.
+func namedTypeOf(t types.Type) *types.TypeName {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	tn := named.Obj()
+	if tn.Pkg() == nil {
+		return nil // predeclared (error, …)
+	}
+	return tn
+}

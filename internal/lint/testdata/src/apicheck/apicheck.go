@@ -1,0 +1,40 @@
+// Package apicheck is the apisurface fixture: a small exported API
+// covering every entry kind the snapshot renders — const, var, func,
+// named types (struct and method set), and both receiver shapes.
+package apicheck
+
+// Limit is an exported constant.
+const Limit = 16
+
+// Version is an exported variable.
+var Version string
+
+// Weight is a named type with a value-receiver method.
+type Weight float64
+
+// Scale multiplies the weight.
+func (w Weight) Scale(f float64) Weight { return Weight(float64(w) * f) }
+
+// Counter mixes exported and unexported fields; only N may appear in
+// the snapshot.
+type Counter struct {
+	N      int
+	hidden int
+}
+
+// Add bumps the counter (pointer receiver).
+func (c *Counter) Add(delta int) { c.N += delta + c.hidden }
+
+// Clamp has named parameters, which must not leak into the snapshot.
+func Clamp(value, lo, hi float64) float64 {
+	if value < lo {
+		return lo
+	}
+	if value > hi {
+		return hi
+	}
+	return value
+}
+
+// internal is unexported and invisible to the snapshot.
+func internal() {}

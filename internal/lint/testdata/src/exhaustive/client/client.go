@@ -1,0 +1,31 @@
+// Package client switches over the parent fixture package's enum —
+// the cross-package case (serve dispatching on expt's algorithm
+// names). Loaded together with ../ by interproc_test.go; the foreign
+// registry only resolves inside a whole-program load.
+package client
+
+import "imc/internal/lint/testdata/src/exhaustive"
+
+// Dispatch forgets AlgSandwich.
+func Dispatch(a exhaustive.Algo) string {
+	switch a { // want "switch over Algo is not exhaustive: missing AlgSandwich"
+	case exhaustive.AlgGreedy:
+		return "greedy"
+	case exhaustive.AlgUBG:
+		return "ubg"
+	}
+	return ""
+}
+
+// DispatchAll covers the foreign enum completely: no finding.
+func DispatchAll(a exhaustive.Algo) string {
+	switch a {
+	case exhaustive.AlgGreedy:
+		return "greedy"
+	case exhaustive.AlgUBG:
+		return "ubg"
+	case exhaustive.AlgSandwich:
+		return "sandwich"
+	}
+	return ""
+}

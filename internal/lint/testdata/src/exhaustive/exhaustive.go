@@ -1,0 +1,72 @@
+// Package exhaustive is the golden fixture for the exhaustive
+// analyzer: a switch whose cases name members of a registered const
+// group must cover every member or carry a default.
+package exhaustive
+
+// Algo is a named-type enum; its package-level constants form one
+// registered group.
+type Algo int
+
+const (
+	AlgGreedy Algo = iota
+	AlgUBG
+	AlgSandwich
+)
+
+// Weight-scheme names: an untyped-string const block forms a group
+// keyed by its declaration site.
+const (
+	WeightUniform    = "uniform"
+	WeightTrivalency = "trivalency"
+	WeightDegree     = "degree"
+)
+
+func dispatchMissing(a Algo) string {
+	switch a { // want "switch over Algo is not exhaustive: missing AlgSandwich"
+	case AlgGreedy:
+		return "greedy"
+	case AlgUBG:
+		return "ubg"
+	}
+	return ""
+}
+
+func dispatchFull(a Algo) string {
+	switch a {
+	case AlgGreedy:
+		return "greedy"
+	case AlgUBG:
+		return "ubg"
+	case AlgSandwich:
+		return "sandwich"
+	}
+	return ""
+}
+
+func dispatchDefault(a Algo) string {
+	switch a {
+	case AlgGreedy:
+		return "greedy"
+	default:
+		return "other"
+	}
+}
+
+func dispatchScheme(s string) int {
+	switch s { // want "is not exhaustive: missing WeightDegree"
+	case WeightUniform:
+		return 0
+	case WeightTrivalency:
+		return 1
+	}
+	return -1
+}
+
+// Switches over values outside any registered group are ignored.
+func dispatchPlain(s string) int {
+	switch s {
+	case "x":
+		return 0
+	}
+	return 1
+}

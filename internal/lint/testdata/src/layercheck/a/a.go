@@ -1,0 +1,9 @@
+// Package a sits in the bottom layer of the fixture contract, so its
+// import of b (one layer up) is the inversion the analyzer exists to
+// catch.
+package a
+
+import "imc/internal/lint/testdata/src/layercheck/b" // want "upward import: internal/lint/testdata/src/layercheck/a (layer 0"
+
+// A leans on the higher layer.
+func A() int { return b.B() }

@@ -1,0 +1,8 @@
+// Package b is in the fixture contract's top layer, but imports a
+// package the contract does not cover at all.
+package b
+
+import "imc/internal/lint/testdata/src/layercheck/c" // want "import of internal/lint/testdata/src/layercheck/c, which is not covered"
+
+// B leans on the uncovered package.
+func B() int { return c.C() }

@@ -1,0 +1,6 @@
+// Package c is absent from the fixture contract; being loaded at all
+// is its finding.
+package c // want "package internal/lint/testdata/src/layercheck/c is not covered by the layering contract; add it"
+
+// C exists so b has something to import.
+func C() int { return 3 }

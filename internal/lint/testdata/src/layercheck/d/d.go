@@ -1,0 +1,8 @@
+// Package d imports downward (layer 1 → layer 0), which the contract
+// permits: no finding anywhere in this file.
+package d
+
+import "imc/internal/lint/testdata/src/layercheck/a"
+
+// D leans on the lower layer.
+func D() int { return a.A() }
