@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint graph api test race bench fuzz experiments examples clean
+.PHONY: all build vet lint graph api test race bench fuzz jobs-test experiments examples clean
 
 all: build vet lint test
 
@@ -28,6 +28,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The async job subsystem's suite, race-enabled: store durability,
+# journal replay, worker pool, and the crash/resume determinism
+# integration test.
+jobs-test:
+	$(GO) test -race -count=1 ./internal/job/ ./internal/serve/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -5,6 +5,15 @@
 //	imcserve -addr :8080
 //	curl localhost:8080/datasets
 //	curl -X POST localhost:8080/solve -d '{"dataset":"facebook","scale":0.1,"alg":"UBG","k":10}'
+//
+// With -job-dir, the async job subsystem comes up too: solves are
+// submitted to POST /v1/jobs, run on a bounded worker pool, and
+// checkpoint their progress to the job directory — a killed or
+// restarted imcserve resumes every in-flight job from its last
+// checkpoint and produces the result an uninterrupted run would have.
+//
+//	imcserve -addr :8080 -job-dir /var/lib/imcserve/jobs -workers 2
+//	curl -X POST localhost:8080/v1/jobs -d '{"dataset":"facebook","scale":0.1,"alg":"UBG","k":10}'
 package main
 
 import (
@@ -19,6 +28,7 @@ import (
 	"syscall"
 	"time"
 
+	"imc/internal/job"
 	"imc/internal/serve"
 )
 
@@ -35,14 +45,37 @@ func run() error {
 		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown deadline")
 		solveTimeout    = flag.Duration("solve-timeout", serve.DefaultSolveTimeout, "per-request deadline on heavy endpoints (negative disables)")
 		maxInflight     = flag.Int("max-inflight", 0, "max concurrent heavy requests before shedding with 429 (0 = GOMAXPROCS)")
+		jobDir          = flag.String("job-dir", "", "directory for the async job store; empty disables /v1/jobs")
+		workers         = flag.Int("workers", 2, "job worker pool size (with -job-dir)")
 	)
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
-	handler := serve.NewWithOptions(logger, nil, serve.Config{
+	cfg := serve.Config{
 		SolveTimeout: *solveTimeout,
 		MaxInflight:  *maxInflight,
-	}).Handler()
+	}
+
+	// The job subsystem, when enabled, opens the store (replaying the
+	// journal: jobs left running by a previous process return to pending)
+	// and starts the worker pool, which re-enqueues every pending job —
+	// resume-on-boot.
+	var pool *job.Pool
+	if *jobDir != "" {
+		store, err := job.Open(*jobDir, nil)
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		pool = job.NewPool(store, job.PoolOptions{Workers: *workers, Log: logger})
+		pending := len(store.PendingIDs())
+		pool.Start()
+		logger.Info("job pool started", "dir", *jobDir, "workers", *workers, "resumedPending", pending)
+		cfg.JobStore = store
+		cfg.JobPool = pool
+	}
+
+	handler := serve.NewWithOptions(logger, nil, cfg).Handler()
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,
@@ -54,6 +87,21 @@ func run() error {
 		logger.Info("listening", "addr", *addr)
 		errCh <- srv.ListenAndServe()
 	}()
+
+	// drainJobs checkpoints and parks the running jobs: each worker is
+	// interrupted at its next solver batch, the job returns to pending
+	// (its latest checkpoint is already durable), and the next boot
+	// resumes it.
+	drainJobs := func(ctx context.Context) {
+		if pool == nil {
+			return
+		}
+		if err := pool.Shutdown(ctx); err != nil {
+			logger.Error("job pool drain incomplete", "err", err)
+			return
+		}
+		logger.Info("job pool drained")
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -67,13 +115,16 @@ func run() error {
 		logger.Info("shutting down", "signal", sig.String())
 		ctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 		defer cancel()
+		// Stop intake first, then park the jobs, sharing one deadline.
 		if err := srv.Shutdown(ctx); err != nil {
 			// The deadline passed with requests still in flight; the
 			// per-request solve deadline will reap them, but don't leave
 			// the listener half-open.
 			_ = srv.Close()
+			drainJobs(ctx)
 			return fmt.Errorf("graceful shutdown: %w", err)
 		}
+		drainJobs(ctx)
 		<-errCh // drain the ListenAndServe result
 		return nil
 	}

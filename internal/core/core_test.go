@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"fmt"
 	"log/slog"
 	"math"
 	"runtime"
@@ -14,6 +15,7 @@ import (
 	"imc/internal/gen"
 	"imc/internal/graph"
 	"imc/internal/maxr"
+	"imc/internal/ric"
 )
 
 // testInstance builds a 30-node random graph with 6 random communities
@@ -341,5 +343,141 @@ func TestNonSubmodularExample(t *testing.T) {
 	}
 	if cAB != 2 {
 		t.Fatalf("c({a,b}) = %g, want 2 (deterministic edges)", cAB)
+	}
+}
+
+// savedCheckpoint is one serialized pool-growth boundary captured by
+// the checkpoint tests.
+type savedCheckpoint struct {
+	doublings int
+	pool      []byte
+}
+
+func captureCheckpoints(t *testing.T, sink *[]savedCheckpoint) CheckpointFunc {
+	t.Helper()
+	return func(cp Checkpoint) error {
+		var buf bytes.Buffer
+		if err := cp.Pool.Save(&buf); err != nil {
+			return err
+		}
+		*sink = append(*sink, savedCheckpoint{doublings: cp.Doublings, pool: buf.Bytes()})
+		return nil
+	}
+}
+
+// TestSolveCheckpointResume pins the resume contract: restarting the
+// stop-and-stare loop from ANY pool-growth boundary reproduces the
+// uninterrupted run's solution exactly — same seeds, same estimates,
+// same stop reason.
+func TestSolveCheckpointResume(t *testing.T) {
+	g, part := testInstance(t, 41)
+	opts := Options{K: 3, Eps: 0.3, Delta: 0.3, Seed: 77, MaxSamples: 1 << 12}
+
+	var ckpts []savedCheckpoint
+	withCp := opts
+	withCp.Checkpoint = captureCheckpoints(t, &ckpts)
+	baseline, err := Solve(g, part, maxr.UBG{}, withCp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ckpts) < 2 {
+		t.Fatalf("want at least 2 checkpoints (initial + a doubling), got %d", len(ckpts))
+	}
+
+	// The checkpoint callback must not perturb the solve at all.
+	plain, err := Solve(g, part, maxr.UBG{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameSolution(t, "checkpointing run", baseline, plain)
+
+	for _, ck := range ckpts {
+		pool, err := ric.NewPool(g, part, ric.PoolOptions{Seed: opts.Seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pool.ReadInto(bytes.NewReader(ck.pool)); err != nil {
+			t.Fatalf("restore checkpoint at round %d: %v", ck.doublings, err)
+		}
+		resumed := opts
+		resumed.Resume = &Checkpoint{Pool: pool, Doublings: ck.doublings}
+		sol, err := Solve(g, part, maxr.UBG{}, resumed)
+		if err != nil {
+			t.Fatalf("resume from round %d: %v", ck.doublings, err)
+		}
+		assertSameSolution(t, fmt.Sprintf("resume from round %d", ck.doublings), baseline, sol)
+	}
+}
+
+func assertSameSolution(t *testing.T, label string, want, got Solution) {
+	t.Helper()
+	if len(want.Seeds) != len(got.Seeds) {
+		t.Fatalf("%s: %d seeds, want %d", label, len(got.Seeds), len(want.Seeds))
+	}
+	for i := range want.Seeds {
+		if want.Seeds[i] != got.Seeds[i] {
+			t.Fatalf("%s: seeds %v, want %v", label, got.Seeds, want.Seeds)
+		}
+	}
+	if got.CHat != want.CHat || got.EstimatedBenefit != want.EstimatedBenefit ||
+		got.Samples != want.Samples || got.Doublings != want.Doublings ||
+		got.Stopped != want.Stopped || got.Alpha != want.Alpha ||
+		got.SandwichRatio != want.SandwichRatio {
+		t.Fatalf("%s: solution drifted:\n got %+v\nwant %+v", label, got, want)
+	}
+}
+
+// TestSolveResumeValidation pins the guard rails: a resume checkpoint
+// that could fork the sample sequence is rejected up front.
+func TestSolveResumeValidation(t *testing.T) {
+	g, part := testInstance(t, 41)
+	opts := Options{K: 3, Eps: 0.3, Delta: 0.3, Seed: 77, MaxSamples: 1 << 12}
+
+	goodPool := func(seed uint64) *ric.Pool {
+		pool, err := ric.NewPool(g, part, ric.PoolOptions{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pool.Generate(64); err != nil {
+			t.Fatal(err)
+		}
+		return pool
+	}
+
+	cases := []struct {
+		name    string
+		resume  *Checkpoint
+		wantSub string
+	}{
+		{"nil pool", &Checkpoint{}, "no pool"},
+		{"empty pool", func() *Checkpoint {
+			pool, err := ric.NewPool(g, part, ric.PoolOptions{Seed: 77})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return &Checkpoint{Pool: pool}
+		}(), "empty"},
+		{"seed mismatch", &Checkpoint{Pool: goodPool(78)}, "seed"},
+		{"negative round", &Checkpoint{Pool: goodPool(77), Doublings: -1}, "negative"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := opts
+			o.Resume = tc.resume
+			_, err := Solve(g, part, maxr.UBG{}, o)
+			if err == nil {
+				t.Fatal("invalid resume accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+
+	// Checkpoint failures surface instead of silently losing durability.
+	o := opts
+	o.Checkpoint = func(Checkpoint) error { return fmt.Errorf("disk full") }
+	if _, err := Solve(g, part, maxr.UBG{}, o); err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("checkpoint error not surfaced: %v", err)
 	}
 }

@@ -73,7 +73,36 @@ type Options struct {
 	// Clock supplies timestamps for the Elapsed report; nil means the
 	// real wall clock. Only reporting reads it — never sampling.
 	Clock clock.Func
+	// Checkpoint, when non-nil, is invoked at every pool-growth boundary
+	// (after the initial generation and after each doubling, before the
+	// round's solver pass) with the live pool and round counter. A
+	// checkpoint error aborts the solve: the caller asked for durable
+	// progress and is not getting it. The callback must not mutate the
+	// pool.
+	Checkpoint CheckpointFunc
+	// Resume, when non-nil, restarts the stop-and-stare loop from a
+	// previously checkpointed pool instead of generating the initial
+	// batch. The pool must have been created over the same graph and
+	// partition with the same Seed and Model (validated), and Options
+	// must otherwise equal the original run's — then the resumed run
+	// retraces the uninterrupted one exactly, seed for seed.
+	Resume *Checkpoint
 }
+
+// Checkpoint captures the resumable progress of a SolveCtx run at a
+// pool-growth boundary. Everything else the loop consults — Λ, Ψ, the
+// estimate-check seeds — is recomputed deterministically from Options,
+// so the pool plus the round counter is the whole resume state.
+type Checkpoint struct {
+	// Pool is the live sample pool; persist it with Pool.Save.
+	Pool *ric.Pool
+	// Doublings is the stop-and-stare round counter at the boundary.
+	Doublings int
+}
+
+// CheckpointFunc receives solver checkpoints. Implementations typically
+// serialize cp.Pool and record cp.Doublings somewhere durable.
+type CheckpointFunc func(cp Checkpoint) error
 
 func (o Options) normalized() (Options, error) {
 	if o.K < 1 {
@@ -146,9 +175,18 @@ func SolveCtx(ctx context.Context, g *graph.Graph, part *community.Partition, so
 	now := clock.OrWall(opts.Clock)
 	start := now()
 
-	pool, err := ric.NewPool(g, part, ric.PoolOptions{Model: opts.Model, Seed: opts.Seed, Workers: opts.Workers})
-	if err != nil {
-		return Solution{}, err
+	var pool *ric.Pool
+	resumeFrom := 0
+	if opts.Resume != nil {
+		if pool, err = validateResume(g, part, opts); err != nil {
+			return Solution{}, err
+		}
+		resumeFrom = opts.Resume.Doublings
+	} else {
+		pool, err = ric.NewPool(g, part, ric.PoolOptions{Model: opts.Model, Seed: opts.Seed, Workers: opts.Workers})
+		if err != nil {
+			return Solution{}, err
+		}
 	}
 
 	// Alg. 5 line 1: split ε, δ for the Ψ bound (paper setting:
@@ -176,8 +214,10 @@ func SolveCtx(ctx context.Context, g *graph.Graph, part *community.Partition, so
 	if initial > opts.MaxSamples {
 		initial = opts.MaxSamples
 	}
-	if err := pool.GenerateCtx(ctx, initial); err != nil {
-		return Solution{}, err
+	if opts.Resume == nil {
+		if err := pool.GenerateCtx(ctx, initial); err != nil {
+			return Solution{}, err
+		}
 	}
 
 	// Checkpoint count for the union bound over stop stages. Ψ can be
@@ -205,10 +245,17 @@ func SolveCtx(ctx context.Context, g *graph.Graph, part *community.Partition, so
 	}
 	logger.Debug("imcaf start",
 		"k", opts.K, "alpha", alpha, "psi", psi, "lambda", lambda,
-		"initialSamples", initial)
+		"initialSamples", initial, "resumeDoublings", resumeFrom)
 
 	sol := Solution{Alpha: alpha, Stopped: StopSampleCap}
-	doublings := 0
+	doublings := resumeFrom
+	// Boundary checkpoint before the first (or first resumed) solver
+	// round: once this returns, a crash loses at most one round of work.
+	if opts.Checkpoint != nil {
+		if err := opts.Checkpoint(Checkpoint{Pool: pool, Doublings: doublings}); err != nil {
+			return Solution{}, fmt.Errorf("core: checkpoint at round %d: %w", doublings, err)
+		}
+	}
 	for {
 		if err := ctx.Err(); err != nil {
 			return Solution{}, err
@@ -270,12 +317,42 @@ func SolveCtx(ctx context.Context, g *graph.Graph, part *community.Partition, so
 			return Solution{}, err
 		}
 		doublings++
+		if opts.Checkpoint != nil {
+			if err := opts.Checkpoint(Checkpoint{Pool: pool, Doublings: doublings}); err != nil {
+				return Solution{}, fmt.Errorf("core: checkpoint at round %d: %w", doublings, err)
+			}
+		}
 	}
 	sol.Elapsed = now().Sub(start)
 	logger.Debug("imcaf done",
 		"stopped", sol.Stopped.String(), "samples", sol.Samples,
 		"chat", sol.CHat, "elapsed", sol.Elapsed)
 	return sol, nil
+}
+
+// validateResume checks that a Resume checkpoint can only continue the
+// run it was taken from: same instance shape, same seed, same model,
+// and a non-empty pool. Anything else would silently fork the sample
+// sequence and break the byte-identical-resume guarantee.
+func validateResume(g *graph.Graph, part *community.Partition, opts Options) (*ric.Pool, error) {
+	pool := opts.Resume.Pool
+	switch {
+	case pool == nil:
+		return nil, fmt.Errorf("core: resume checkpoint has no pool")
+	case pool.NumSamples() == 0:
+		return nil, fmt.Errorf("core: resume pool is empty")
+	case opts.Resume.Doublings < 0:
+		return nil, fmt.Errorf("core: resume doublings %d is negative", opts.Resume.Doublings)
+	case pool.Graph().NumNodes() != g.NumNodes():
+		return nil, fmt.Errorf("core: resume pool covers %d nodes, graph has %d", pool.Graph().NumNodes(), g.NumNodes())
+	case pool.Partition().NumCommunities() != part.NumCommunities():
+		return nil, fmt.Errorf("core: resume pool has %d communities, partition has %d", pool.Partition().NumCommunities(), part.NumCommunities())
+	case pool.Seed() != opts.Seed:
+		return nil, fmt.Errorf("core: resume pool seed %d does not match Options.Seed %d", pool.Seed(), opts.Seed)
+	case pool.Model() != opts.Model:
+		return nil, fmt.Errorf("core: resume pool model %v does not match Options.Model %v", pool.Model(), opts.Model)
+	}
+	return pool, nil
 }
 
 // discardHandler drops every record; it stands in when no Logger is

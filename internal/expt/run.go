@@ -54,6 +54,17 @@ type RunConfig struct {
 	// wall clock. Tests pin it to make timing-labelled output
 	// reproducible. Only reporting reads it — never sampling.
 	Now clock.Func
+	// Checkpoint, when non-nil, receives solver checkpoints at every
+	// pool-growth boundary so long solves survive a process restart. It
+	// only fires for the core-solver algorithms (UBG, UBG+LS, MAF, MB) —
+	// the baselines run to completion or not at all — and requires
+	// Runs == 1: a multi-run average has no single resumable pool.
+	Checkpoint core.CheckpointFunc
+	// Resume restarts a (single-run, core-solver) selection from a
+	// checkpoint taken by Checkpoint. With identical Spec and seed the
+	// resumed run returns the byte-identical seed set and benefit the
+	// uninterrupted run would have.
+	Resume *core.Checkpoint
 }
 
 func (c RunConfig) normalized() RunConfig {
@@ -114,6 +125,9 @@ func RunAlg(inst *Instance, alg string, k int, cfg RunConfig) (AlgResult, error)
 //imc:longrun
 func RunAlgCtx(ctx context.Context, inst *Instance, alg string, k int, cfg RunConfig) (AlgResult, error) {
 	cfg = cfg.normalized()
+	if (cfg.Checkpoint != nil || cfg.Resume != nil) && cfg.Runs != 1 {
+		return AlgResult{}, fmt.Errorf("expt: checkpoint/resume requires Runs == 1, got %d", cfg.Runs)
+	}
 	out := AlgResult{Alg: alg}
 	var acc stats.Running
 	for run := 0; run < cfg.Runs; run++ {
@@ -152,6 +166,11 @@ func selectSeeds(ctx context.Context, inst *Instance, alg string, k int, cfg Run
 		MaxSamples: cfg.MaxSamples,
 		Model:      cfg.Model,
 		Clock:      cfg.Now,
+		// Checkpoint/Resume reach only the core-solver branches below;
+		// the baseline branches never consult opts, so a checkpointed
+		// baseline job simply restarts from scratch (they are cheap).
+		Checkpoint: cfg.Checkpoint,
+		Resume:     cfg.Resume,
 	}
 	switch alg {
 	case AlgUBG:

@@ -1,0 +1,146 @@
+package job
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"imc/internal/core"
+)
+
+// Checkpoint file codec. One job checkpoint is a single file so the
+// write can be made atomic with one rename:
+//
+//	magic     [4]byte  "IMCK"
+//	version   uint32   (1)
+//	doublings uint32   stop-and-stare round counter
+//	specLen   uint32   length of the canonical spec JSON
+//	spec      specLen bytes (the job's normalized Spec, for validation)
+//	pool      ric pool stream (Pool.Save format), to 4 bytes before EOF
+//	crc32     uint32   IEEE checksum of everything before it
+//
+// The embedded spec lets recovery refuse a checkpoint that belongs to
+// a different job than the directory entry claims (e.g. after a manual
+// file shuffle); the trailing CRC turns silent disk corruption into a
+// descriptive decode error instead of a subtly wrong pool.
+
+var ckptMagic = [4]byte{'I', 'M', 'C', 'K'}
+
+const (
+	ckptVersion    = 1
+	ckptHeaderSize = 4 + 4 + 4 + 4 // magic, version, doublings, specLen
+	ckptMaxSpec    = 1 << 20
+)
+
+// writeCheckpointFile atomically persists one checkpoint: the bytes are
+// streamed to path+".tmp" (through the CRC), synced, and renamed over
+// path, so a crash mid-write leaves the previous checkpoint intact.
+func writeCheckpointFile(path string, spec Spec, cp core.Checkpoint) (err error) {
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		return fmt.Errorf("job: marshal checkpoint spec: %w", err)
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("job: create checkpoint temp: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+
+	sum := crc32.NewIEEE()
+	w := io.MultiWriter(f, sum)
+	var hdr [ckptHeaderSize]byte
+	copy(hdr[:4], ckptMagic[:])
+	binary.LittleEndian.PutUint32(hdr[4:8], ckptVersion)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(cp.Doublings))
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(specJSON)))
+	if _, err = w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("job: write checkpoint header: %w", err)
+	}
+	if _, err = w.Write(specJSON); err != nil {
+		return fmt.Errorf("job: write checkpoint spec: %w", err)
+	}
+	if err = cp.Pool.Save(w); err != nil {
+		return fmt.Errorf("job: write checkpoint pool: %w", err)
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], sum.Sum32())
+	if _, err = f.Write(tail[:]); err != nil {
+		return fmt.Errorf("job: write checkpoint crc: %w", err)
+	}
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("job: sync checkpoint: %w", err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("job: close checkpoint: %w", err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("job: publish checkpoint: %w", err)
+	}
+	return nil
+}
+
+// decodedCheckpoint is the raw content of a checkpoint file; the pool
+// bytes still need ric.Pool.ReadInto over the job's instance.
+type decodedCheckpoint struct {
+	spec      Spec
+	doublings int
+	poolBytes []byte
+}
+
+// errNoCheckpoint reports that a job has no checkpoint on disk — a
+// normal condition (the job never reached its first boundary).
+var errNoCheckpoint = errors.New("job: no checkpoint")
+
+// readCheckpointFile loads and validates one checkpoint file. Every
+// failure mode gets its own message: truncation, bad magic, version
+// drift, CRC mismatch, and spec corruption are different operational
+// problems.
+func readCheckpointFile(path string) (*decodedCheckpoint, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, errNoCheckpoint
+	}
+	if err != nil {
+		return nil, fmt.Errorf("job: read checkpoint %s: %w", filepath.Base(path), err)
+	}
+	if len(data) < ckptHeaderSize+4 {
+		return nil, fmt.Errorf("job: checkpoint %s truncated: %d bytes, want at least %d",
+			filepath.Base(path), len(data), ckptHeaderSize+4)
+	}
+	if !bytes.Equal(data[:4], ckptMagic[:]) {
+		return nil, fmt.Errorf("job: checkpoint %s has bad magic %q", filepath.Base(path), data[:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != ckptVersion {
+		return nil, fmt.Errorf("job: checkpoint %s version %d unsupported (want %d)", filepath.Base(path), v, ckptVersion)
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(tail); got != want {
+		return nil, fmt.Errorf("job: checkpoint %s corrupt: crc %08x, want %08x", filepath.Base(path), got, want)
+	}
+	doublings := binary.LittleEndian.Uint32(data[8:12])
+	specLen := binary.LittleEndian.Uint32(data[12:16])
+	if specLen > ckptMaxSpec || ckptHeaderSize+int(specLen) > len(body) {
+		return nil, fmt.Errorf("job: checkpoint %s spec length %d exceeds file", filepath.Base(path), specLen)
+	}
+	var spec Spec
+	if err := json.Unmarshal(body[ckptHeaderSize:ckptHeaderSize+int(specLen)], &spec); err != nil {
+		return nil, fmt.Errorf("job: checkpoint %s spec corrupt: %w", filepath.Base(path), err)
+	}
+	return &decodedCheckpoint{
+		spec:      spec,
+		doublings: int(doublings),
+		poolBytes: body[ckptHeaderSize+int(specLen):],
+	}, nil
+}

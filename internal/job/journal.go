@@ -1,0 +1,143 @@
+package job
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// The journal is the store's single source of truth for job metadata:
+// an append-only JSONL file of submissions and state transitions.
+// Replaying it from the top reconstructs every job's current state, so
+// the store never rewrites records in place — a crash can at worst
+// leave one torn line at the tail, which replay detects and truncates
+// away before appending resumes.
+//
+// Large blobs (pool checkpoints, results) live in side files named by
+// job ID and are written via atomic rename; the journal only records
+// that they exist.
+
+// journalOp enumerates record types.
+const (
+	opSubmit     = "submit"
+	opState      = "state"
+	opCheckpoint = "checkpoint"
+)
+
+// journalRecord is one JSONL line. Fields beyond Op/ID/At apply only
+// to some ops.
+type journalRecord struct {
+	Op string    `json:"op"`
+	ID string    `json:"id"`
+	At time.Time `json:"at"`
+
+	// opSubmit
+	Key  string `json:"key,omitempty"`
+	Spec *Spec  `json:"spec,omitempty"`
+
+	// opState
+	State   State  `json:"state,omitempty"`
+	Error   string `json:"error,omitempty"`
+	Resumes int    `json:"resumes,omitempty"`
+
+	// opCheckpoint
+	Doublings int `json:"doublings,omitempty"`
+	Samples   int `json:"samples,omitempty"`
+}
+
+// journal wraps the append handle. Not safe for concurrent use; the
+// store serializes access under its own mutex.
+type journal struct {
+	file *os.File
+	bw   *bufio.Writer
+}
+
+// replayJournal reads every intact record from path, reporting the
+// byte offset where intact data ends. A missing file is an empty
+// journal. A torn or corrupt tail — the signature of a crash mid-append
+// — stops replay; the caller truncates to the returned offset before
+// appending.
+func replayJournal(path string, apply func(journalRecord) error) (int64, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("job: open journal: %w", err)
+	}
+	defer f.Close()
+
+	var good int64
+	br := bufio.NewReaderSize(f, 1<<16)
+	for {
+		line, err := br.ReadBytes('\n')
+		if err == io.EOF {
+			// A final line without a newline is a torn append: ignore it.
+			return good, nil
+		}
+		if err != nil {
+			return 0, fmt.Errorf("job: read journal: %w", err)
+		}
+		var rec journalRecord
+		if jerr := json.Unmarshal(line, &rec); jerr != nil || rec.Op == "" || rec.ID == "" {
+			// Corrupt interior line: everything after it is suspect too,
+			// so stop here and let the caller truncate.
+			return good, nil
+		}
+		if aerr := apply(rec); aerr != nil {
+			return 0, fmt.Errorf("job: replay journal: %w", aerr)
+		}
+		good += int64(len(line))
+	}
+}
+
+// openJournal opens path for appending, truncated to intactBytes (the
+// offset replayJournal reported) so torn tails never corrupt later
+// records.
+func openJournal(path string, intactBytes int64) (*journal, error) {
+	if err := os.Truncate(path, intactBytes); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("job: truncate journal tail: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("job: open journal for append: %w", err)
+	}
+	return &journal{file: f, bw: bufio.NewWriter(f)}, nil
+}
+
+// append writes one record durably: marshal, write, flush, fsync. Job
+// submission rates are nowhere near fsync throughput, and a lost
+// transition means a job silently re-runs or vanishes on restart, so
+// the journal always pays for durability.
+func (j *journal) append(rec journalRecord) error {
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("job: marshal journal record: %w", err)
+	}
+	raw = append(raw, '\n')
+	if _, err := j.bw.Write(raw); err != nil {
+		return fmt.Errorf("job: append journal: %w", err)
+	}
+	if err := j.bw.Flush(); err != nil {
+		return fmt.Errorf("job: flush journal: %w", err)
+	}
+	if err := j.file.Sync(); err != nil {
+		return fmt.Errorf("job: sync journal: %w", err)
+	}
+	return nil
+}
+
+func (j *journal) close() error {
+	if j == nil || j.file == nil {
+		return nil
+	}
+	if err := j.bw.Flush(); err != nil {
+		j.file.Close()
+		return fmt.Errorf("job: flush journal on close: %w", err)
+	}
+	return j.file.Close()
+}

@@ -1,0 +1,117 @@
+package job
+
+import (
+	"testing"
+	"time"
+
+	"imc/internal/core"
+)
+
+// TestInterruptedJobResumesByteIdentical is the subsystem's contract
+// test: a job interrupted mid-solve (after its first durable
+// checkpoint) and re-run by a fresh store + pool — a simulated process
+// restart — must produce exactly the result an uninterrupted run
+// produces: same seeds in the same order, same benefit. This works
+// because RIC sample i is always drawn from PRNG stream i of the job
+// seed, so the resumed pool retraces the uninterrupted one sample for
+// sample.
+func TestInterruptedJobResumesByteIdentical(t *testing.T) {
+	spec := testSpec(41)
+
+	// Baseline: the same spec run start-to-finish with no interruption.
+	baseStore := openTestStore(t, t.TempDir())
+	baseJob, _, err := baseStore.Submit(spec, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	basePool := newTestPool(t, baseStore)
+	basePool.Start()
+	if j := waitTerminal(t, baseStore, baseJob.ID); j.State != StateSucceeded {
+		t.Fatalf("baseline state %s (%s)", j.State, j.Error)
+	}
+	baseline, err := baseStore.Result(baseJob.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shutdownPool(t, basePool)
+
+	// Interrupted run: the first durable checkpoint "kills the process" —
+	// the hook cancels the pool's base context, so the worker classifies
+	// the run as interrupted and the job returns to pending.
+	dir := t.TempDir()
+	s1 := openTestStore(t, dir)
+	j1, _, err := s1.Submit(spec, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := newTestPool(t, s1)
+	fired := false
+	p1.checkpointHook = func(string, core.Checkpoint) {
+		if fired {
+			return
+		}
+		fired = true
+		p1.baseCancel()
+	}
+	p1.Start()
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		j, err := s1.Get(j1.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.State == StatePending && j.Resumes == 1 {
+			if j.Checkpoint == nil || j.Checkpoint.Samples < 1 {
+				t.Fatalf("interrupted without a durable checkpoint: %+v", j.Checkpoint)
+			}
+			break
+		}
+		if j.State.Terminal() {
+			t.Fatalf("job finished as %s instead of being interrupted", j.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never interrupted: %+v", j)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	shutdownPool(t, p1)
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: fresh store and pool over the same directory. Resume-on-
+	// boot enqueues the pending job; the worker restores the checkpoint
+	// and finishes the solve.
+	s2 := openTestStore(t, dir)
+	p2 := newTestPool(t, s2)
+	p2.Start()
+	defer shutdownPool(t, p2)
+
+	done := waitTerminal(t, s2, j1.ID)
+	if done.State != StateSucceeded {
+		t.Fatalf("resumed state %s (%s)", done.State, done.Error)
+	}
+	if done.Resumes != 1 {
+		t.Fatalf("resumes %d, want 1", done.Resumes)
+	}
+	resumed, err := s2.Result(j1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(resumed.Seeds) != len(baseline.Seeds) {
+		t.Fatalf("seed count %d vs baseline %d", len(resumed.Seeds), len(baseline.Seeds))
+	}
+	for i := range resumed.Seeds {
+		if resumed.Seeds[i] != baseline.Seeds[i] {
+			t.Fatalf("seed[%d] = %d, baseline %d — resume diverged", i, resumed.Seeds[i], baseline.Seeds[i])
+		}
+	}
+	if resumed.Benefit != baseline.Benefit {
+		t.Fatalf("benefit %v vs baseline %v — resume diverged", resumed.Benefit, baseline.Benefit)
+	}
+	if resumed.TotalBenefit != baseline.TotalBenefit || resumed.Instance != baseline.Instance || resumed.Alg != baseline.Alg {
+		t.Fatalf("result metadata drifted: %+v vs %+v", resumed, baseline)
+	}
+}

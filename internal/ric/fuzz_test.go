@@ -28,6 +28,22 @@ func FuzzPoolRoundTrip(f *testing.F) {
 	f.Add(corrupt)
 	f.Add([]byte("IMCP"))
 	f.Add([]byte{})
+	// Mutations of a valid encoding: truncate at every header boundary
+	// and deep into the sample records, and flip bits marching through
+	// the whole stream, so the fuzzer starts from inputs that are wrong
+	// in exactly one field — the shapes hand-written corruption checks
+	// tend to miss.
+	valid := seed.Bytes()
+	for _, cut := range []int{3, 4, 7, 8, 15, 16, 23, 24, 27, 28, 31, 32, len(valid) - 7, len(valid) - 1} {
+		if cut >= 0 && cut <= len(valid) {
+			f.Add(append([]byte(nil), valid[:cut]...))
+		}
+	}
+	for off := 0; off < len(valid); off += 53 {
+		flipped := append([]byte(nil), valid...)
+		flipped[off] ^= 0x41
+		f.Add(flipped)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		p1, err := NewPool(g, part, PoolOptions{Seed: 1})

@@ -32,6 +32,7 @@ type Pool struct {
 	part    *community.Partition
 	model   diffusion.Model
 	root    *xrand.RNG
+	seed    uint64
 	workers int
 
 	samples  []Sample
@@ -66,6 +67,7 @@ func NewPool(g *graph.Graph, part *community.Partition, opts PoolOptions) (*Pool
 		part:     part,
 		model:    opts.Model,
 		root:     xrand.New(opts.Seed),
+		seed:     opts.Seed,
 		workers:  workers,
 		index:    make([][]CoverEntry, g.NumNodes()),
 		commFreq: make([]int, part.NumCommunities()),
@@ -188,6 +190,13 @@ func (p *Pool) Graph() *graph.Graph { return p.g }
 
 // Model returns the propagation model used for sampling.
 func (p *Pool) Model() diffusion.Model { return p.model }
+
+// Seed returns the seed the pool's PRNG streams derive from. Sample i
+// is always drawn from stream i of this seed, so two pools with equal
+// seeds over the same instance generate identical sample sequences —
+// the property checkpoint/resume relies on to validate that a restored
+// pool will extend, not fork, an interrupted run.
+func (p *Pool) Seed() uint64 { return p.seed }
 
 // State carries incremental coverage bookkeeping for one seed set over
 // one pool: the union member-mask per touched sample. It is the shared

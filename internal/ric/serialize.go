@@ -94,8 +94,11 @@ func (p *Pool) Save(w io.Writer) error {
 
 // ReadInto deserializes samples written by Save into the pool,
 // which must be freshly created over the same graph and partition and
-// still empty. The node and community counts are validated; deeper
-// mismatches (e.g. a different random graph of the same size) are the
+// still empty. Decoding is defensive: every count is validated against
+// the pool's graph and partition (community range, member counts,
+// thresholds, exact mask widths), and truncated or corrupt input
+// surfaces as a descriptive error naming the field being read — never
+// a panic. A different random graph of the same shape is still the
 // caller's responsibility, as with any cache.
 func (p *Pool) ReadInto(r io.Reader) error {
 	if len(p.samples) != 0 {
@@ -104,46 +107,46 @@ func (p *Pool) ReadInto(r io.Reader) error {
 	br := bufio.NewReaderSize(r, 1<<20)
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return fmt.Errorf("ric: read magic: %w", err)
+		return fmt.Errorf("ric: pool snapshot truncated reading magic: %w", err)
 	}
 	if magic != poolMagic {
 		return fmt.Errorf("ric: bad pool magic %q", magic)
 	}
 	var scratch [8]byte
-	get32 := func() (uint32, error) {
+	get32 := func(field string) (uint32, error) {
 		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
-			return 0, err
+			return 0, fmt.Errorf("ric: pool snapshot truncated reading %s: %w", field, noEOF(err))
 		}
 		return binary.LittleEndian.Uint32(scratch[:4]), nil
 	}
-	get64 := func() (uint64, error) {
+	get64 := func(field string) (uint64, error) {
 		if _, err := io.ReadFull(br, scratch[:]); err != nil {
-			return 0, err
+			return 0, fmt.Errorf("ric: pool snapshot truncated reading %s: %w", field, noEOF(err))
 		}
 		return binary.LittleEndian.Uint64(scratch[:]), nil
 	}
-	version, err := get32()
+	version, err := get32("version")
 	if err != nil {
 		return err
 	}
 	if version != poolVersion {
-		return fmt.Errorf("ric: unsupported pool version %d", version)
+		return fmt.Errorf("ric: unsupported pool version %d (want %d)", version, poolVersion)
 	}
-	n, err := get64()
+	n, err := get64("node count")
 	if err != nil {
 		return err
 	}
 	if int(n) != p.g.NumNodes() {
 		return fmt.Errorf("ric: pool was sampled over %d nodes, graph has %d", n, p.g.NumNodes())
 	}
-	r64, err := get64()
+	r64, err := get64("community count")
 	if err != nil {
 		return err
 	}
 	if int(r64) != p.part.NumCommunities() {
 		return fmt.Errorf("ric: pool has %d communities, partition has %d", r64, p.part.NumCommunities())
 	}
-	count, err := get64()
+	count, err := get64("sample count")
 	if err != nil {
 		return err
 	}
@@ -151,30 +154,36 @@ func (p *Pool) ReadInto(r io.Reader) error {
 		return fmt.Errorf("ric: sample count %d out of range", count)
 	}
 	for i := uint64(0); i < count; i++ {
-		comm, err := get32()
+		comm, err := get32(fmt.Sprintf("sample %d community", i))
 		if err != nil {
 			return err
 		}
 		if int(comm) >= p.part.NumCommunities() {
-			return fmt.Errorf("ric: sample %d: community %d out of range", i, comm)
+			return fmt.Errorf("ric: sample %d: community %d out of range [0, %d)", i, comm, p.part.NumCommunities())
 		}
-		threshold, err := get32()
+		threshold, err := get32(fmt.Sprintf("sample %d threshold", i))
 		if err != nil {
 			return err
 		}
-		numMembers, err := get32()
+		numMembers, err := get32(fmt.Sprintf("sample %d member count", i))
 		if err != nil {
 			return err
 		}
-		if int(numMembers) > p.g.NumNodes() {
-			return fmt.Errorf("ric: sample %d: %d members exceed node count", i, numMembers)
+		// A sample's member count is the size of its source community and
+		// its threshold sits in [1, members]; Save can emit nothing else,
+		// so anything different is corruption, not a format variant.
+		if want := len(p.part.Community(int(comm)).Members); int(numMembers) != want {
+			return fmt.Errorf("ric: sample %d: %d members recorded but community %d has %d", i, numMembers, comm, want)
 		}
-		coverCount, err := get32()
+		if threshold < 1 || threshold > numMembers {
+			return fmt.Errorf("ric: sample %d: threshold %d out of [1, %d members]", i, threshold, numMembers)
+		}
+		coverCount, err := get32(fmt.Sprintf("sample %d cover count", i))
 		if err != nil {
 			return err
 		}
 		if int(coverCount) > p.g.NumNodes() {
-			return fmt.Errorf("ric: sample %d: %d covers exceed node count", i, coverCount)
+			return fmt.Errorf("ric: sample %d: %d covers exceed node count %d", i, coverCount, p.g.NumNodes())
 		}
 		id := int32(len(p.samples))
 		p.samples = append(p.samples, Sample{
@@ -184,24 +193,28 @@ func (p *Pool) ReadInto(r io.Reader) error {
 			TouchCount: int32(coverCount),
 		})
 		p.commFreq[comm]++
+		wantWords := (uint32(numMembers) + maskWordBits - 1) / maskWordBits
 		for c := uint32(0); c < coverCount; c++ {
-			node, err := get32()
+			node, err := get32(fmt.Sprintf("sample %d cover %d node", i, c))
 			if err != nil {
 				return err
 			}
 			if int(node) >= p.g.NumNodes() {
-				return fmt.Errorf("ric: sample %d: node %d out of range", i, node)
+				return fmt.Errorf("ric: sample %d: cover node %d out of range [0, %d)", i, node, p.g.NumNodes())
 			}
-			words, err := get32()
+			words, err := get32(fmt.Sprintf("sample %d cover %d mask width", i, c))
 			if err != nil {
 				return err
 			}
-			if words > 1+(numMembers/64) {
-				return fmt.Errorf("ric: sample %d: mask of %d words for %d members", i, words, numMembers)
+			// Masks carry one bit per member, so the width is fully
+			// determined; a short mask would later index out of range in
+			// the solvers, a long one would corrupt union counts.
+			if words != wantWords {
+				return fmt.Errorf("ric: sample %d: mask of %d words for %d members (want %d)", i, words, numMembers, wantWords)
 			}
 			mask := make(Mask, words)
 			for wi := range mask {
-				word, err := get64()
+				word, err := get64(fmt.Sprintf("sample %d cover %d mask word %d", i, c, wi))
 				if err != nil {
 					return err
 				}
@@ -211,4 +224,14 @@ func (p *Pool) ReadInto(r io.Reader) error {
 		}
 	}
 	return nil
+}
+
+// noEOF normalizes a bare io.EOF from a partial ReadFull into
+// io.ErrUnexpectedEOF: inside a declared record, running out of bytes
+// is always truncation, never a clean end of stream.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
 }

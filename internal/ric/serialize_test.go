@@ -2,6 +2,7 @@ package ric
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"imc/internal/community"
@@ -96,5 +97,81 @@ func TestPoolReadIntoValidation(t *testing.T) {
 	}
 	if err := fresh.ReadInto(bytes.NewReader(good[:len(good)/2])); err == nil {
 		t.Fatal("want truncation error")
+	}
+}
+
+// TestReadIntoRejectsCorrupt corrupts one field at a time in a valid
+// encoding and asserts the decoder names the problem instead of
+// accepting garbage or panicking. Offsets follow the documented layout:
+// 32-byte header (magic 0, version 4, n 8, r 16, count 24), then per
+// sample comm/threshold/members/covers at +0/+4/+8/+12 and the first
+// cover's node/words at +16/+20.
+func TestReadIntoRejectsCorrupt(t *testing.T) {
+	g, part := smallInstance(t)
+	pool := buildPool(t, g, part, 20, 5)
+	var buf bytes.Buffer
+	if err := pool.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	put32 := func(b []byte, off int, v uint32) {
+		b[off], b[off+1], b[off+2], b[off+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	}
+
+	cases := []struct {
+		name    string
+		mutate  func(b []byte) []byte
+		wantSub string
+	}{
+		{"truncated header", func(b []byte) []byte { return b[:20] }, "truncated reading community count"},
+		{"truncated mid-sample", func(b []byte) []byte { return b[:34] }, "truncated reading sample 0 community"},
+		{"truncated mid-mask", func(b []byte) []byte { return b[:len(b)-3] }, "truncated"},
+		{"bad version", func(b []byte) []byte { put32(b, 4, 99); return b }, "unsupported pool version 99"},
+		{"community out of range", func(b []byte) []byte { put32(b, 32, 1<<30); return b }, "out of range"},
+		{"zero threshold", func(b []byte) []byte { put32(b, 36, 0); return b }, "threshold 0 out of [1, 3 members]"},
+		{"threshold above members", func(b []byte) []byte { put32(b, 36, 9); return b }, "threshold 9 out of [1, 3 members]"},
+		{"member count mismatch", func(b []byte) []byte { put32(b, 40, 4); return b }, "members recorded but community"},
+		{"cover count overflow", func(b []byte) []byte { put32(b, 44, 1<<27); return b }, "covers exceed node count"},
+		{"mask width mismatch", func(b []byte) []byte { put32(b, 52, 7); return b }, "mask of 7 words for 3 members (want 1)"},
+		{"absurd sample count", func(b []byte) []byte { put32(b, 24, 1 << 31); put32(b, 28, 0); return b }, "sample count 2147483648 out of range"},
+		{"declared samples missing", func(b []byte) []byte { put32(b, 24, 1 << 20); return b }, "truncated"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := NewPool(g, part, PoolOptions{Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			data := tc.mutate(append([]byte(nil), good...))
+			err = p.ReadInto(bytes.NewReader(data))
+			if err == nil {
+				t.Fatal("corrupt snapshot accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+
+	// Exhaustive no-panic sweep: every truncation point and a bit flip
+	// at every offset must decode to an error or a valid pool — never a
+	// panic or a hang.
+	for cut := 0; cut < len(good); cut++ {
+		p, err := NewPool(g, part, PoolOptions{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.ReadInto(bytes.NewReader(good[:cut])); err == nil {
+			t.Fatalf("truncation at %d of %d accepted", cut, len(good))
+		}
+	}
+	for off := 0; off < len(good); off++ {
+		flipped := append([]byte(nil), good...)
+		flipped[off] ^= 0x10
+		p, err := NewPool(g, part, PoolOptions{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = p.ReadInto(bytes.NewReader(flipped)) // error or not: just must not panic
 	}
 }

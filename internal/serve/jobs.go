@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"errors"
+	"net/http"
+
+	"imc/internal/job"
+	"imc/internal/stats"
+)
+
+// Job endpoints. Synchronous /solve sheds anything that cannot finish
+// inside one request deadline; /v1/jobs is the escape hatch: submit
+// the same spec as a durable job, poll its status, and fetch the
+// result when a worker finishes it — across process restarts if
+// necessary, since interrupted jobs resume from their last checkpoint.
+//
+//	POST   /v1/jobs             submit (idempotent via key)
+//	GET    /v1/jobs             list all jobs
+//	GET    /v1/jobs/{id}        status
+//	GET    /v1/jobs/{id}/result terminal result (409 until succeeded)
+//	DELETE /v1/jobs/{id}        cancel
+
+// JobSubmitRequest is the POST /v1/jobs body: a job spec plus an
+// optional idempotency key (the Idempotency-Key header wins when both
+// are set). Resubmitting the same key returns the original job with
+// status 200 instead of creating a duplicate (201).
+type JobSubmitRequest struct {
+	job.Spec
+	Key string `json:"key,omitempty"`
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobSubmitRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, kindValidation, err)
+		return
+	}
+	key := req.Key
+	if h := r.Header.Get("Idempotency-Key"); h != "" {
+		key = h
+	}
+	j, created, err := s.jobStore.Submit(req.Spec, key)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, kindValidation, err)
+		return
+	}
+	status := http.StatusOK
+	if created {
+		status = http.StatusCreated
+		s.jobPool.Enqueue(j.ID)
+	}
+	writeJSON(w, status, j)
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.jobStore.List())
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j, err := s.jobStore.Get(r.PathValue("id"))
+	if err != nil {
+		writeJobError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	res, err := s.jobStore.Result(id)
+	if errors.Is(err, job.ErrNotFound) {
+		writeJobError(w, err)
+		return
+	}
+	if err != nil {
+		// The job exists but has not succeeded (yet): a state conflict,
+		// not a client mistake — poll GET /v1/jobs/{id} until it settles.
+		writeError(w, http.StatusConflict, kindConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := s.jobPool.Cancel(id); err != nil {
+		writeJobError(w, err)
+		return
+	}
+	// Report the post-cancel view: canceled for pending jobs, still
+	// running (canceled soon) or already terminal otherwise.
+	j, err := s.jobStore.Get(id)
+	if err != nil {
+		writeJobError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+// writeJobError maps store lookup failures: unknown IDs are 404,
+// anything else is internal.
+func writeJobError(w http.ResponseWriter, err error) {
+	if errors.Is(err, job.ErrNotFound) {
+		writeError(w, http.StatusNotFound, kindNotFound, err)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, kindInternal, err)
+}
+
+// registerJobRoutes mounts the job endpoints; called from Handler only
+// when a job store is configured.
+func (s *Server) registerJobRoutes(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+}
+
+// JobMetrics is the /metrics jobs section.
+type JobMetrics struct {
+	QueueDepth int            `json:"queueDepth"`
+	Running    int            `json:"running"`
+	States     map[string]int `json:"states"`
+	// RunSeconds is the completed-run duration histogram; p50/p95/p99
+	// are derived from the same buckets.
+	RunSeconds stats.HistogramSnapshot `json:"runSeconds"`
+}
+
+func (s *Server) jobMetrics() *JobMetrics {
+	if s.jobPool == nil {
+		return nil
+	}
+	st := s.jobPool.Stats()
+	states := make(map[string]int, len(st.States))
+	for k, v := range st.States {
+		states[string(k)] = v
+	}
+	return &JobMetrics{
+		QueueDepth: st.QueueDepth,
+		Running:    st.Running,
+		States:     states,
+		RunSeconds: st.RunSeconds,
+	}
+}

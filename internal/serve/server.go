@@ -10,6 +10,8 @@
 //	GET  /datasets   dataset registry with Table I statistics
 //	POST /solve      select seeds {dataset, alg, k, ...} → {seeds, ...}
 //	POST /estimate   score a given seed set on an instance
+//	POST /v1/jobs    submit an async solve job (see jobs.go; requires a
+//	                 configured job store)
 package serve
 
 import (
@@ -27,6 +29,8 @@ import (
 	"imc/internal/clock"
 	"imc/internal/expt"
 	"imc/internal/gen"
+	"imc/internal/job"
+	"imc/internal/stats"
 )
 
 // Config tunes the server's robustness knobs.
@@ -40,6 +44,11 @@ type Config struct {
 	// excess requests are shed with 429 + Retry-After. Zero or negative
 	// means GOMAXPROCS.
 	MaxInflight int
+	// JobStore and JobPool, when both set, enable the async /v1/jobs
+	// endpoints. The caller owns their lifecycle (Start, Shutdown,
+	// Close); the server only submits, queries, and cancels.
+	JobStore *job.Store
+	JobPool  *job.Pool
 }
 
 // DefaultSolveTimeout is the per-request deadline when none is set.
@@ -73,10 +82,17 @@ type Server struct {
 
 	// Request counters for /metrics, keyed by registered route (anything
 	// else is bucketed under "other" so path scans can't grow the maps).
+	// latency holds per-route request-duration histograms for the
+	// compute-heavy routes, guarded by the same mutex.
 	statsMu   sync.Mutex
 	requests  map[string]int64
 	errors4xx map[string]int64
 	errors5xx map[string]int64
+	latency   map[string]*stats.Histogram
+
+	// jobStore/jobPool are nil unless Config enabled the job endpoints.
+	jobStore *job.Store
+	jobPool  *job.Pool
 }
 
 // buildResult is one singleflight build slot. inst and err are written
@@ -112,7 +128,7 @@ func NewWithOptions(logger *slog.Logger, now clock.Func, cfg Config) *Server {
 	if cfg.MaxInflight <= 0 {
 		cfg.MaxInflight = runtime.GOMAXPROCS(0)
 	}
-	return &Server{
+	s := &Server{
 		logger:        logger,
 		now:           now,
 		start:         now(),
@@ -125,7 +141,16 @@ func NewWithOptions(logger *slog.Logger, now clock.Func, cfg Config) *Server {
 		requests:      make(map[string]int64),
 		errors4xx:     make(map[string]int64),
 		errors5xx:     make(map[string]int64),
+		latency:       make(map[string]*stats.Histogram, len(latencyRoutes)),
 	}
+	for route := range latencyRoutes {
+		s.latency[route] = stats.NewLatencyHistogram()
+	}
+	if cfg.JobStore != nil && cfg.JobPool != nil {
+		s.jobStore = cfg.JobStore
+		s.jobPool = cfg.JobPool
+	}
+	return s
 }
 
 // routes is the set of registered paths; /metrics counters collapse
@@ -138,12 +163,25 @@ var routes = map[string]bool{
 	"/budgeted": true,
 	"/trace":    true,
 	"/metrics":  true,
+	"/v1/jobs":  true,
 }
 
-// metricsPath maps a request path to its counter key.
+// latencyRoutes is the subset of routes whose request durations feed a
+// latency histogram (the ones where tail latency is worth watching).
+var latencyRoutes = map[string]bool{
+	"/solve":    true,
+	"/estimate": true,
+	"/budgeted": true,
+}
+
+// metricsPath maps a request path to its counter key. All /v1/jobs/…
+// subpaths share one key so per-job IDs cannot grow the counter maps.
 func metricsPath(p string) string {
 	if routes[p] {
 		return p
+	}
+	if strings.HasPrefix(p, "/v1/jobs/") {
+		return "/v1/jobs"
 	}
 	return "other"
 }
@@ -159,6 +197,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /budgeted", s.heavy(s.handleBudgeted))
 	mux.HandleFunc("POST /trace", s.handleTrace)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.jobStore != nil {
+		s.registerJobRoutes(mux)
+	}
 	return s.logRequests(mux)
 }
 
@@ -207,6 +248,7 @@ func (s *Server) logRequests(next http.Handler) http.Handler {
 		start := s.now()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		next.ServeHTTP(rec, r)
+		elapsed := s.now().Sub(start)
 		key := metricsPath(r.URL.Path)
 		s.statsMu.Lock()
 		s.requests[key]++
@@ -216,10 +258,13 @@ func (s *Server) logRequests(next http.Handler) http.Handler {
 		case rec.status >= 400:
 			s.errors4xx[key]++
 		}
+		if h := s.latency[key]; h != nil {
+			h.Observe(elapsed.Seconds())
+		}
 		s.statsMu.Unlock()
 		s.logger.Info("request",
 			"method", r.Method, "path", r.URL.Path,
-			"status", rec.status, "elapsed", s.now().Sub(start))
+			"status", rec.status, "elapsed", elapsed)
 	})
 }
 
@@ -233,6 +278,12 @@ type Metrics struct {
 	Errors4xx       map[string]int64 `json:"errors4xx"`
 	Errors5xx       map[string]int64 `json:"errors5xx"`
 	CachedInstances int              `json:"cachedInstances"`
+	// LatencySeconds holds per-route request-duration histograms for
+	// the heavy endpoints, with p50/p95/p99 derived from the buckets.
+	LatencySeconds map[string]stats.HistogramSnapshot `json:"latencySeconds"`
+	// Jobs reports the async job subsystem; absent when jobs are not
+	// configured.
+	Jobs *JobMetrics `json:"jobs,omitempty"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -252,6 +303,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		e5[k] = v
 		combined[k] += v
 	}
+	lat := make(map[string]stats.HistogramSnapshot, len(s.latency))
+	for k, h := range s.latency {
+		lat[k] = h.Snapshot()
+	}
 	s.statsMu.Unlock()
 	s.mu.Lock()
 	cached := len(s.cache)
@@ -263,6 +318,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		Errors4xx:       e4,
 		Errors5xx:       e5,
 		CachedInstances: cached,
+		LatencySeconds:  lat,
+		Jobs:            s.jobMetrics(),
 	})
 }
 
@@ -634,6 +691,8 @@ const (
 	kindTimeout    = "timeout"
 	kindOverloaded = "overloaded"
 	kindInternal   = "internal"
+	kindNotFound   = "not-found"
+	kindConflict   = "conflict"
 )
 
 func writeError(w http.ResponseWriter, status int, kind string, err error) {
