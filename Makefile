@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint graph api test race bench fuzz jobs-test experiments examples clean
+.PHONY: all build vet lint lint-bench graph api test race bench fuzz jobs-test experiments examples clean
 
 all: build vet lint test
 
@@ -15,7 +15,13 @@ vet:
 lint:
 	$(GO) run ./cmd/imclint ./...
 
-# Dump the whole-program call graph with per-function effect summaries.
+# Time each analyzer over the whole module and record the call/lock
+# graph sizes it ran against.
+lint-bench:
+	$(GO) run ./cmd/imclint -bench BENCH_lint.json ./...
+
+# Dump the whole-program call graph with per-function effect summaries
+# and the lock-order graph.
 graph:
 	$(GO) run ./cmd/imclint -graph ./...
 

@@ -1,4 +1,4 @@
-// Command imclint runs the repository's static-analysis suite: fourteen
+// Command imclint runs the repository's static-analysis suite: eighteen
 // analyzers built on go/parser, go/ast, and go/types that machine-check
 // the determinism, concurrency, allocation, layering, and numeric
 // invariants the RIC-sampling guarantees depend on (see DESIGN.md,
@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	imclint [-check name,name] [-list] [-graph] [-update-api] [-json] [-baseline file] [packages]
+//	imclint [-check name,name] [-list] [-graph] [-update-api] [-json] [-baseline file] [-bench file] [packages]
 //
 // Packages default to ./... relative to the enclosing module. Exit
 // status is 1 when any diagnostic fires, 0 on a clean tree, 2 on usage
@@ -15,9 +15,12 @@
 // line above; the suite reports stale or malformed suppressions itself.
 //
 // -graph dumps the whole-program call graph (node/edge/SCC stats, then
-// one entry per function with its effect summary and resolved callees)
-// and exits. -update-api regenerates the exported-API snapshot the
-// apisurface analyzer checks against.
+// one entry per function with its effect summary and resolved callees,
+// followed by the lock-order graph: witness edges and any cycles) and
+// exits. -update-api regenerates the exported-API snapshot the
+// apisurface analyzer checks against. -bench additionally writes a
+// BENCH_lint.json-shaped file with per-analyzer wall time, findings
+// count, and the call/lock graph sizes.
 //
 // -json emits a {"callgraph": stats, "findings": [...]} object (the
 // findings array is the shape -baseline consumes; -baseline also still
@@ -36,6 +39,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"imc/internal/lint"
 )
@@ -65,6 +69,7 @@ func (f finding) key() string {
 // findings were computed against.
 type report struct {
 	CallGraph lint.CallGraphStats `json:"callgraph"`
+	LockGraph lint.LockGraphStats `json:"lockgraph"`
 	Findings  []finding           `json:"findings"`
 }
 
@@ -78,6 +83,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		updateAPI = fs.Bool("update-api", false, "regenerate the exported-API snapshot and exit")
 		jsonOut   = fs.Bool("json", false, "emit callgraph stats + findings as JSON")
 		baseline  = fs.String("baseline", "", "JSON findings file; matching findings are not reported")
+		bench     = fs.String("bench", "", "write per-analyzer wall time + findings counts to this JSON file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -137,6 +143,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *graph {
 		var b strings.Builder
 		prog.Graph.Dump(&b)
+		prog.DumpLocks(&b)
 		io.WriteString(stdout, b.String())
 		return 0
 	}
@@ -174,10 +181,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	if *bench != "" {
+		if err := writeBench(*bench, prog, pkgs, loader, analyzers, findings); err != nil {
+			fmt.Fprintln(stderr, "imclint:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *bench)
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(report{CallGraph: prog.Graph.Stats(), Findings: findings}); err != nil {
+		if err := enc.Encode(report{CallGraph: prog.Graph.Stats(), LockGraph: prog.LockStats(), Findings: findings}); err != nil {
 			fmt.Fprintln(stderr, "imclint:", err)
 			return 2
 		}
@@ -190,6 +205,64 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// benchEntry is one analyzer's row in the -bench report.
+type benchEntry struct {
+	Name     string  `json:"name"`
+	Kind     string  `json:"kind"`
+	Millis   float64 `json:"millis"`
+	Findings int     `json:"findings"`
+}
+
+// benchReport is the -bench output shape: per-analyzer wall time and
+// reported-findings count, plus the sizes of the interprocedural
+// structures the expensive analyzers run against.
+type benchReport struct {
+	Packages  int                 `json:"packages"`
+	CallGraph lint.CallGraphStats `json:"callgraph"`
+	LockGraph lint.LockGraphStats `json:"lockgraph"`
+	Analyzers []benchEntry        `json:"analyzers"`
+}
+
+// writeBench times each analyzer in isolation across every loaded
+// package (respecting the same per-package gating the real run uses)
+// and writes the report to path. Timing runs after the real findings
+// pass, so the program-wide caches (call graph, lock info) are warm and
+// the numbers measure the analyzers themselves, not one lucky analyzer
+// paying for shared construction. Findings counts come from the real
+// pass — the timing runs re-execute analyzers one at a time, which
+// would double-count suppression hygiene.
+func writeBench(path string, prog *lint.Program, pkgs []*lint.Package, loader *lint.Loader, analyzers []*lint.Analyzer, findings []finding) error {
+	perCheck := make(map[string]int)
+	for _, f := range findings {
+		perCheck[f.Check]++
+	}
+	rep := benchReport{
+		Packages:  len(pkgs),
+		CallGraph: prog.Graph.Stats(),
+		LockGraph: prog.LockStats(),
+	}
+	for _, a := range analyzers {
+		start := time.Now()
+		for _, pkg := range pkgs {
+			if len(lint.AnalyzersFor(loader.ModulePath, pkg.Path, []*lint.Analyzer{a})) == 0 {
+				continue
+			}
+			lint.Run(pkg, []*lint.Analyzer{a})
+		}
+		rep.Analyzers = append(rep.Analyzers, benchEntry{
+			Name:     a.Name,
+			Kind:     string(a.Kind),
+			Millis:   float64(time.Since(start).Microseconds()) / 1e3,
+			Findings: perCheck[a.Name],
+		})
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // fullModuleLoad reports whether the package arguments cover the whole

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 	"time"
 )
 
@@ -49,11 +50,41 @@ type journalRecord struct {
 	Samples   int `json:"samples,omitempty"`
 }
 
-// journal wraps the append handle. Not safe for concurrent use; the
-// store serializes access under its own mutex.
+// journal is the append handle, split into two halves so the store
+// never fsyncs inside its own mutex (the lockheld analyzer's canonical
+// stall: every Get/List would queue behind disk latency):
+//
+//   - stage() runs under Store.mu: it marshals the record into the
+//     pending buffer and issues a ticket. Buffer order therefore
+//     matches the order state changes were applied, which is what
+//     replay depends on.
+//   - commit(ticket) runs AFTER Store.mu is released: it swaps the
+//     pending buffer out and pays for write+flush+fsync under the
+//     journal's own writer lock. A commit that finds its ticket
+//     already synced piggybacks on an earlier caller's fsync — under
+//     contention the journal group-commits many records per sync.
+//
+// Durability semantics are unchanged for callers: a method returns
+// only after its record is on disk. What changes on failure: the
+// in-memory transition has already been published when commit fails,
+// so the caller gets the error while memory runs ahead of disk. The
+// sticky werr then fails every later mutation, freezing the store
+// until restart — at which point replay rewinds to the last synced
+// record and the interrupted jobs resume from checkpoints.
 type journal struct {
-	file *os.File
-	bw   *bufio.Writer
+	// Staging half, guarded by smu (taken with Store.mu held; always
+	// innermost, so the lock-order graph stays acyclic).
+	smu     sync.Mutex
+	pending []byte //imc:guardedby smu
+	staged  uint64 //imc:guardedby smu — tickets issued
+
+	// Writer half, guarded by mu — deliberately held across the fsync
+	// so concurrent commits batch behind one sync.
+	mu     sync.Mutex
+	file   *os.File      //imc:guardedby mu
+	bw     *bufio.Writer //imc:guardedby mu
+	synced uint64        //imc:guardedby mu — tickets durably on disk
+	werr   error         //imc:guardedby mu — sticky write/sync failure
 }
 
 // replayJournal reads every intact record from path, reporting the
@@ -109,17 +140,61 @@ func openJournal(path string, intactBytes int64) (*journal, error) {
 	return &journal{file: f, bw: bufio.NewWriter(f)}, nil
 }
 
-// append writes one record durably: marshal, write, flush, fsync. Job
-// submission rates are nowhere near fsync throughput, and a lost
-// transition means a job silently re-runs or vanishes on restart, so
-// the journal always pays for durability.
-func (j *journal) append(rec journalRecord) error {
+// stage marshals one record into the pending buffer and returns its
+// commit ticket. Callers stage under Store.mu (so buffer order matches
+// in-memory apply order) and pass the ticket to commit after releasing
+// it. A marshal failure stages nothing — the caller can still roll
+// back its in-memory change.
+func (j *journal) stage(rec journalRecord) (uint64, error) {
 	raw, err := json.Marshal(rec)
 	if err != nil {
-		return fmt.Errorf("job: marshal journal record: %w", err)
+		return 0, fmt.Errorf("job: marshal journal record: %w", err)
 	}
-	raw = append(raw, '\n')
-	if _, err := j.bw.Write(raw); err != nil {
+	j.smu.Lock()
+	defer j.smu.Unlock()
+	j.pending = append(j.pending, raw...)
+	j.pending = append(j.pending, '\n')
+	j.staged++
+	return j.staged, nil
+}
+
+// commit makes every record up to ticket durable. The fast path — a
+// concurrent commit already synced past the ticket — returns without
+// touching the file. Job submission rates are nowhere near fsync
+// throughput, and a lost transition means a job silently re-runs or
+// vanishes on restart, so the journal always pays for durability; the
+// group-commit batching just makes contenders share one payment.
+func (j *journal) commit(ticket uint64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.werr != nil {
+		return j.werr
+	}
+	if j.synced >= ticket {
+		return nil
+	}
+	j.smu.Lock()
+	buf := j.pending
+	top := j.staged
+	j.pending = nil
+	j.smu.Unlock()
+	if len(buf) > 0 {
+		//lint:allow lockheld: the writer mutex exists to serialize exactly this fsync; holding it across the sync is how commits batch, and nothing else ever waits on it except other commits
+		if err := j.flushAndSync(buf); err != nil {
+			j.werr = err
+			return err
+		}
+	}
+	j.synced = top
+	return nil
+}
+
+// flushAndSync pushes buf through the buffered writer to the kernel
+// and fsyncs. Called with j.mu held.
+//
+//imc:locked mu
+func (j *journal) flushAndSync(buf []byte) error {
+	if _, err := j.bw.Write(buf); err != nil {
 		return fmt.Errorf("job: append journal: %w", err)
 	}
 	if err := j.bw.Flush(); err != nil {
@@ -131,13 +206,36 @@ func (j *journal) append(rec journalRecord) error {
 	return nil
 }
 
+// append stages and immediately commits one record — the single-
+// threaded path (Open's replay demotions), where there is nothing to
+// batch with.
+func (j *journal) append(rec journalRecord) error {
+	ticket, err := j.stage(rec)
+	if err != nil {
+		return err
+	}
+	return j.commit(ticket)
+}
+
+// close flushes anything still staged and releases the file handle.
+// Single-caller contract (Store.Close): no commits may be in flight.
 func (j *journal) close() error {
-	if j == nil || j.file == nil {
+	if j == nil {
 		return nil
 	}
-	if err := j.bw.Flush(); err != nil {
-		j.file.Close()
-		return fmt.Errorf("job: flush journal on close: %w", err)
+	j.smu.Lock()
+	top := j.staged
+	j.smu.Unlock()
+	cerr := j.commit(top)
+	j.mu.Lock()
+	f := j.file
+	j.file = nil
+	j.mu.Unlock()
+	if f == nil {
+		return cerr
 	}
-	return j.file.Close()
+	if ferr := f.Close(); cerr == nil && ferr != nil {
+		return fmt.Errorf("job: close journal: %w", ferr)
+	}
+	return cerr
 }

@@ -32,28 +32,29 @@ type PoolOptions struct {
 // boundary; interrupted jobs return to pending and resume from their
 // checkpoint on the next Start.
 type Pool struct {
-	store   *Store
-	workers int
-	now     clock.Func
-	log     *slog.Logger
-	build   func(expt.InstanceConfig) (*expt.Instance, error)
+	store   *Store                                           //imc:guardedby immutable
+	workers int                                              //imc:guardedby immutable
+	now     clock.Func                                       //imc:guardedby immutable
+	log     *slog.Logger                                     //imc:guardedby immutable
+	build   func(expt.InstanceConfig) (*expt.Instance, error) //imc:guardedby immutable
 
-	baseCtx    context.Context
-	baseCancel context.CancelFunc
+	baseCtx    context.Context    //imc:guardedby immutable
+	baseCancel context.CancelFunc //imc:guardedby immutable
 	wg         sync.WaitGroup
 
 	mu        sync.Mutex
-	cond      *sync.Cond
-	queue     []string
-	queued    map[string]bool
-	running   map[string]*runHandle
-	draining  bool
-	started   bool
-	durations *stats.Histogram // completed-run durations, seconds
+	cond      *sync.Cond            //imc:guardedby immutable — set once in NewPool
+	queue     []string              //imc:guardedby mu
+	queued    map[string]bool       //imc:guardedby mu
+	running   map[string]*runHandle //imc:guardedby mu
+	draining  bool                  //imc:guardedby mu
+	started   bool                  //imc:guardedby mu
+	durations *stats.Histogram      //imc:guardedby mu — completed-run durations, seconds
 
 	// checkpointHook, when set before Start, observes every durable
 	// checkpoint. Tests use it to interrupt a solve at a deterministic
-	// boundary (the crash/resume integration test).
+	// boundary (the crash/resume integration test). Deliberately
+	// unannotated: the set-before-Start contract, not a lock, orders it.
 	checkpointHook func(id string, cp core.Checkpoint)
 }
 
@@ -117,6 +118,7 @@ func (p *Pool) Enqueue(id string) {
 	p.enqueueLocked(id)
 }
 
+//imc:locked mu
 func (p *Pool) enqueueLocked(id string) {
 	if p.queued[id] || p.running[id] != nil || p.draining {
 		return

@@ -20,15 +20,15 @@ import (
 // per-job side files, and the whole state is rebuilt by replay on Open.
 // All methods are safe for concurrent use.
 type Store struct {
-	dir string
-	now clock.Func
+	dir string     //imc:guardedby immutable
+	now clock.Func //imc:guardedby immutable
 
 	mu    sync.Mutex
-	jl    *journal
-	jobs  map[string]*Job
-	order []string          // job IDs in submission order
-	byKey map[string]string // idempotency key → job ID
-	seq   int
+	jl    *journal          //imc:guardedby mu
+	jobs  map[string]*Job   //imc:guardedby mu
+	order []string          //imc:guardedby mu — job IDs in submission order
+	byKey map[string]string //imc:guardedby mu — idempotency key → job ID
+	seq   int               //imc:guardedby mu
 }
 
 // ErrNotFound reports an unknown job ID.
@@ -79,7 +79,9 @@ func Open(dir string, now clock.Func) (*Store, error) {
 }
 
 // apply folds one journal record into the in-memory state during
-// replay.
+// replay, before the store is visible to any other goroutine.
+//
+//imc:prepublish
 func (s *Store) apply(rec journalRecord) error {
 	switch rec.Op {
 	case opSubmit:
@@ -141,10 +143,11 @@ func (s *Store) Submit(spec Spec, key string) (*Job, bool, error) {
 		return nil, false, err
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if key != "" {
 		if id, ok := s.byKey[key]; ok {
-			return s.jobs[id].clone(), false, nil
+			out := s.jobs[id].clone()
+			s.mu.Unlock()
+			return out, false, nil
 		}
 	}
 	s.seq++
@@ -155,10 +158,12 @@ func (s *Store) Submit(spec Spec, key string) (*Job, bool, error) {
 		State:       StatePending,
 		SubmittedAt: s.now(),
 	}
-	if err := s.jl.append(journalRecord{
+	ticket, err := s.jl.stage(journalRecord{
 		Op: opSubmit, ID: j.ID, At: j.SubmittedAt, Key: key, Spec: &spec,
-	}); err != nil {
+	})
+	if err != nil {
 		s.seq--
+		s.mu.Unlock()
 		return nil, false, err
 	}
 	s.jobs[j.ID] = j
@@ -166,7 +171,15 @@ func (s *Store) Submit(spec Spec, key string) (*Job, bool, error) {
 	if key != "" {
 		s.byKey[key] = j.ID
 	}
-	return j.clone(), true, nil
+	out := j.clone()
+	jl := s.jl
+	s.mu.Unlock()
+	// Durability outside the lock: concurrent submissions group-commit
+	// behind one fsync instead of serializing reads behind the disk.
+	if err := jl.commit(ticket); err != nil {
+		return nil, false, err
+	}
+	return out, true, nil
 }
 
 // Get returns a copy of the job, or ErrNotFound.
@@ -216,25 +229,32 @@ func (s *Store) StateCounts() map[State]int {
 	return out
 }
 
-// transition validates and journals a state change under the lock.
+// transition validates and applies a state change under the lock,
+// staging the journal record inside it and committing outside — the
+// caller observes the old durable contract (no return before fsync)
+// without other store calls queueing behind the disk.
 func (s *Store) transition(id string, from, to State, errMsg string, bumpResumes bool) (*Job, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
 	if !ok {
+		s.mu.Unlock()
 		return nil, ErrNotFound
 	}
 	if j.State != from {
-		return nil, fmt.Errorf("job: %s is %s, not %s", id, j.State, from)
+		state := j.State
+		s.mu.Unlock()
+		return nil, fmt.Errorf("job: %s is %s, not %s", id, state, from)
 	}
 	resumes := j.Resumes
 	if bumpResumes {
 		resumes++
 	}
 	at := s.now()
-	if err := s.jl.append(journalRecord{
+	ticket, err := s.jl.stage(journalRecord{
 		Op: opState, ID: id, At: at, State: to, Error: errMsg, Resumes: resumes,
-	}); err != nil {
+	})
+	if err != nil {
+		s.mu.Unlock()
 		return nil, err
 	}
 	j.State = to
@@ -246,7 +266,13 @@ func (s *Store) transition(id string, from, to State, errMsg string, bumpResumes
 	case StateSucceeded, StateFailed, StateCanceled:
 		j.FinishedAt = at
 	}
-	return j.clone(), nil
+	out := j.clone()
+	jl := s.jl
+	s.mu.Unlock()
+	if err := jl.commit(ticket); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // MarkRunning claims a pending job for a worker.
@@ -342,19 +368,23 @@ func (s *Store) SaveCheckpoint(id string, cp core.Checkpoint) error {
 		return err
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	j, ok = s.jobs[id]
 	if !ok {
+		s.mu.Unlock()
 		return ErrNotFound
 	}
 	info := &CheckpointInfo{Doublings: cp.Doublings, Samples: cp.Pool.NumSamples()}
-	if err := s.jl.append(journalRecord{
+	ticket, err := s.jl.stage(journalRecord{
 		Op: opCheckpoint, ID: id, At: s.now(), Doublings: info.Doublings, Samples: info.Samples,
-	}); err != nil {
+	})
+	if err != nil {
+		s.mu.Unlock()
 		return err
 	}
 	j.Checkpoint = info
-	return nil
+	jl := s.jl
+	s.mu.Unlock()
+	return jl.commit(ticket)
 }
 
 // LoadCheckpoint restores the job's latest checkpoint against the
@@ -411,11 +441,13 @@ func (s *Store) DropCheckpoint(id string) error {
 // Dir returns the store's directory.
 func (s *Store) Dir() string { return s.dir }
 
-// Close releases the journal handle. The store must not be used after.
+// Close flushes and releases the journal handle. The store must not be
+// used after: no method may hold a commit in flight when Close runs.
 func (s *Store) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.jl.close()
+	jl := s.jl
+	s.mu.Unlock()
+	return jl.close()
 }
 
 // writeFileAtomic writes data to path via a synced temp file and

@@ -18,6 +18,10 @@ var All = []*Analyzer{
 	Layering,
 	APISurface,
 	Exhaustive,
+	ChanCtx,
+	GuardedBy,
+	LockHeld,
+	LockOrder,
 }
 
 // ByName resolves a comma-separated analyzer list ("determinism,printer").
@@ -80,7 +84,11 @@ const clockPackage = "/internal/clock"
 //     have no API consumers);
 //   - exhaustive: the dispatch packages (expt, serve) whose switches
 //     route on registered algorithm/scheme const sets;
-//   - goroutineleak, ctxfirst, errflow, sharemut, layering: everywhere.
+//   - chanctx, guardedby, lockheld: library packages only (cmd/
+//     binaries hold no long-lived locks and their signal-wait selects
+//     are the process's own lifetime, not a leaked goroutine's);
+//   - goroutineleak, ctxfirst, errflow, sharemut, layering, lockorder:
+//     everywhere (a lock-order cycle is a deadlock wherever it lives).
 func AnalyzersFor(modulePath, path string, candidates []*Analyzer) []*Analyzer {
 	lib := isLibraryPackage(modulePath, path)
 	var out []*Analyzer
@@ -90,7 +98,8 @@ func AnalyzersFor(modulePath, path string, candidates []*Analyzer) []*Analyzer {
 			if lib && path != modulePath+clockPackage {
 				out = append(out, a)
 			}
-		case "floatcompare", "printer", "allocfree", "purity", "ctxplumb", "apisurface":
+		case "floatcompare", "printer", "allocfree", "purity", "ctxplumb", "apisurface",
+			"chanctx", "guardedby", "lockheld":
 			if lib {
 				out = append(out, a)
 			}

@@ -18,17 +18,36 @@ import (
 //	                  point; the ctxplumb analyzer requires it to take
 //	                  context.Context first and to forward that context
 //	                  to any longrun callee.
+//	//imc:guardedby <mutex|immutable>
+//	                — a STRUCT FIELD directive: every access to the
+//	                  field must sit on a path dominated by
+//	                  <receiver>.<mutex>.Lock() (RLock suffices for
+//	                  reads); "immutable" instead forbids writes outside
+//	                  construction. Enforced by the guardedby analyzer.
+//	//imc:locked <mutex>
+//	                — the function must only be called with the named
+//	                  receiver mutex already held (the *Locked helper
+//	                  idiom); its body is checked as if the guard were
+//	                  held, and its callers are checked to hold it.
+//	//imc:prepublish
+//	                — the function runs before its receiver is
+//	                  published to other goroutines (construction or
+//	                  replay); guardedby skips it.
 //
 // Grammar: the directive must be its own comment line, attached to the
 // function declaration (in its doc comment or on the line of / above
-// the func keyword), exactly `//imc:<name>` with optional trailing
-// prose after a space. Like `//go:` directives there is no space after
-// the slashes.
+// the func keyword) — or, for guardedby, to a struct field (doc or
+// trailing line comment) — exactly `//imc:<name>` with an optional
+// argument and trailing prose after a space. Like `//go:` directives
+// there is no space after the slashes.
 
 const (
-	directiveHotPath = "hotpath"
-	directivePure    = "pure"
-	directiveLongRun = "longrun"
+	directiveHotPath    = "hotpath"
+	directivePure       = "pure"
+	directiveLongRun    = "longrun"
+	directiveGuardedBy  = "guardedby"
+	directiveLocked     = "locked"
+	directivePrepublish = "prepublish"
 )
 
 // parseDirective extracts the name of an `//imc:` directive comment

@@ -74,6 +74,9 @@ type Program struct {
 	// apiChecked guards the once-per-program "package removed" pass of
 	// the apisurface analyzer.
 	apiChecked bool
+	// lockinfo caches the lock-order graph and per-function acquired-lock
+	// facts (lazy; see locks.go).
+	lockinfo *lockInfo
 }
 
 // NewProgram assembles the interprocedural view over pkgs: builds the
@@ -164,6 +167,23 @@ func funcDisplayName(fn *types.Func) string {
 	return fn.Pkg().Path() + ".(" + ptr + recv + ")." + fn.Name()
 }
 
+// recvTypeName returns the name of fn's receiver's named type (pointer
+// dereferenced), or "" for package-level functions.
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	if named, ok := rt.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
 // CallEdge is one resolved call site.
 type CallEdge struct {
 	// Site is the call expression (positions point here in findings).
@@ -171,9 +191,13 @@ type CallEdge struct {
 	// Callee is the in-program target, nil for external (stdlib) calls.
 	Callee *FuncNode
 	// ExtPkg/ExtName identify an external callee ("math", "Log") when
-	// Callee is nil.
+	// Callee is nil. ExtRecv is the external callee's receiver type name
+	// ("WaitGroup" for (*sync.WaitGroup).Wait), empty for package-level
+	// functions — the blocking-op table needs it to tell WaitGroup.Wait
+	// (parks while holding) from Cond.Wait (releases its mutex).
 	ExtPkg  string
 	ExtName string
+	ExtRecv string
 }
 
 // Node returns the graph node for fn, or nil when fn is not a declared
@@ -243,6 +267,7 @@ func buildCallGraph(pkgs []*Package) *CallGraph {
 				} else {
 					node.Calls = append(node.Calls, CallEdge{
 						Site: call, ExtPkg: res.fn.Pkg().Path(), ExtName: res.fn.Name(),
+						ExtRecv: recvTypeName(res.fn),
 					})
 					g.NumEdges++
 				}

@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// The chanctx analyzer enforces cancellation plumbing at blocking
+// selects: inside a function that takes a context.Context, any select
+// without a default clause must also wait on ctx cancellation —
+// a `<-ctx.Done()` comm case (directly, or through a local variable
+// assigned from Done()). A select that waits only on job or worker
+// channels keeps the goroutine alive after the caller gave up, which
+// is exactly the leak the context parameter was threaded through to
+// prevent. Selects with a default never block, so they are exempt;
+// functions without a context parameter have nothing to plumb and are
+// skipped (top-level signal loops in cmd/ stay quiet via AnalyzersFor
+// gating as well).
+
+// ChanCtx is the select-cancellation analyzer.
+var ChanCtx = &Analyzer{
+	Name: "chanctx",
+	Doc:  "selects in context-taking functions must wait on ctx cancellation",
+	Kind: KindSyntactic,
+	Run:  runChanCtx,
+}
+
+func runChanCtx(pkg *Package, r *Reporter) {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !hasContextParam(pkg, file, fd.Type) {
+				continue
+			}
+			doneVars := doneChannelVars(fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectStmt)
+				if !ok {
+					return true
+				}
+				if selectHasDefault(sel) || selectWaitsOnDone(sel, doneVars) {
+					return true
+				}
+				r.Reportf("chanctx", sel.Pos(),
+					"select blocks without waiting on ctx cancellation; add a <-ctx.Done() case or a default clause")
+				return true
+			})
+		}
+	}
+}
+
+// hasContextParam reports whether the signature takes a context.Context.
+func hasContextParam(pkg *Package, file *ast.File, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if isContextType(pkg, file, field.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// doneChannelVars collects names bound to a Done() channel
+// (`done := ctx.Done()`), so receives through the alias count as
+// waiting on cancellation.
+func doneChannelVars(body ast.Node) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !isDoneCall(rhs) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				out[id.Name] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// selectWaitsOnDone reports whether any comm clause receives from a
+// Done() channel or a recorded alias of one.
+func selectWaitsOnDone(sel *ast.SelectStmt, doneVars map[string]bool) bool {
+	for _, clause := range sel.Body.List {
+		cc, ok := clause.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			continue
+		}
+		var ch ast.Expr
+		switch s := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			ch = recvOperand(s.X)
+		case *ast.AssignStmt:
+			if len(s.Rhs) == 1 {
+				ch = recvOperand(s.Rhs[0])
+			}
+		}
+		if ch == nil {
+			continue
+		}
+		if isDoneCall(ch) {
+			return true
+		}
+		if id, ok := ast.Unparen(ch).(*ast.Ident); ok && doneVars[id.Name] {
+			return true
+		}
+	}
+	return false
+}
+
+// recvOperand unwraps `<-ch` to ch, nil for non-receive expressions.
+func recvOperand(e ast.Expr) ast.Expr {
+	if u, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+		return u.X
+	}
+	return nil
+}
+
+// isDoneCall matches a call to a method named Done with no arguments —
+// context.Context.Done() and anything shaped like it.
+func isDoneCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	s, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && s.Sel.Name == "Done"
+}

@@ -1,0 +1,603 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The guardedby analyzer enforces `//imc:guardedby` field annotations:
+// every read or write of an annotated struct field must sit on a path
+// dominated by the guard's Lock() — the CFG dominator relation from
+// cfg.go, so a lock taken in only one branch does not excuse an access
+// after the merge. The annotation grammar (see annot.go):
+//
+//	mu sync.Mutex
+//	n  int //imc:guardedby mu          — n is protected by mu
+//	id int //imc:guardedby immutable   — n is written only during construction
+//
+// For a sync.RWMutex guard, RLock suffices for reads; writes require
+// the write lock. Three exemptions keep construction idioms quiet:
+//
+//   - accesses rooted at a locally-created value (`s := &Store{…}`,
+//     `s := new(Store)` in the same body) — nothing else can see it;
+//   - functions marked //imc:prepublish — they run before the
+//     receiver is published (replay/restore paths);
+//   - functions marked //imc:locked <mu> — the *Locked helper idiom:
+//     the body is checked as if <mu> were held, and every CALLER is
+//     checked to hold <mu> at the call site instead.
+//
+// Matching is expression-textual on the guard path ("s.mu.Lock()"
+// satisfies accesses under "s." with guard mu) plus dominator-based on
+// the CFG. Two documented imprecisions: within a single basic block,
+// statement order is not checked (Lock after the access in the same
+// block passes); and Unlock does not end the guarded region (an access
+// after Unlock but dominated by the Lock passes). Both keep the
+// analysis simple and neither hides the high-value bug class — a field
+// touched with no locking discipline at all on some path.
+//
+// Function literals are analyzed separately with their own CFGs (a
+// closure runs under its invoker's schedule): a Lock inside the
+// closure guards accesses inside the closure, and locked/prepublish
+// exemptions do not leak in from the enclosing declaration.
+
+// GuardedBy is the guarded-field annotation analyzer.
+var GuardedBy = &Analyzer{
+	Name: "guardedby",
+	Doc:  "enforce //imc:guardedby field annotations via CFG dominators",
+	Kind: KindFlowSensitive,
+	Run:  runGuardedBy,
+}
+
+// guardSpec is one parsed field annotation.
+type guardSpec struct {
+	immutable bool
+	guard     string // sibling mutex field name when !immutable
+	owner     string // declaring struct type name, for messages
+}
+
+func runGuardedBy(pkg *Package, r *Reporter) {
+	if pkg.Info == nil {
+		return
+	}
+	guards := fieldGuards(pkg, r)
+	locked, prepub := funcGuardDirectives(pkg, r)
+	if len(guards) == 0 && len(locked) == 0 {
+		return
+	}
+	lockedObjs := make(map[types.Object]string, len(locked))
+	for fd, g := range locked {
+		if obj := pkg.Info.Defs[fd.Name]; obj != nil {
+			lockedObjs[obj] = g
+		}
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctx := &guardCtx{
+				pkg:        pkg,
+				r:          r,
+				guards:     guards,
+				lockedObjs: lockedObjs,
+				recvObj:    receiverObject(pkg, fd),
+				lockedWith: locked[fd],
+				prepublish: prepub[fd],
+			}
+			analyzeGuardBody(ctx, fd.Body)
+		}
+	}
+}
+
+// guardCtx carries one body's checking context.
+type guardCtx struct {
+	pkg        *Package
+	r          *Reporter
+	guards     map[types.Object]*guardSpec
+	lockedObjs map[types.Object]string
+	recvObj    types.Object // receiver object, nil for functions
+	lockedWith string       // //imc:locked guard name, "" otherwise
+	prepublish bool
+}
+
+// literalCtx strips the declaration-scoped exemptions for a nested
+// function literal: the closure runs later, under a schedule where
+// neither "the caller holds mu" nor "the receiver is unpublished"
+// still holds.
+func (c *guardCtx) literalCtx() *guardCtx {
+	child := *c
+	child.lockedWith = ""
+	child.prepublish = false
+	child.recvObj = nil
+	return &child
+}
+
+// analyzeGuardBody checks one body (a declaration's or a literal's)
+// and recurses into directly-nested literals.
+func analyzeGuardBody(ctx *guardCtx, body *ast.BlockStmt) {
+	pkg := ctx.pkg
+	cfg := BuildCFG(body)
+	idom := cfg.Dominators()
+	writes := writeTargets(body)
+	localMade := locallyCreated(pkg, body)
+
+	type lockEvt struct {
+		blk  int
+		read bool
+	}
+	events := make(map[string][]lockEvt)
+	type accessRec struct {
+		sel   *ast.SelectorExpr
+		obj   types.Object
+		spec  *guardSpec
+		blk   int
+		write bool
+	}
+	var accesses []accessRec
+	type lockedCallRec struct {
+		call  *ast.CallExpr
+		x     ast.Expr
+		obj   types.Object
+		guard string
+		blk   int
+	}
+	var lockedCalls []lockedCallRec
+	var literals []*ast.FuncLit
+
+	for _, blk := range cfg.Blocks {
+		for _, stmt := range blk.Stmts {
+			if _, ok := stmt.(rangeBind); ok {
+				continue
+			}
+			ast.Inspect(stmt, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncLit:
+					literals = append(literals, n)
+					return false
+				case *ast.CallExpr:
+					if recv, method, ok := mutexMethodCall(pkg, n); ok {
+						switch method {
+						case "Lock":
+							events[types.ExprString(recv)] = append(events[types.ExprString(recv)], lockEvt{blk: blk.Index})
+						case "RLock":
+							events[types.ExprString(recv)] = append(events[types.ExprString(recv)], lockEvt{blk: blk.Index, read: true})
+						}
+						return true
+					}
+					if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+						if obj := pkg.Info.Uses[sel.Sel]; obj != nil {
+							if g, ok := ctx.lockedObjs[obj]; ok {
+								lockedCalls = append(lockedCalls, lockedCallRec{call: n, x: sel.X, obj: obj, guard: g, blk: blk.Index})
+							}
+						}
+					}
+				case *ast.SelectorExpr:
+					if obj := pkg.Info.Uses[n.Sel]; obj != nil {
+						if spec := ctx.guards[obj]; spec != nil {
+							accesses = append(accesses, accessRec{sel: n, obj: obj, spec: spec, blk: blk.Index, write: writes[n]})
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// dominatedBy reports whether some lock event on `key` dominates
+	// block b; wantWrite additionally requires a non-RLock event.
+	dominatedBy := func(key string, b int, wantWrite bool) (held, heldWrite bool) {
+		for _, ev := range events[key] {
+			if cfg.Dominates(idom, ev.blk, b) {
+				held = true
+				if !ev.read {
+					heldWrite = true
+				}
+			}
+		}
+		_ = wantWrite
+		return held, heldWrite
+	}
+
+	exempt := func(root types.Object) bool {
+		if root == nil {
+			return false
+		}
+		if localMade[root] {
+			return true
+		}
+		return ctx.prepublish && ctx.recvObj != nil && root == ctx.recvObj
+	}
+
+	for _, a := range accesses {
+		root := rootIdentObj(pkg, a.sel.X)
+		if exempt(root) {
+			continue
+		}
+		display := a.spec.owner + "." + a.obj.Name()
+		if a.spec.immutable {
+			if a.write {
+				ctx.r.Reportf("guardedby", a.sel.Pos(),
+					"write to %s outside construction; the field is declared //imc:guardedby immutable", display)
+			}
+			continue
+		}
+		if ctx.lockedWith == a.spec.guard && isIdentFor(pkg, a.sel.X, ctx.recvObj) {
+			continue // body of an //imc:locked helper: guard assumed held
+		}
+		key := types.ExprString(a.sel.X) + "." + a.spec.guard
+		held, heldWrite := dominatedBy(key, a.blk, a.write)
+		switch {
+		case !held:
+			verb := "read of"
+			if a.write {
+				verb = "write to"
+			}
+			ctx.r.Reportf("guardedby", a.sel.Pos(),
+				"%s %s is not dominated by %s.Lock(); the field is guarded by %s (//imc:guardedby)",
+				verb, display, key, a.spec.guard)
+		case a.write && !heldWrite:
+			ctx.r.Reportf("guardedby", a.sel.Pos(),
+				"write to %s while %s may be held in read mode only; writes require the write lock", display, key)
+		}
+	}
+
+	for _, lc := range lockedCalls {
+		root := rootIdentObj(pkg, lc.x)
+		if exempt(root) {
+			continue
+		}
+		if ctx.lockedWith == lc.guard && isIdentFor(pkg, lc.x, ctx.recvObj) {
+			continue
+		}
+		key := types.ExprString(lc.x) + "." + lc.guard
+		if held, _ := dominatedBy(key, lc.blk, false); !held {
+			ctx.r.Reportf("guardedby", lc.call.Pos(),
+				"call to %s requires %s to be held (//imc:locked %s)", funcDisplayShort(pkg, lc.obj), key, lc.guard)
+		}
+	}
+
+	for _, lit := range literals {
+		analyzeGuardBody(ctx.literalCtx(), lit.Body)
+	}
+}
+
+// funcDisplayShort renders a called method for messages ("Pool.enqueueLocked").
+func funcDisplayShort(pkg *Package, obj types.Object) string {
+	if fn, ok := obj.(*types.Func); ok {
+		if recv := recvTypeName(fn); recv != "" {
+			return recv + "." + fn.Name()
+		}
+	}
+	return obj.Name()
+}
+
+// writeTargets marks every SelectorExpr that sits in store position:
+// the spine of an assignment LHS or IncDec target (through index and
+// deref), and operands of unary & (the address may be written through).
+// Nested function literals are excluded (analyzed separately).
+func writeTargets(body ast.Node) map[ast.Node]bool {
+	out := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				markStoreSpine(out, lhs)
+			}
+		case *ast.IncDecStmt:
+			markStoreSpine(out, n.X)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				markStoreSpine(out, n.X)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// markStoreSpine walks the store path through index/deref wrappers and
+// marks the first selector it reaches: `s.jobs[id] = j` writes the map
+// held in s.jobs (the field must be write-locked), while `s.jl.pending
+// = x` writes pending and only READS jl — so marking stops at the
+// outermost selector.
+func markStoreSpine(set map[ast.Node]bool, e ast.Expr) {
+	for {
+		switch t := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.SelectorExpr:
+			set[t] = true
+			return
+		default:
+			return
+		}
+	}
+}
+
+// locallyCreated collects objects bound (in this body) to freshly
+// created values — `s := &Store{…}`, `s := Store{…}`, `s := new(Store)`
+// — whose fields cannot yet be shared with another goroutine.
+func locallyCreated(pkg *Package, body ast.Node) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if !isFreshValue(pkg, n.Rhs[i]) {
+					continue
+				}
+				if obj := pkg.Info.Defs[id]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isFreshValue matches expressions that produce a brand-new value.
+func isFreshValue(pkg *Package, e ast.Expr) bool {
+	switch t := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if t.Op == token.AND {
+			_, ok := ast.Unparen(t.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(t.Fun).(*ast.Ident); ok && id.Name == "new" && isBuiltin(pkg, id) {
+			return true
+		}
+	}
+	return false
+}
+
+// rootIdentObj resolves the leftmost identifier of an access path
+// (`s.jl.pending` → s) to its object, or nil when the path roots in a
+// call result or other untrackable expression.
+func rootIdentObj(pkg *Package, e ast.Expr) types.Object {
+	for {
+		switch t := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.Ident:
+			return pkg.Info.Uses[t]
+		default:
+			return nil
+		}
+	}
+}
+
+// isIdentFor reports whether e is a bare identifier bound to obj.
+func isIdentFor(pkg *Package, e ast.Expr, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && pkg.Info.Uses[id] == obj
+}
+
+// receiverObject returns fd's receiver object, nil for plain functions
+// or anonymous receivers.
+func receiverObject(pkg *Package, fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return pkg.Info.Defs[fd.Recv.List[0].Names[0]]
+}
+
+// --- annotation parsing -------------------------------------------------
+
+// parseDirectiveArg splits an //imc: directive into its name and first
+// argument ("guardedby", "mu" from "//imc:guardedby mu — queue state").
+func parseDirectiveArg(text string) (name, arg string, ok bool) {
+	rest, ok2 := strings.CutPrefix(text, "//imc:")
+	if !ok2 {
+		return "", "", false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", "", false
+	}
+	name = fields[0]
+	if len(fields) > 1 {
+		arg = fields[1]
+	}
+	if !identShaped(arg) {
+		arg = "" // trailing prose ("— queue state"), not an argument
+	}
+	return name, arg, true
+}
+
+// identShaped reports whether s looks like a Go identifier — the only
+// thing a directive argument can be.
+func identShaped(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z'):
+		case i > 0 && r >= '0' && r <= '9':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// fieldGuards parses //imc:guardedby annotations off struct fields
+// (doc comment or trailing line comment), validating that the named
+// guard is a sibling mutex field. Malformed annotations are findings,
+// not silent no-ops.
+func fieldGuards(pkg *Package, r *Reporter) map[types.Object]*guardSpec {
+	out := make(map[types.Object]*guardSpec)
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok || st.Fields == nil {
+					continue
+				}
+				mutexFields := make(map[string]bool)
+				for _, f := range st.Fields.List {
+					for _, name := range f.Names {
+						if obj := pkg.Info.Defs[name]; obj != nil && isSyncMutexType(obj.Type()) {
+							mutexFields[name.Name] = true
+						}
+					}
+				}
+				for _, f := range st.Fields.List {
+					arg, pos, found := fieldGuardArg(f)
+					if !found {
+						continue
+					}
+					switch {
+					case arg == "":
+						r.Reportf("guardedby", pos,
+							"//imc:guardedby needs a guard: a sibling mutex field name or \"immutable\"")
+						continue
+					case arg != "immutable" && !mutexFields[arg]:
+						r.Reportf("guardedby", pos,
+							"//imc:guardedby names %q, which is not a sync.Mutex/RWMutex field of %s", arg, ts.Name.Name)
+						continue
+					}
+					gs := &guardSpec{immutable: arg == "immutable", owner: ts.Name.Name}
+					if !gs.immutable {
+						gs.guard = arg
+					}
+					for _, name := range f.Names {
+						if obj := pkg.Info.Defs[name]; obj != nil {
+							out[obj] = gs
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// fieldGuardArg extracts the guardedby argument from a field's doc or
+// trailing comment.
+func fieldGuardArg(f *ast.Field) (arg string, pos token.Pos, found bool) {
+	scan := func(cg *ast.CommentGroup) {
+		if cg == nil || found {
+			return
+		}
+		for _, c := range cg.List {
+			if name, a, ok := parseDirectiveArg(c.Text); ok && name == directiveGuardedBy {
+				arg, pos, found = a, c.Pos(), true
+				return
+			}
+		}
+	}
+	scan(f.Doc)
+	scan(f.Comment)
+	return arg, pos, found
+}
+
+// funcGuardDirectives parses //imc:locked and //imc:prepublish off
+// function declarations, validating locked's guard argument against
+// the receiver's mutex fields.
+func funcGuardDirectives(pkg *Package, r *Reporter) (locked map[*ast.FuncDecl]string, prepub map[*ast.FuncDecl]bool) {
+	locked = make(map[*ast.FuncDecl]string)
+	prepub = make(map[*ast.FuncDecl]bool)
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				name, arg, ok := parseDirectiveArg(c.Text)
+				if !ok {
+					continue
+				}
+				switch name {
+				case directiveLocked:
+					switch {
+					case fd.Recv == nil:
+						r.Reportf("guardedby", c.Pos(), "//imc:locked applies to methods only")
+					case arg == "":
+						r.Reportf("guardedby", c.Pos(), "//imc:locked needs the guard's field name")
+					case !recvHasMutexField(pkg, fd, arg):
+						r.Reportf("guardedby", c.Pos(),
+							"//imc:locked names %q, which is not a sync.Mutex/RWMutex field of the receiver", arg)
+					default:
+						locked[fd] = arg
+					}
+				case directivePrepublish:
+					prepub[fd] = true
+				}
+			}
+		}
+	}
+	return locked, prepub
+}
+
+// recvHasMutexField reports whether fd's receiver struct declares a
+// mutex field with the given name.
+func recvHasMutexField(pkg *Package, fd *ast.FuncDecl, name string) bool {
+	obj := receiverObject(pkg, fd)
+	if obj == nil {
+		// Anonymous receiver: resolve through the declared type instead.
+		if len(fd.Recv.List) == 0 {
+			return false
+		}
+		tv, ok := pkg.Info.Types[fd.Recv.List[0].Type]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		return structMutexField(tv.Type, name)
+	}
+	return structMutexField(obj.Type(), name)
+}
+
+// structMutexField looks for a mutex field on t's underlying struct.
+func structMutexField(t types.Type, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == name && isSyncMutexType(f.Type()) {
+			return true
+		}
+	}
+	return false
+}

@@ -68,12 +68,18 @@ func TestAnalyzerFixtures(t *testing.T) {
 		"purity":        Purity,
 		"sharemut":      ShareMut,
 		"exhaustive":    Exhaustive,
+		"chanctx":       ChanCtx,
+		"guardedby":     GuardedBy,
 	}
 	// layering and apisurface need a whole Program (contract file, API
-	// snapshot) rather than a bare fixture package; their fixture
-	// coverage lives in interproc_test.go. Everything else must have a
-	// golden fixture here.
-	programOnly := map[string]bool{"layering": true, "apisurface": true}
+	// snapshot) rather than a bare fixture package, and lockorder and
+	// lockheld need the call graph; their fixture coverage lives in
+	// interproc_test.go and concurrency_test.go. Everything else must
+	// have a golden fixture here.
+	programOnly := map[string]bool{
+		"layering": true, "apisurface": true,
+		"lockorder": true, "lockheld": true,
+	}
 	if len(fixtures)+len(programOnly) != len(All) {
 		t.Fatalf("fixture table covers %d analyzers (+%d program-level), suite has %d",
 			len(fixtures), len(programOnly), len(All))
@@ -85,6 +91,7 @@ func TestAnalyzerFixtures(t *testing.T) {
 	}
 	for name, analyzer := range fixtures {
 		t.Run(name, func(t *testing.T) {
+			t.Parallel() // fixtures load into independent packages
 			pkg := loadFixture(t, name)
 			wants := wantsIn(t, pkg)
 			diags := Run(pkg, []*Analyzer{analyzer})
@@ -222,15 +229,15 @@ func TestAnalyzersFor(t *testing.T) {
 		path string
 		want string
 	}{
-		{"imc", "determinism,floatcompare,goroutineleak,printer,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface"},
-		{"imc/internal/graph", "determinism,floatcompare,goroutineleak,printer,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface"},
-		{"imc/internal/ric", "determinism,floatcompare,goroutineleak,printer,seedplumb,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface"},
-		{"imc/internal/maxr", "determinism,floatcompare,goroutineleak,printer,seedplumb,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface"},
-		{"imc/internal/clock", "floatcompare,goroutineleak,printer,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface"},
-		{"imc/internal/expt", "determinism,floatcompare,goroutineleak,printer,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface,exhaustive"},
-		{"imc/internal/serve", "determinism,floatcompare,goroutineleak,printer,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface,exhaustive"},
-		{"imc/cmd/imcrun", "goroutineleak,ctxfirst,errflow,sharemut,layering"},
-		{"imc/examples/quickstart", "goroutineleak,ctxfirst,errflow,sharemut,layering"},
+		{"imc", "determinism,floatcompare,goroutineleak,printer,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface,chanctx,guardedby,lockheld,lockorder"},
+		{"imc/internal/graph", "determinism,floatcompare,goroutineleak,printer,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface,chanctx,guardedby,lockheld,lockorder"},
+		{"imc/internal/ric", "determinism,floatcompare,goroutineleak,printer,seedplumb,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface,chanctx,guardedby,lockheld,lockorder"},
+		{"imc/internal/maxr", "determinism,floatcompare,goroutineleak,printer,seedplumb,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface,chanctx,guardedby,lockheld,lockorder"},
+		{"imc/internal/clock", "floatcompare,goroutineleak,printer,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface,chanctx,guardedby,lockheld,lockorder"},
+		{"imc/internal/expt", "determinism,floatcompare,goroutineleak,printer,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface,exhaustive,chanctx,guardedby,lockheld,lockorder"},
+		{"imc/internal/serve", "determinism,floatcompare,goroutineleak,printer,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface,exhaustive,chanctx,guardedby,lockheld,lockorder"},
+		{"imc/cmd/imcrun", "goroutineleak,ctxfirst,errflow,sharemut,layering,lockorder"},
+		{"imc/examples/quickstart", "goroutineleak,ctxfirst,errflow,sharemut,layering,lockorder"},
 	}
 	for _, c := range cases {
 		if got := names(AnalyzersFor("imc", c.path, All)); got != c.want {

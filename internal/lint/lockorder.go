@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"strings"
+)
+
+// The lockorder analyzer reports cycles in the program's lock-order
+// graph as potential deadlocks. An edge A → B means some function
+// acquires B (directly, or through a callee) while holding A; a cycle
+// means two goroutines can each hold one lock of the cycle while
+// waiting for another — the classic inverted-pair deadlock — and a
+// self-edge means a goroutine can re-acquire a mutex it already holds
+// (Go mutexes are not reentrant: guaranteed self-deadlock).
+//
+// The graph is program-global (see locks.go), so each cycle is
+// reported exactly once: at the first witness edge's position, in the
+// package that owns it — which is also where a `//lint:allow
+// lockorder: reason` suppression must live. The message prints every
+// witness chain internal to the cycle, so a two-lock inversion shows
+// both call chains.
+
+// LockOrder is the lock-order cycle analyzer.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "report cycles in the global lock-order graph as potential deadlocks",
+	Kind: KindInterprocedural,
+	Run:  runLockOrder,
+}
+
+func runLockOrder(pkg *Package, r *Reporter) {
+	prog := pkg.Prog
+	if prog == nil || prog.Graph == nil {
+		return
+	}
+	li := prog.locks()
+	for _, cyc := range li.cycles {
+		edges := li.cycleEdges(cyc)
+		if len(edges) == 0 {
+			continue
+		}
+		first := edges[0]
+		if first.fn.Pkg != pkg {
+			continue // reported in the witness's own package
+		}
+		witnesses := make([]string, len(edges))
+		for i, e := range edges {
+			witnesses[i] = li.witness(e)
+		}
+		var msg string
+		if len(cyc) == 1 {
+			msg = "potential deadlock: " + string(cyc[0]) +
+				" acquired while already held (mutexes are not reentrant): " +
+				strings.Join(witnesses, "; ")
+		} else {
+			ids := make([]string, len(cyc))
+			for i, id := range cyc {
+				ids[i] = string(id)
+			}
+			msg = "potential deadlock: lock-order cycle between " + strings.Join(ids, " and ") +
+				": " + strings.Join(witnesses, "; ")
+		}
+		r.Reportf("lockorder", first.pos, "%s", msg)
+	}
+}

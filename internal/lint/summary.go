@@ -51,6 +51,15 @@ const (
 	// (interface dispatch or a function value) — its true effect set is
 	// unknown past that point.
 	EffDynamic
+	// EffBlock: the function may block indefinitely — a channel send or
+	// receive outside a select-with-default, a select without a default
+	// clause, file/network IO that can stall on the kernel, or
+	// time.Sleep. Lock ACQUISITION is deliberately not EffBlock (that is
+	// lockorder's domain), and neither are dynamic calls (EffDynamic
+	// already marks the unknown; treating it as blocking would flag
+	// every clock-function field call). The lockheld analyzer consumes
+	// this bit.
+	EffBlock
 )
 
 // effectNames order the String rendering.
@@ -67,6 +76,7 @@ var effectNames = []struct {
 	{EffChan, "chan"},
 	{EffGo, "go"},
 	{EffDynamic, "dynamic"},
+	{EffBlock, "block"},
 }
 
 // String renders the set as "alloc|io|…".
@@ -167,7 +177,7 @@ func computeSummaries(g *CallGraph) {
 						inherited = edge.Callee.Summary.Effects
 						calleeName = edge.Callee.Name()
 					} else {
-						inherited, calleeName = externalEffects(edge.ExtPkg, edge.ExtName)
+						inherited, calleeName = externalEffects(edge.ExtPkg, edge.ExtRecv, edge.ExtName)
 					}
 					newBits := inherited &^ node.Summary.Effects
 					if newBits == 0 {
@@ -219,14 +229,20 @@ var ioStdlib = map[string]bool{
 // externalEffects classifies a call into a package outside the loaded
 // program. Unknown packages default to "may allocate" — the safe
 // assumption for hot-path enforcement — but not to IO or global writes,
-// which would drown purity findings in noise.
-func externalEffects(pkgPath, name string) (Effect, string) {
+// which would drown purity findings in noise. recv is the callee's
+// receiver type name ("WaitGroup" for (*sync.WaitGroup).Wait), empty
+// for package-level functions.
+func externalEffects(pkgPath, recv, name string) (Effect, string) {
 	display := pkgPath + "." + name
+	var block Effect
+	if externalBlocks(pkgPath, recv, name) {
+		block = EffBlock
+	}
 	switch {
 	case cleanStdlib[pkgPath]:
 		return 0, display
 	case pkgPath == "sync" || pkgPath == "sync/atomic":
-		return EffLock, display
+		return EffLock | block, display
 	case pkgPath == "fmt":
 		if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") ||
 			strings.HasPrefix(name, "Scan") || strings.HasPrefix(name, "Fscan") {
@@ -234,10 +250,63 @@ func externalEffects(pkgPath, name string) (Effect, string) {
 		}
 		return EffAlloc, display
 	case ioStdlib[pkgPath]:
-		return EffAlloc | EffIO, display
+		return EffAlloc | EffIO | block, display
 	default:
-		return EffAlloc, display
+		return EffAlloc | block, display
 	}
+}
+
+// externalBlocks is the blocking-op table for out-of-program callees:
+// which stdlib calls can stall the calling goroutine indefinitely (or
+// long enough to matter under a held mutex). Curated, not exhaustive —
+// the policy mirrors externalEffects: network and syscall packages
+// wholesale, file operations by name, the sleep/flush/copy helpers that
+// hide IO. Deliberate exclusions, each a policy decision:
+//
+//   - sync.Mutex.Lock and friends: waiting on a LOCK is lockorder's
+//     domain; flagging every nested acquisition as "blocking" would
+//     duplicate the lock-order graph as noise.
+//   - sync.Cond.Wait: the sanctioned wait-under-mutex idiom — Wait
+//     atomically releases the mutex while parked, so "blocks while
+//     holding" is exactly wrong. WaitGroup.Wait, by contrast, parks
+//     while genuinely holding whatever the caller holds.
+//   - encoding/json and other pure-compute packages: CPU under a lock
+//     is a throughput question, not a liveness one.
+func externalBlocks(pkgPath, recv, name string) bool {
+	switch pkgPath {
+	case "net", "net/http", "syscall":
+		return true
+	case "time":
+		return name == "Sleep"
+	case "os":
+		switch name {
+		case "Sync", "Write", "WriteString", "WriteAt", "Read", "ReadAt", "ReadFrom",
+			"Open", "OpenFile", "Create", "CreateTemp", "ReadFile", "WriteFile",
+			"Rename", "Remove", "RemoveAll", "Truncate", "Mkdir", "MkdirAll",
+			"MkdirTemp", "Stat", "Lstat", "ReadDir", "Close", "Seek":
+			return true
+		}
+		return false
+	case "io":
+		switch name {
+		case "Copy", "CopyN", "CopyBuffer", "ReadAll", "ReadFull", "ReadAtLeast", "WriteString":
+			return true
+		}
+		return false
+	case "bufio":
+		switch name {
+		case "Flush", "Write", "WriteString", "WriteByte", "WriteRune",
+			"Read", "ReadByte", "ReadBytes", "ReadString", "ReadLine", "ReadSlice", "ReadRune":
+			return true
+		}
+		return false
+	case "log", "log/slog":
+		// Every emit path ends in a serialized write to the sink.
+		return true
+	case "sync":
+		return name == "Wait" && recv != "Cond"
+	}
+	return false
 }
 
 // --- local effect detection --------------------------------------------
@@ -259,6 +328,7 @@ func localSummary(node *FuncNode, scratch map[types.Object]bool) *Summary {
 		return obj != nil && (local[obj] || scratch[obj])
 	}
 	params := paramObjects(pkg, node.Decl)
+	comms := selectCommOps(node.Decl.Body)
 	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
@@ -292,12 +362,21 @@ func localSummary(node *FuncNode, scratch map[types.Object]bool) *Summary {
 			classifyStore(pkg, n.X, params, s)
 		case *ast.SendStmt:
 			s.add(EffChan, n.Pos(), "performs a channel send")
+			if !comms[n] {
+				s.add(EffBlock, n.Pos(), "blocks on a channel send")
+			}
 		case *ast.UnaryExpr:
 			if n.Op == token.ARROW {
 				s.add(EffChan, n.Pos(), "performs a channel receive")
+				if !comms[n] {
+					s.add(EffBlock, n.Pos(), "blocks on a channel receive")
+				}
 			}
 		case *ast.SelectStmt:
 			s.add(EffChan, n.Pos(), "executes a select")
+			if !selectHasDefault(n) {
+				s.add(EffBlock, n.Pos(), "blocks in a select without a default case")
+			}
 		case *ast.GoStmt:
 			s.add(EffGo, n.Pos(), "spawns a goroutine")
 		case *ast.Ident:
@@ -309,6 +388,54 @@ func localSummary(node *FuncNode, scratch map[types.Object]bool) *Summary {
 	})
 	s.Local = s.Effects
 	return s
+}
+
+// selectCommOps collects the channel-operation nodes (SendStmt, ARROW
+// receives) that appear as the communication clause of a select inside
+// body. A comm op only fires when its select picks it, and a select
+// with a default never blocks — so these nodes are excluded from the
+// per-op EffBlock evidence (the SelectStmt itself carries the blocking
+// verdict).
+func selectCommOps(body ast.Node) map[ast.Node]bool {
+	comms := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, clause := range sel.Body.List {
+			cc, ok := clause.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			switch comm := cc.Comm.(type) {
+			case *ast.SendStmt:
+				comms[comm] = true
+			case *ast.ExprStmt:
+				if ue, ok := ast.Unparen(comm.X).(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+					comms[ue] = true
+				}
+			case *ast.AssignStmt:
+				for _, rhs := range comm.Rhs {
+					if ue, ok := ast.Unparen(rhs).(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+						comms[ue] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return comms
+}
+
+// selectHasDefault reports whether sel carries a default clause.
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
 }
 
 // add records an effect with local evidence (first occurrence wins, so
@@ -667,7 +794,7 @@ func walkContract(pkg *Package, edges []*CallEdge, banned Effect, boundary strin
 			out = append(out, v)
 			continue
 		}
-		eff, name := externalEffects(edge.ExtPkg, edge.ExtName)
+		eff, name := externalEffects(edge.ExtPkg, edge.ExtRecv, edge.ExtName)
 		if eff&banned == 0 {
 			continue
 		}
@@ -736,6 +863,8 @@ func effectDesc(e Effect) string {
 		return "spawns goroutines"
 	case EffDynamic:
 		return "makes a dynamic call"
+	case EffBlock:
+		return "may block"
 	default:
 		return e.String()
 	}

@@ -1,0 +1,141 @@
+// Package guardedby is the golden fixture for the guarded-field
+// annotation analyzer: reads and writes of //imc:guardedby fields
+// outside a dominating Lock must flag, along with writes under RLock
+// only, writes to immutable fields after construction, calls to
+// //imc:locked helpers without the guard, and malformed annotations.
+// Construction (locally-created receivers, //imc:prepublish), locked
+// helpers called under the guard, closures that lock for themselves,
+// and RLock-covered reads must all stay quiet.
+package guardedby
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	n  int //imc:guardedby mu
+	rw sync.RWMutex
+	m  map[string]int //imc:guardedby rw
+	id int //imc:guardedby immutable
+}
+
+// NewCounter is clean: the value is local until returned, so no other
+// goroutine can observe the unguarded writes.
+func NewCounter(id int) *Counter {
+	c := &Counter{m: make(map[string]int)}
+	c.id = id
+	c.n = 0
+	return c
+}
+
+// Bump is clean: the access is dominated by the Lock.
+func (c *Counter) Bump() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// Peek reads the guarded counter with no lock at all.
+func (c *Counter) Peek() int {
+	return c.n // want "read of Counter.n is not dominated by c.mu.Lock()"
+}
+
+// Reset writes it with no lock.
+func (c *Counter) Reset() {
+	c.n = 0 // want "write to Counter.n is not dominated"
+}
+
+// Get is clean: RLock suffices for reads of an RWMutex-guarded field.
+func (c *Counter) Get(k string) int {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	return c.m[k]
+}
+
+// Put mutates the map while holding only the read lock.
+func (c *Counter) Put(k string, v int) {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	c.m[k] = v // want "writes require the write lock"
+}
+
+// Set is clean: the write lock covers map mutation.
+func (c *Counter) Set(k string, v int) {
+	c.rw.Lock()
+	defer c.rw.Unlock()
+	c.m[k] = v
+}
+
+// ID is clean: immutable fields may be read anywhere.
+func (c *Counter) ID() int {
+	return c.id
+}
+
+// Rename writes the immutable field after construction.
+func (c *Counter) Rename(id int) {
+	c.id = id // want "write to Counter.id outside construction"
+}
+
+// bumpLocked is the *Locked helper idiom: the body assumes mu is held;
+// every caller is checked instead.
+//
+//imc:locked mu
+func (c *Counter) bumpLocked(d int) {
+	c.n += d
+}
+
+// Add is clean: it holds mu across the locked helper.
+func (c *Counter) Add(d int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bumpLocked(d)
+}
+
+// Sneak calls the locked helper without the guard.
+func (c *Counter) Sneak(d int) {
+	c.bumpLocked(d) // want "call to Counter.bumpLocked requires c.mu to be held"
+}
+
+// restore replays persisted state before the receiver is published;
+// the directive waives the guard for the construction path.
+//
+//imc:prepublish
+func (c *Counter) restore(n, id int) {
+	c.n = n
+	c.id = id
+}
+
+// BumpRacy locks on only one branch: the access after the merge is not
+// dominated by the Lock.
+func (c *Counter) BumpRacy(cond bool) {
+	if cond {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	c.n++ // want "not dominated by c.mu.Lock()"
+}
+
+// Watch is clean: the closure locks for itself.
+func (c *Counter) Watch() func() {
+	return func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.n++
+	}
+}
+
+// Leak returns a closure that skips the lock; the enclosing critical
+// section does not cover a body that runs after it ends.
+func (c *Counter) Leak() func() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() {
+		c.n++ // want "not dominated"
+	}
+}
+
+// Bad carries malformed annotations; silent no-op directives are their
+// own bug class, so both are findings.
+type Bad struct {
+	x int //imc:guardedby nosuch // want "not a sync.Mutex/RWMutex field of Bad"
+	y int //imc:guardedby // want "needs a guard"
+}

@@ -1,0 +1,86 @@
+// Package lockheld is the golden fixture for the blocking-under-mutex
+// analyzer: file writes (direct and one call frame down), bare channel
+// operations, and default-less selects inside a critical section must
+// flag; selects with a default, IO after Unlock, and conditionally-held
+// locks (the intersection meet discards them) must stay quiet.
+package lockheld
+
+import (
+	"os"
+	"sync"
+)
+
+type Logger struct {
+	mu  sync.Mutex
+	f   *os.File
+	ch  chan int
+	buf []byte
+}
+
+// Write stalls every contender behind disk latency.
+func (l *Logger) Write(p []byte) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.f.Write(p) // want "may block while holding"
+}
+
+// Append reaches the blocking write one call frame down; the finding
+// prints the chain to the evidence.
+func (l *Logger) Append(p []byte) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.buf = append(l.buf, p...)
+	l.sync() // want "may block while holding"
+}
+
+func (l *Logger) sync() {
+	l.f.Sync()
+}
+
+// Publish sends on an unbuffered-capable channel under the lock.
+func (l *Logger) Publish(v int) {
+	l.mu.Lock()
+	l.ch <- v // want "blocks on a channel send while holding"
+	l.mu.Unlock()
+}
+
+// WaitOne parks in a select with no default under the lock.
+func (l *Logger) WaitOne() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	select { // want "blocks on a select without a default case while holding"
+	case v := <-l.ch:
+		return v
+	}
+}
+
+// TryPublish is clean: the default clause means the select cannot block.
+func (l *Logger) TryPublish(v int) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	select {
+	case l.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// Snapshot is clean: copy under the lock, write after releasing it.
+func (l *Logger) Snapshot() {
+	l.mu.Lock()
+	buf := append([]byte(nil), l.buf...)
+	l.mu.Unlock()
+	l.f.Write(buf)
+}
+
+// MaybeLocked is clean: the lock is held on only one path into the
+// write, and must-held analysis intersects over predecessors.
+func (l *Logger) MaybeLocked(cond bool, p []byte) {
+	if cond {
+		l.mu.Lock()
+		l.buf = append(l.buf[:0], p...)
+		l.mu.Unlock()
+	}
+	l.f.Write(p)
+}

@@ -1,0 +1,68 @@
+// Package lockorder is the golden fixture for the lock-order cycle
+// analyzer: TakeAB/TakeBA acquire the pair muA, muB in opposite orders
+// through one call frame each — the classic inverted-pair deadlock —
+// and Re re-acquires muC through a helper while already holding it.
+// TakeABDirect nests the pair in the SAME order as TakeAB and must
+// stay quiet: consistent nesting is the fix, not a finding. Each cycle
+// is reported once, at the first witness edge, with every witness call
+// chain in the message.
+package lockorder
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+	muC sync.Mutex
+)
+
+var n int
+
+// TakeAB holds muA while its callee takes muB: the edge muA → muB.
+func TakeAB() {
+	muA.Lock()
+	defer muA.Unlock()
+	lockB() // want "lock-order cycle"
+}
+
+func lockB() {
+	muB.Lock()
+	n++
+	muB.Unlock()
+}
+
+// TakeBA holds muB while its callee takes muA: the inverted edge.
+func TakeBA() {
+	muB.Lock()
+	defer muB.Unlock()
+	lockA()
+}
+
+func lockA() {
+	muA.Lock()
+	n++
+	muA.Unlock()
+}
+
+// Re re-acquires muC through a helper while already holding it: a
+// guaranteed self-deadlock, since Go mutexes are not reentrant.
+func Re() {
+	muC.Lock()
+	defer muC.Unlock()
+	relockC() // want "not reentrant"
+}
+
+func relockC() {
+	muC.Lock()
+	n++
+	muC.Unlock()
+}
+
+// TakeABDirect nests the pair in the same order TakeAB uses — clean.
+func TakeABDirect() {
+	muA.Lock()
+	muB.Lock()
+	n++
+	muB.Unlock()
+	muA.Unlock()
+}

@@ -28,13 +28,17 @@ const ctxPollBatch = 1024
 // drawn from PRNG stream i, no matter how many workers participate, so
 // doubling the pool extends — never reshuffles — the sample sequence.
 type Pool struct {
-	g       *graph.Graph
-	part    *community.Partition
-	model   diffusion.Model
-	root    *xrand.RNG
-	seed    uint64
-	workers int
+	g       *graph.Graph         //imc:guardedby immutable
+	part    *community.Partition //imc:guardedby immutable
+	model   diffusion.Model      //imc:guardedby immutable
+	root    *xrand.RNG           //imc:guardedby immutable
+	seed    uint64               //imc:guardedby immutable
+	workers int                  //imc:guardedby immutable
 
+	// The sample state is single-writer by contract — GenerateCtx and
+	// ReadInto own it exclusively, then readers share it frozen (the
+	// sharemut analyzer polices that boundary) — so it carries no guard
+	// annotation.
 	samples  []Sample
 	index    [][]CoverEntry
 	commFreq []int // samples per source community

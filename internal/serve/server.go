@@ -57,42 +57,42 @@ const DefaultSolveTimeout = 60 * time.Second
 // Server is the HTTP handler set. Create with New and mount via
 // Handler.
 type Server struct {
-	logger       *slog.Logger
-	now          clock.Func
-	start        time.Time
-	solveTimeout time.Duration
+	logger       *slog.Logger  //imc:guardedby immutable
+	now          clock.Func    //imc:guardedby immutable
+	start        time.Time     //imc:guardedby immutable
+	solveTimeout time.Duration //imc:guardedby immutable
 
 	// inflight is the heavy-endpoint admission semaphore: a slot is
 	// acquired non-blocking, so a full channel sheds load immediately
 	// instead of queueing latency.
-	inflight chan struct{}
+	inflight chan struct{} //imc:guardedby immutable
 
 	mu    sync.Mutex
-	cache map[string]*expt.Instance
+	cache map[string]*expt.Instance //imc:guardedby mu
 	// maxCached bounds the instance cache (simple clear-all eviction:
 	// instances are cheap to rebuild relative to their memory).
-	maxCached int
+	maxCached int //imc:guardedby immutable
 	// building holds one in-flight build per cache key (singleflight):
 	// concurrent misses wait on the first builder's done channel instead
 	// of rebuilding the same instance N times.
-	building map[string]*buildResult
+	building map[string]*buildResult //imc:guardedby mu
 	// buildInstance is the instance factory; a test seam defaulting to
-	// expt.BuildInstance.
-	buildInstance func(expt.InstanceConfig) (*expt.Instance, error)
+	// expt.BuildInstance (tests replace it before serving traffic).
+	buildInstance func(expt.InstanceConfig) (*expt.Instance, error) //imc:guardedby immutable
 
 	// Request counters for /metrics, keyed by registered route (anything
 	// else is bucketed under "other" so path scans can't grow the maps).
 	// latency holds per-route request-duration histograms for the
 	// compute-heavy routes, guarded by the same mutex.
 	statsMu   sync.Mutex
-	requests  map[string]int64
-	errors4xx map[string]int64
-	errors5xx map[string]int64
-	latency   map[string]*stats.Histogram
+	requests  map[string]int64            //imc:guardedby statsMu
+	errors4xx map[string]int64            //imc:guardedby statsMu
+	errors5xx map[string]int64            //imc:guardedby statsMu
+	latency   map[string]*stats.Histogram //imc:guardedby statsMu
 
 	// jobStore/jobPool are nil unless Config enabled the job endpoints.
-	jobStore *job.Store
-	jobPool  *job.Pool
+	jobStore *job.Store //imc:guardedby immutable
+	jobPool  *job.Pool  //imc:guardedby immutable
 }
 
 // buildResult is one singleflight build slot. inst and err are written

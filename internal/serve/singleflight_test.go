@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"imc/internal/expt"
+)
+
+// instReq builds a request whose cache key is unique to name.
+func instReq(name string) InstanceRequest {
+	return InstanceRequest{Dataset: name, Scale: 0.1}
+}
+
+// TestSingleflightBuildsOnce floods one cold key per dataset with
+// concurrent misses and asserts the singleflight contract exactly:
+// one build per key, every caller handed the same instance.
+func TestSingleflightBuildsOnce(t *testing.T) {
+	s := NewWithOptions(nil, nil, Config{})
+	builds := make(map[string]*atomic.Int64)
+	const keys = 8 // below maxCached: no eviction churn in this phase
+	for i := 0; i < keys; i++ {
+		builds[fmt.Sprintf("ds-%d", i)] = new(atomic.Int64)
+	}
+	s.buildInstance = func(cfg expt.InstanceConfig) (*expt.Instance, error) {
+		builds[cfg.Dataset].Add(1)
+		return &expt.Instance{Name: cfg.Dataset}, nil
+	}
+
+	const waitersPerKey = 16
+	got := make([][]*expt.Instance, keys)
+	var wg sync.WaitGroup
+	for k := 0; k < keys; k++ {
+		got[k] = make([]*expt.Instance, waitersPerKey)
+		for w := 0; w < waitersPerKey; w++ {
+			wg.Add(1)
+			go func(k, w int) {
+				defer wg.Done()
+				inst, err := s.instance(context.Background(), instReq(fmt.Sprintf("ds-%d", k)))
+				if err != nil {
+					t.Errorf("instance(ds-%d): %v", k, err)
+					return
+				}
+				got[k][w] = inst
+			}(k, w)
+		}
+	}
+	wg.Wait()
+
+	for k := 0; k < keys; k++ {
+		name := fmt.Sprintf("ds-%d", k)
+		if n := builds[name].Load(); n != 1 {
+			t.Errorf("key %s built %d times, want exactly 1", name, n)
+		}
+		for w := 1; w < waitersPerKey; w++ {
+			if got[k][w] != got[k][0] {
+				t.Errorf("key %s: waiter %d received a different instance", name, w)
+			}
+		}
+	}
+}
+
+// TestSingleflightUnderEvictChurn mixes hits, misses, and clear-all
+// evictions (more keys than maxCached) from many goroutines. Rebuilds
+// after eviction are legitimate, so the invariant asserted is the one
+// eviction cannot excuse: at most one build in flight per key at any
+// instant, and every caller gets the instance for the key it asked
+// for. Run under -race, this is also the data-race probe for the
+// cache/building maps.
+func TestSingleflightUnderEvictChurn(t *testing.T) {
+	s := NewWithOptions(nil, nil, Config{})
+	const keys = 40 // > maxCached (16): steady clear-all evictions
+	inflight := make([]atomic.Int64, keys)
+	s.buildInstance = func(cfg expt.InstanceConfig) (*expt.Instance, error) {
+		var k int
+		if _, err := fmt.Sscanf(cfg.Dataset, "ds-%d", &k); err != nil {
+			return nil, err
+		}
+		if n := inflight[k].Add(1); n != 1 {
+			t.Errorf("key %s: %d concurrent builds in flight", cfg.Dataset, n)
+		}
+		defer inflight[k].Add(-1)
+		return &expt.Instance{Name: cfg.Dataset}, nil
+	}
+
+	const workers = 12
+	const iters = 120
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				name := fmt.Sprintf("ds-%d", (w*7+i*13)%keys)
+				inst, err := s.instance(context.Background(), instReq(name))
+				if err != nil {
+					t.Errorf("instance(%s): %v", name, err)
+					return
+				}
+				if inst.Name != name {
+					t.Errorf("asked for %s, got instance %s", name, inst.Name)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
