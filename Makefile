@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-bench graph api test race bench fuzz jobs-test experiments examples clean
+.PHONY: all build vet lint lint-bench graph api test race bench bench-core fuzz jobs-test experiments examples clean
 
 all: build vet lint test
 
@@ -43,6 +43,13 @@ jobs-test:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Solver-kernel microbenchmarks (RIC generation + greedy scans) in the
+# machine-readable BENCH_core.json shape. Pass BENCH_BASE=<old.json> to
+# fill the before column from an earlier run.
+bench-core:
+	$(GO) run ./cmd/imcbench -benchcore BENCH_core.json \
+		$(if $(BENCH_BASE),-benchbase $(BENCH_BASE))
 
 fuzz:
 	$(GO) test ./internal/graph/ -fuzz FuzzReadEdgeList -fuzztime 30s

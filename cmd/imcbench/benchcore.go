@@ -1,0 +1,170 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"imc/internal/diffusion"
+	"imc/internal/expt"
+	"imc/internal/graph"
+	"imc/internal/maxr"
+	"imc/internal/ric"
+	"imc/internal/xrand"
+)
+
+// coreBenchSchema versions the -benchcore output shape.
+const coreBenchSchema = "imc-corebench/v1"
+
+// benchStats is one measurement: wall time and allocation pressure per
+// operation, straight from testing.BenchmarkResult.
+type benchStats struct {
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+}
+
+// coreBenchmark is one kernel's row. Before is present only when
+// -benchbase supplied an earlier run to diff against; Speedup is
+// before/after wall time.
+type coreBenchmark struct {
+	Name    string      `json:"name"`
+	Before  *benchStats `json:"before,omitempty"`
+	After   benchStats  `json:"after"`
+	Speedup float64     `json:"speedup,omitempty"`
+}
+
+// coreBenchReport is the BENCH_core.json shape. Key order is fixed by
+// field declaration order — the shape contains no maps — so two runs
+// diff cleanly.
+type coreBenchReport struct {
+	Schema     string          `json:"schema"`
+	GoVersion  string          `json:"goversion"`
+	Dataset    string          `json:"dataset"`
+	PoolSize   int             `json:"poolSize"`
+	SeedSetK   int             `json:"seedSetK"`
+	Benchmarks []coreBenchmark `json:"benchmarks"`
+}
+
+// runBenchCore measures the solver kernels the hot-path contracts
+// guard — RIC sample generation and the greedy seed-selection scans —
+// and writes a machine-readable report. basePath, when non-empty,
+// names an earlier -benchcore file whose numbers become the "before"
+// column (used to pin the before/after deltas of a kernel change).
+func runBenchCore(outPath, basePath string) error {
+	const (
+		dataset  = "facebook"
+		scale    = 0.25
+		poolSize = 2048
+		k        = 10
+	)
+	inst, err := expt.BuildInstance(expt.InstanceConfig{Dataset: dataset, Scale: scale, Seed: 42})
+	if err != nil {
+		return err
+	}
+	pool, err := ric.NewPool(inst.G, inst.Part, ric.PoolOptions{Seed: 7})
+	if err != nil {
+		return err
+	}
+	if err := pool.Generate(poolSize); err != nil {
+		return err
+	}
+
+	rep := coreBenchReport{
+		Schema:    coreBenchSchema,
+		GoVersion: runtime.Version(),
+		Dataset:   fmt.Sprintf("%s/scale=%g", dataset, scale),
+		PoolSize:  poolSize,
+		SeedSetK:  k,
+	}
+	// Best-of-3: scheduler and allocator noise only ever slows a run
+	// down, so the minimum wall time is the most repeatable statistic.
+	// Allocation counts are deterministic and identical across reps.
+	const reps = 3
+	add := func(name string, fn func(b *testing.B)) {
+		var best benchStats
+		for i := 0; i < reps; i++ {
+			r := testing.Benchmark(fn)
+			s := benchStats{
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+			}
+			if i == 0 || s.NsPerOp < best.NsPerOp {
+				best = s
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, coreBenchmark{Name: name, After: best})
+	}
+	add("RICGenerate/IC", benchGenerate(inst, diffusion.IC))
+	add("RICGenerate/LT", benchGenerate(inst, diffusion.LT))
+	add("GreedyCHat/k=10", benchGreedy(pool, k, maxr.GreedyCHat))
+	add("GreedyNu/k=10", benchGreedy(pool, k, maxr.GreedyNu))
+
+	if basePath != "" {
+		data, err := os.ReadFile(basePath)
+		if err != nil {
+			return err
+		}
+		var base coreBenchReport
+		if err := json.Unmarshal(data, &base); err != nil {
+			return fmt.Errorf("parsing -benchbase %s: %w", basePath, err)
+		}
+		before := make(map[string]benchStats, len(base.Benchmarks))
+		for _, b := range base.Benchmarks {
+			before[b.Name] = b.After
+		}
+		for i := range rep.Benchmarks {
+			b := &rep.Benchmarks[i]
+			if prev, ok := before[b.Name]; ok {
+				p := prev
+				b.Before = &p
+				if b.After.NsPerOp > 0 {
+					b.Speedup = p.NsPerOp / b.After.NsPerOp
+				}
+			}
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}
+
+// benchGenerate times one RIC sample draw (generator hot path: the
+// collective reverse BFS plus per-member cover-slot BFS).
+func benchGenerate(inst *expt.Instance, model diffusion.Model) func(b *testing.B) {
+	return func(b *testing.B) {
+		g, err := ric.NewGenerator(inst.G, inst.Part, model)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := xrand.New(1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = g.Generate(rng)
+		}
+	}
+}
+
+// benchGreedy times one full k-seed selection over a fixed pool — the
+// candidate-scan / CELF-heap hot loops.
+func benchGreedy(pool *ric.Pool, k int, algo func(*ric.Pool, int) ([]graph.NodeID, error)) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := algo(pool, k); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

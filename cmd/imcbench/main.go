@@ -7,6 +7,11 @@
 //	imcbench -experiment table1
 //	imcbench -experiment fig5 -scale 0.2 -runs 3
 //	imcbench -experiment all -scale 0.05
+//
+// -benchcore instead runs the solver-kernel microbenchmarks (RIC
+// sample generation and the greedy seed-selection scans) and writes a
+// machine-readable JSON report; -benchbase merges an earlier report in
+// as the before column, pinning a kernel change's before/after deltas.
 package main
 
 import (
@@ -43,8 +48,14 @@ func run() error {
 		model      = flag.String("model", "IC", "propagation model: IC|LT")
 		scaleFor   = flag.String("scalefor", "", "per-dataset scale overrides, e.g. facebook=1.0,pokec=0.05")
 		checkpoint = flag.String("checkpoint", "", "JSONL checkpoint file: finished cells are persisted and reused on re-runs")
+		benchCore  = flag.String("benchcore", "", "write solver-kernel microbenchmarks (ns/op, allocs/op) to this JSON file and exit")
+		benchBase  = flag.String("benchbase", "", "earlier -benchcore file; its numbers become the before column")
 	)
 	flag.Parse()
+
+	if *benchCore != "" {
+		return runBenchCore(*benchCore, *benchBase)
+	}
 
 	diffModel := diffusion.IC
 	if strings.EqualFold(*model, "LT") {

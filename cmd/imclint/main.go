@@ -1,12 +1,12 @@
-// Command imclint runs the repository's static-analysis suite: eighteen
-// analyzers built on go/parser, go/ast, and go/types that machine-check
-// the determinism, concurrency, allocation, layering, and numeric
-// invariants the RIC-sampling guarantees depend on (see DESIGN.md,
-// "Static analysis & invariants").
+// Command imclint runs the repository's static-analysis suite:
+// twenty-two analyzers built on go/parser, go/ast, and go/types that
+// machine-check the determinism, concurrency, allocation, layering,
+// numeric, and hot-path performance invariants the RIC-sampling
+// guarantees depend on (see DESIGN.md, "Static analysis & invariants").
 //
 // Usage:
 //
-//	imclint [-check name,name] [-list] [-graph] [-update-api] [-json] [-baseline file] [-bench file] [packages]
+//	imclint [-check name,name] [-list] [-graph] [-update-api] [-json] [-baseline file] [-bench file] [-cache=false] [packages]
 //
 // Packages default to ./... relative to the enclosing module. Exit
 // status is 1 when any diagnostic fires, 0 on a clean tree, 2 on usage
@@ -29,6 +29,12 @@
 // lint-baseline.json` reports only regressions. Baseline matching
 // ignores line numbers: unrelated edits that shift a known finding do
 // not resurface it.
+//
+// Full-module runs consult a per-package fact cache under
+// <module>/.imclint-cache/, keyed by a content hash over the module's
+// analysis inputs; when nothing has changed the whole report replays
+// without parsing a file. -cache=false disables it, and the -json
+// report carries hit/miss counts under "cache".
 package main
 
 import (
@@ -38,6 +44,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -66,10 +73,12 @@ func (f finding) key() string {
 
 // report is the -json output shape: call-graph stats alongside the
 // findings, so the CI artifact records the interprocedural view the
-// findings were computed against.
+// findings were computed against. Cache is present only when the fact
+// cache was consulted (full-module runs with -cache left on).
 type report struct {
 	CallGraph lint.CallGraphStats `json:"callgraph"`
 	LockGraph lint.LockGraphStats `json:"lockgraph"`
+	Cache     *cacheStats         `json:"cache,omitempty"`
 	Findings  []finding           `json:"findings"`
 }
 
@@ -84,6 +93,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonOut   = fs.Bool("json", false, "emit callgraph stats + findings as JSON")
 		baseline  = fs.String("baseline", "", "JSON findings file; matching findings are not reported")
 		bench     = fs.String("bench", "", "write per-analyzer wall time + findings counts to this JSON file")
+		cacheOn   = fs.Bool("cache", true, "use the per-package fact cache on full-module runs")
+		cacheDir  = fs.String("cache-dir", "", "fact-cache directory (default <module>/.imclint-cache)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -133,6 +144,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "imclint:", err)
 		return 2
 	}
+
+	// The fact cache only serves full-module lint runs: -graph and
+	// -update-api need the live program, -bench must time real work, and
+	// a partial package list has no stable manifest to replay.
+	var cache *factCache
+	if *cacheOn && !*graph && !*updateAPI && *bench == "" && fullModuleLoad(fs.Args()) {
+		dir := *cacheDir
+		if dir == "" {
+			dir = filepath.Join(loader.ModuleDir, ".imclint-cache")
+		}
+		names := make([]string, len(analyzers))
+		for i, a := range analyzers {
+			names[i] = a.Name
+		}
+		// Hash errors (unreadable tree) just disable the cache; the
+		// loader will surface anything that actually matters.
+		if c, err := openCache(dir, loader.ModuleDir, strings.Join(names, ",")); err == nil {
+			cache = c
+		}
+	}
+	if cache != nil {
+		if m, cached, ok := cache.replay(); ok {
+			rep := report{CallGraph: m.CallGraph, LockGraph: m.LockGraph, Cache: &cache.stats, Findings: []finding{}}
+			for _, f := range cached {
+				if !baselined[f.key()] {
+					rep.Findings = append(rep.Findings, f)
+				}
+			}
+			return emit(stdout, stderr, *jsonOut, rep)
+		}
+	}
+
 	pkgs, err := loader.Load(fs.Args()...)
 	if err != nil {
 		fmt.Fprintln(stderr, "imclint:", err)
@@ -161,24 +204,44 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	findings := []finding{} // non-nil so -json prints [] on a clean tree
+	var manifestPkgs []string
 	for _, pkg := range pkgs {
-		active := lint.AnalyzersFor(loader.ModulePath, pkg.Path, analyzers)
-		if len(active) == 0 {
-			continue
+		var pkgFindings []finding
+		cached := false
+		if cache != nil {
+			pkgFindings, cached = cache.load(pkg.Path)
 		}
-		for _, d := range lint.Run(pkg, active) {
-			f := finding{
-				Check:   d.Check,
-				File:    relToModule(loader.ModuleDir, d.Pos.Filename),
-				Line:    d.Pos.Line,
-				Col:     d.Pos.Column,
-				Message: d.Message,
+		if !cached {
+			if active := lint.AnalyzersFor(loader.ModulePath, pkg.Path, analyzers); len(active) > 0 {
+				for _, d := range lint.Run(pkg, active) {
+					pkgFindings = append(pkgFindings, finding{
+						Check:   d.Check,
+						File:    relToModule(loader.ModuleDir, d.Pos.Filename),
+						Line:    d.Pos.Line,
+						Col:     d.Pos.Column,
+						Message: d.Message,
+					})
+				}
 			}
+		}
+		if cache != nil {
+			if cached {
+				cache.stats.Hits++
+			} else {
+				cache.stats.Misses++
+				cache.store(pkg.Path, pkgFindings)
+			}
+			manifestPkgs = append(manifestPkgs, pkg.Path)
+		}
+		for _, f := range pkgFindings {
 			if baselined[f.key()] {
 				continue
 			}
 			findings = append(findings, f)
 		}
+	}
+	if cache != nil {
+		cache.storeManifest(manifestPkgs, prog.Graph.Stats(), prog.LockStats())
 	}
 
 	if *bench != "" {
@@ -189,19 +252,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "wrote %s\n", *bench)
 	}
 
-	if *jsonOut {
+	rep := report{CallGraph: prog.Graph.Stats(), LockGraph: prog.LockStats(), Findings: findings}
+	if cache != nil {
+		rep.Cache = &cache.stats
+	}
+	return emit(stdout, stderr, *jsonOut, rep)
+}
+
+// emit renders the report (JSON or line-per-finding) and returns the
+// process exit code — shared by the live path and the cache replay.
+func emit(stdout, stderr io.Writer, jsonOut bool, rep report) int {
+	if jsonOut {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(report{CallGraph: prog.Graph.Stats(), LockGraph: prog.LockStats(), Findings: findings}); err != nil {
+		if err := enc.Encode(rep); err != nil {
 			fmt.Fprintln(stderr, "imclint:", err)
 			return 2
 		}
 	} else {
-		for _, f := range findings {
+		for _, f := range rep.Findings {
 			fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Col, f.Check, f.Message)
 		}
 	}
-	if len(findings) > 0 {
+	if len(rep.Findings) > 0 {
 		return 1
 	}
 	return 0
@@ -215,10 +288,18 @@ type benchEntry struct {
 	Findings int     `json:"findings"`
 }
 
+// benchSchema versions the -bench output shape so downstream tooling
+// can reject files it does not understand.
+const benchSchema = "imclint-bench/v1"
+
 // benchReport is the -bench output shape: per-analyzer wall time and
 // reported-findings count, plus the sizes of the interprocedural
-// structures the expensive analyzers run against.
+// structures the expensive analyzers run against. Key order is fixed
+// by field declaration order (no maps anywhere in the shape), so two
+// runs on the same tree diff cleanly.
 type benchReport struct {
+	Schema    string              `json:"schema"`
+	GoVersion string              `json:"goversion"`
 	Packages  int                 `json:"packages"`
 	CallGraph lint.CallGraphStats `json:"callgraph"`
 	LockGraph lint.LockGraphStats `json:"lockgraph"`
@@ -239,6 +320,8 @@ func writeBench(path string, prog *lint.Program, pkgs []*lint.Package, loader *l
 		perCheck[f.Check]++
 	}
 	rep := benchReport{
+		Schema:    benchSchema,
+		GoVersion: runtime.Version(),
 		Packages:  len(pkgs),
 		CallGraph: prog.Graph.Stats(),
 		LockGraph: prog.LockStats(),

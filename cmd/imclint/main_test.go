@@ -161,6 +161,71 @@ func TestJSONGolden(t *testing.T) {
 	}
 }
 
+// perfChecks is the hot-path contract suite introduced in v5.
+const perfChecks = "heapescape,inlineable,boundscheck,ifacedispatch"
+
+// TestPerfContractsSelfCheck runs the four performance-contract
+// analyzers over the entire module and requires a clean tree: every
+// hot-path finding must be either fixed or suppressed with a reasoned
+// `//lint:allow`. It doubles as the fact-cache integration test — the
+// second run must replay from cache with identical findings.
+func TestPerfContractsSelfCheck(t *testing.T) {
+	cacheDir := filepath.Join(t.TempDir(), "factcache")
+
+	code, out1, errb := runCmd(t, "-json", "-cache-dir", cacheDir, "-check", perfChecks)
+	if code != 0 {
+		t.Fatalf("perf-contract self-check: exit = %d, want 0 (unsuppressed hot-path findings below)\n%s%s", code, out1, errb)
+	}
+	var rep1 report
+	if err := json.Unmarshal([]byte(out1), &rep1); err != nil {
+		t.Fatalf("self-check -json output: %v", err)
+	}
+	if len(rep1.Findings) != 0 {
+		t.Fatalf("self-check reported %d findings, want 0: %+v", len(rep1.Findings), rep1.Findings)
+	}
+	if rep1.Cache == nil || !rep1.Cache.Enabled {
+		t.Fatal("full-module run should consult the fact cache")
+	}
+	if rep1.Cache.Hits != 0 || rep1.Cache.Misses == 0 {
+		t.Fatalf("cold cache: hits=%d misses=%d, want 0 hits and >0 misses", rep1.Cache.Hits, rep1.Cache.Misses)
+	}
+
+	code, out2, _ := runCmd(t, "-json", "-cache-dir", cacheDir, "-check", perfChecks)
+	if code != 0 {
+		t.Fatalf("cached self-check: exit = %d, want 0", code)
+	}
+	var rep2 report
+	if err := json.Unmarshal([]byte(out2), &rep2); err != nil {
+		t.Fatalf("cached -json output: %v", err)
+	}
+	if rep2.Cache == nil || rep2.Cache.Misses != 0 || rep2.Cache.Hits != rep1.Cache.Misses {
+		t.Fatalf("warm cache: %+v, want %d hits and 0 misses", rep2.Cache, rep1.Cache.Misses)
+	}
+	// Everything except the hit/miss counters must replay bit-for-bit.
+	rep2.Cache = rep1.Cache
+	norm1, _ := json.Marshal(rep1)
+	norm2, _ := json.Marshal(rep2)
+	if string(norm1) != string(norm2) {
+		t.Errorf("cache replay diverged from live run:\nlive: %s\ncached: %s", norm1, norm2)
+	}
+}
+
+// TestCacheDisabled: -cache=false must omit the cache report section
+// and must not create the cache directory.
+func TestCacheDisabled(t *testing.T) {
+	cacheDir := filepath.Join(t.TempDir(), "factcache")
+	code, out, _ := runCmd(t, "-json", "-cache=false", "-cache-dir", cacheDir, "-check", "determinism")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; out=%s", code, out)
+	}
+	if strings.Contains(out, "\"cache\"") {
+		t.Errorf("-cache=false output still reports cache stats: %s", out)
+	}
+	if _, err := os.Stat(cacheDir); !os.IsNotExist(err) {
+		t.Errorf("-cache=false created %s (stat err=%v)", cacheDir, err)
+	}
+}
+
 // TestBaselineFilters freezes the current findings into a baseline and
 // verifies a re-run reports nothing — the regression-only workflow.
 func TestBaselineFilters(t *testing.T) {

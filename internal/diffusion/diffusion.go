@@ -95,70 +95,85 @@ func (s *Simulator) Run(seeds []graph.NodeID, rng *xrand.RNG) ([]bool, int) {
 
 //imc:hotpath
 func (s *Simulator) runIC(seeds []graph.NodeID, rng *xrand.RNG) ([]bool, int) {
-	for i := range s.active {
-		s.active[i] = false
+	// Hoist the scratch state into locals: the scan bound becomes a
+	// local length (one bounds proof, no per-iteration field reload
+	// through s), and the weights re-slice to the neighbor count so
+	// ws[i] checks once per edge list, not per edge.
+	active := s.active
+	for i := range active {
+		active[i] = false
 	}
-	s.queue = s.queue[:0]
+	queue := s.queue[:0]
 	count := 0
 	for _, u := range seeds {
-		if u < 0 || int(u) >= s.g.NumNodes() || s.active[u] {
+		if u < 0 || int(u) >= s.g.NumNodes() || active[u] {
 			continue
 		}
-		s.active[u] = true
+		active[u] = true
 		count++
-		s.queue = append(s.queue, u)
+		queue = append(queue, u)
 	}
-	for head := 0; head < len(s.queue); head++ {
-		u := s.queue[head]
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
 		tos, ws := s.g.OutNeighbors(u)
+		ws = ws[:len(tos)]
 		for i, v := range tos {
-			if s.active[v] {
+			if active[v] {
 				continue
 			}
 			if rng.Bernoulli(ws[i]) {
-				s.active[v] = true
+				active[v] = true
 				count++
-				s.queue = append(s.queue, v)
+				queue = append(queue, v)
 			}
 		}
 	}
-	return s.active, count
+	s.queue = queue
+	return active, count
 }
 
 //imc:hotpath
 func (s *Simulator) runLT(seeds []graph.NodeID, rng *xrand.RNG) ([]bool, int) {
 	n := s.g.NumNodes()
+	// Re-slice the per-node state to the loop bound once: the reset scan
+	// and every frontier update below then index with a single shared
+	// bounds proof instead of three unrelated field loads per node.
+	active := s.active[:n]
+	ltWeight := s.ltWeight[:n]
+	ltThresh := s.ltThresh[:n]
 	for i := 0; i < n; i++ {
-		s.active[i] = false
-		s.ltWeight[i] = 0
-		s.ltThresh[i] = rng.Float64()
+		active[i] = false
+		ltWeight[i] = 0
+		ltThresh[i] = rng.Float64()
 	}
-	s.queue = s.queue[:0]
+	queue := s.queue[:0]
 	count := 0
 	for _, u := range seeds {
-		if u < 0 || int(u) >= n || s.active[u] {
+		if u < 0 || int(u) >= n || active[u] {
 			continue
 		}
-		s.active[u] = true
+		active[u] = true
 		count++
-		s.queue = append(s.queue, u)
+		queue = append(queue, u)
 	}
-	for head := 0; head < len(s.queue); head++ {
-		u := s.queue[head]
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
 		tos, ws := s.g.OutNeighbors(u)
+		ws = ws[:len(tos)]
 		for i, v := range tos {
-			if s.active[v] {
+			if active[v] {
 				continue
 			}
-			s.ltWeight[v] += ws[i]
-			if s.ltWeight[v] >= s.ltThresh[v] {
-				s.active[v] = true
+			ltWeight[v] += ws[i]
+			if ltWeight[v] >= ltThresh[v] {
+				active[v] = true
 				count++
-				s.queue = append(s.queue, v)
+				queue = append(queue, v)
 			}
 		}
 	}
-	return s.active, count
+	s.queue = queue
+	return active, count
 }
 
 // TraceRound is one discrete round of a traced cascade.
@@ -440,6 +455,7 @@ func StoppingRuleCtx(ctx context.Context, sample func(*xrand.RNG) float64, eps, 
 				return StoppingRuleResult{}, err
 			}
 		}
+		//lint:allow ifacedispatch: sample IS the estimator's abstraction point — every draw runs a full cascade behind it, so one indirect call per draw is amortized noise
 		sum += sample(rng)
 		if sum >= upsilon {
 			return StoppingRuleResult{Mean: upsilon / float64(t), Samples: t, Converged: true}, nil

@@ -22,6 +22,10 @@ var All = []*Analyzer{
 	GuardedBy,
 	LockHeld,
 	LockOrder,
+	HeapEscape,
+	Inlineable,
+	BoundsCheck,
+	IfaceDispatch,
 }
 
 // ByName resolves a comma-separated analyzer list ("determinism,printer").
@@ -87,6 +91,9 @@ const clockPackage = "/internal/clock"
 //   - chanctx, guardedby, lockheld: library packages only (cmd/
 //     binaries hold no long-lived locks and their signal-wait selects
 //     are the process's own lifetime, not a leaked goroutine's);
+//   - heapescape, inlineable, boundscheck, ifacedispatch: library
+//     packages only (the //imc:hotpath perf contracts live in library
+//     code, like allocfree);
 //   - goroutineleak, ctxfirst, errflow, sharemut, layering, lockorder:
 //     everywhere (a lock-order cycle is a deadlock wherever it lives).
 func AnalyzersFor(modulePath, path string, candidates []*Analyzer) []*Analyzer {
@@ -99,7 +106,8 @@ func AnalyzersFor(modulePath, path string, candidates []*Analyzer) []*Analyzer {
 				out = append(out, a)
 			}
 		case "floatcompare", "printer", "allocfree", "purity", "ctxplumb", "apisurface",
-			"chanctx", "guardedby", "lockheld":
+			"chanctx", "guardedby", "lockheld",
+			"heapescape", "inlineable", "boundscheck", "ifacedispatch":
 			if lib {
 				out = append(out, a)
 			}

@@ -1,0 +1,361 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// BoundsCheck flags index patterns inside `//imc:hotpath` loops that
+// defeat Go's bounds-check elimination (BCE) — each defeated check is
+// a compare-and-branch per element per sample. Three patterns fire:
+//
+//  1. `len(x.f)` in a for-loop condition: a field (or any selector)
+//     length is reloaded every iteration, because the compiler must
+//     assume calls and stores in the body change it, and the reload
+//     blocks BCE on indexes bounded by it. Hoist the slice into a
+//     local (`s := x.f`) before the loop — and write it back after, if
+//     the loop appends.
+//
+//  2. Additive index arithmetic on slices: `s[i+1]` / `s[i-1]` keeps
+//     its bounds check even when `i < len(s)` holds, because the proof
+//     needed is about i±1, not i. Widen the loop bound
+//     (`i < len(s)-1`) or add a dominating bound hint.
+//
+//  3. Parallel-slice indexing: `b[i]` inside a loop whose induction
+//     variable is bounded by a DIFFERENT slice's length (`i <
+//     len(a)`, `range a`) is checked on every access — the compiler
+//     cannot relate len(b) to len(a). The standard idioms are
+//     recognized as clean when they appear before the loop:
+//     `b = b[:len(a)]` (or `[:n]` for an `i < n` bound), a
+//     `_ = b[...]` bound hint, or `b := make(T, len(a))` /
+//     `make(T, n)`.
+//
+// The clean-idiom table (pinned by the BCE table test):
+//
+//   - `for i := range s { s[i] }` and `for i := 0; i < len(s); i++ {
+//     s[i] }` on the SAME slice — the canonical BCE shapes;
+//   - data-dependent gathers `s[e.Sample]`, `s[v]` — a different
+//     optimization problem (the index is data), not a defeated proof;
+//   - packing arithmetic `s[i/64]`, `s[i%64]`, shifts — the masked
+//     word-index idiom of the bitset layer;
+//   - map indexing (no bounds checks exist) and fixed-size arrays
+//     (length is a compile-time constant);
+//   - the hoisted-length form `n := len(s); for i := 0; i < n; i++ {
+//     s[i] }` — the assignment relates n back to s;
+//   - re-sliced or hinted parallel slices, per pattern 3.
+//
+// The analysis is per-function and flow-light: "before the loop" is
+// source order, not dominance — precise enough for lint, cheap enough
+// to run on every package.
+var BoundsCheck = &Analyzer{
+	Name: "boundscheck",
+	Doc:  "flag hot-loop index patterns that defeat bounds-check elimination (selector len() in loop conditions, additive index arithmetic, unre-sliced parallel slices)",
+	Kind: KindFlowSensitive,
+	Run:  runBoundsCheck,
+}
+
+func runBoundsCheck(pkg *Package, r *Reporter) {
+	for _, fd := range hotFuncDecls(pkg) {
+		checkBounds(pkg, fd, r)
+	}
+}
+
+func checkBounds(pkg *Package, fd *ast.FuncDecl, r *Reporter) {
+	if pkg.Info == nil {
+		return
+	}
+	b := &boundsChecker{pkg: pkg, r: r}
+	b.collectSanctions(fd.Body)
+	cfg := BuildCFG(fd.Body)
+
+	// Pattern 2 scans the per-iteration statements from the CFG;
+	// patterns 1 and 3 key off the loop statements themselves.
+	for _, stmt := range loopStmts(cfg) {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.IndexExpr:
+				b.checkIndexArith(n)
+			}
+			return true
+		})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			b.checkLenCondition(n)
+			b.checkParallel(n, nil)
+		case *ast.RangeStmt:
+			b.checkParallel(nil, n)
+		}
+		return true
+	})
+}
+
+type boundsChecker struct {
+	pkg *Package
+	r   *Reporter
+	// sanctions records the re-slice / hint / sized-make facts: for a
+	// slice object b, the bound objects it has been related to (nil
+	// entry = related to anything, e.g. by a `_ = b[...]` hint), with
+	// the source position the fact holds from.
+	sanctions []sanction
+}
+
+type sanction struct {
+	slice types.Object
+	bound types.Object // nil: any bound
+	pos   token.Pos
+}
+
+// exprObj resolves a plain identifier or selector to its object.
+func (b *boundsChecker) exprObj(e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := b.pkg.Info.Uses[e]; obj != nil {
+			return obj
+		}
+		return b.pkg.Info.Defs[e]
+	case *ast.SelectorExpr:
+		if sel, ok := b.pkg.Info.Selections[e]; ok {
+			return sel.Obj()
+		}
+	}
+	return nil
+}
+
+// isSliceExpr reports whether e has slice type (arrays and maps have
+// no BCE problem worth flagging: constant length / no checks).
+func (b *boundsChecker) isSliceExpr(e ast.Expr) bool {
+	tv, ok := b.pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isSlice := tv.Type.Underlying().(*types.Slice)
+	return isSlice
+}
+
+// collectSanctions records every `b = x[:len(a)]` / `b = x[:n]`
+// re-slice, `_ = b[...]` bound hint, `b := make(T, len(a))` /
+// `make(T, n)`, and `n := len(s)` hoisted-length assignment in the
+// body.
+func (b *boundsChecker) collectSanctions(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			lhs := as.Lhs[i]
+			if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+				// `_ = b[hint]`: pins b's length for everything after.
+				if ix, ok := rhs.(*ast.IndexExpr); ok && b.isSliceExpr(ix.X) {
+					if obj := b.exprObj(ix.X); obj != nil {
+						b.sanctions = append(b.sanctions, sanction{slice: obj, pos: as.Pos()})
+					}
+				}
+				continue
+			}
+			target := b.exprObj(lhs)
+			if target == nil {
+				continue
+			}
+			switch rhs := rhs.(type) {
+			case *ast.SliceExpr:
+				// b = b[:len(a)], b = b[:n], b := x.f[:n] — the target's
+				// length now IS the bound, whatever the base was.
+				if rhs.Low != nil || rhs.High == nil {
+					continue
+				}
+				if bound := b.boundObj(rhs.High); bound != nil {
+					b.sanctions = append(b.sanctions, sanction{slice: target, bound: bound, pos: as.Pos()})
+				}
+			case *ast.CallExpr:
+				if id, ok := rhs.Fun.(*ast.Ident); ok && isBuiltin(b.pkg, id) {
+					switch {
+					case id.Name == "make" && len(rhs.Args) >= 2:
+						// b := make(T, len(a)) / make(T, n[, cap])
+						if bound := b.boundObj(rhs.Args[1]); bound != nil {
+							b.sanctions = append(b.sanctions, sanction{slice: target, bound: bound, pos: as.Pos()})
+						}
+					case id.Name == "len" && len(rhs.Args) == 1:
+						// n := len(s) — the hoisted-length idiom relates n
+						// back to s, so `for i := 0; i < n` covers s[i].
+						if sliceObj := b.exprObj(rhs.Args[0]); sliceObj != nil {
+							b.sanctions = append(b.sanctions, sanction{slice: sliceObj, bound: target, pos: as.Pos()})
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// boundObj resolves a bound expression to the object that defines it:
+// `len(a)` → a's object, a plain identifier `n` → n's object.
+func (b *boundsChecker) boundObj(e ast.Expr) types.Object {
+	if call, ok := e.(*ast.CallExpr); ok && len(call.Args) == 1 {
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "len" && isBuiltin(b.pkg, id) {
+			return b.exprObj(call.Args[0])
+		}
+	}
+	if _, ok := e.(*ast.Ident); ok {
+		return b.exprObj(e)
+	}
+	return nil
+}
+
+// sanctioned reports whether slice b has a recorded relation to bound
+// (or to anything) established before pos.
+func (b *boundsChecker) sanctioned(slice, bound types.Object, before token.Pos) bool {
+	for _, s := range b.sanctions {
+		if s.slice != slice || s.pos >= before {
+			continue
+		}
+		if s.bound == nil || s.bound == bound {
+			return true
+		}
+	}
+	return false
+}
+
+// checkLenCondition is pattern 1: len(<selector>) in a for condition.
+func (b *boundsChecker) checkLenCondition(loop *ast.ForStmt) {
+	if loop.Cond == nil {
+		return
+	}
+	ast.Inspect(loop.Cond, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "len" || !isBuiltin(b.pkg, id) {
+			return true
+		}
+		if sel, ok := call.Args[0].(*ast.SelectorExpr); ok && b.isSliceExpr(sel) {
+			b.r.Reportf("boundscheck", call.Pos(),
+				"len(%s) in a hot-loop condition is reloaded every iteration and blocks bounds-check elimination on indexes it bounds; hoist the field into a local before the loop (and write it back if the loop appends)",
+				renderExpr(sel))
+		}
+		return true
+	})
+}
+
+// checkIndexArith is pattern 2: additive arithmetic in a slice index.
+func (b *boundsChecker) checkIndexArith(ix *ast.IndexExpr) {
+	bin, ok := ix.Index.(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.ADD && bin.Op != token.SUB) {
+		return
+	}
+	if !b.isSliceExpr(ix.X) {
+		return
+	}
+	b.r.Reportf("boundscheck", ix.Pos(),
+		"index %s[%s] in a hot loop keeps its bounds check: the compiler proves facts about the index variable, not about %s; widen the loop bound or add a dominating hint (_ = %s[max])",
+		renderExpr(ix.X), renderExpr(ix.Index), renderExpr(ix.Index), renderExpr(ix.X))
+}
+
+// checkParallel is pattern 3. Exactly one of forLoop / rangeLoop is
+// non-nil.
+func (b *boundsChecker) checkParallel(forLoop *ast.ForStmt, rangeLoop *ast.RangeStmt) {
+	var (
+		indVar   types.Object // the induction variable
+		boundVar types.Object // the slice (or scalar bound) it is bounded by
+		body     *ast.BlockStmt
+		loopPos  token.Pos
+	)
+	switch {
+	case rangeLoop != nil:
+		key, ok := rangeLoop.Key.(*ast.Ident)
+		if !ok || key.Name == "_" {
+			return
+		}
+		if !b.isSliceExpr(rangeLoop.X) {
+			return
+		}
+		indVar = b.pkg.Info.Defs[key]
+		if indVar == nil {
+			indVar = b.pkg.Info.Uses[key]
+		}
+		boundVar = b.exprObj(rangeLoop.X)
+		body, loopPos = rangeLoop.Body, rangeLoop.Pos()
+	case forLoop != nil:
+		indVar, boundVar = b.inductionOf(forLoop)
+		body, loopPos = forLoop.Body, forLoop.Pos()
+	}
+	if indVar == nil || boundVar == nil {
+		return
+	}
+	reported := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ix, ok := n.(*ast.IndexExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ix.Index.(*ast.Ident)
+		if !ok || b.pkg.Info.Uses[id] != indVar {
+			return true
+		}
+		if !b.isSliceExpr(ix.X) {
+			return true
+		}
+		sliceObj := b.exprObj(ix.X)
+		if sliceObj == nil || sliceObj == boundVar || reported[sliceObj] {
+			return true
+		}
+		if b.sanctioned(sliceObj, boundVar, loopPos) {
+			return true
+		}
+		reported[sliceObj] = true
+		boundExpr := boundVar.Name()
+		if _, isSlice := boundVar.Type().Underlying().(*types.Slice); isSlice {
+			boundExpr = "len(" + boundVar.Name() + ")"
+		}
+		b.r.Reportf("boundscheck", ix.Pos(),
+			"parallel-slice index %s[%s] keeps its bounds check on every iteration: the loop bound comes from %s, and the compiler cannot relate the two lengths; re-slice before the loop (%s = %s[:%s]) or add a bound hint",
+			renderExpr(ix.X), id.Name, boundVar.Name(), renderExpr(ix.X), renderExpr(ix.X), boundExpr)
+		return true
+	})
+}
+
+// inductionOf matches the canonical counting header `for i := 0; i <
+// len(a); i++` (or `i < n`), returning the induction variable and the
+// bound's defining object. Any deviation returns nils — pattern 3
+// only reasons about loops it fully understands.
+func (b *boundsChecker) inductionOf(loop *ast.ForStmt) (ind, bound types.Object) {
+	init, ok := loop.Init.(*ast.AssignStmt)
+	if !ok || init.Tok != token.DEFINE || len(init.Lhs) != 1 {
+		return nil, nil
+	}
+	id, ok := init.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil, nil
+	}
+	ind = b.pkg.Info.Defs[id]
+	cond, ok := loop.Cond.(*ast.BinaryExpr)
+	if !ok || (cond.Op != token.LSS && cond.Op != token.LEQ) {
+		return nil, nil
+	}
+	lhs, ok := cond.X.(*ast.Ident)
+	if !ok || b.pkg.Info.Uses[lhs] != ind {
+		return nil, nil
+	}
+	post, ok := loop.Post.(*ast.IncDecStmt)
+	if !ok || post.Tok != token.INC {
+		return nil, nil
+	}
+	bound = b.boundObj(cond.Y)
+	if ind == nil || bound == nil {
+		return nil, nil
+	}
+	return ind, bound
+}

@@ -1,0 +1,426 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HeapEscape enforces the stack-residency contract on `//imc:hotpath`
+// functions: a hot kernel's locals must stay on the stack, because a
+// heap-escaping local turns every access in the sampling loop into a
+// pointer chase and adds GC pressure proportional to the sample count.
+// The analysis is a lightweight address-taken escape lattice over the
+// function body:
+//
+//   - roots: `&x` where x is a function-local variable (parameters
+//     included) — the only way a local's storage can be aliased;
+//   - propagation: a flow-insensitive fixed point over assignments
+//     (`p := &x`, `q := p`) builds, per tainted variable, the witness
+//     path back to the root — printed like v4's lock-order chains;
+//   - sinks: returning a tainted value, storing it outside the frame
+//     (package-level var, through a field/deref/index of a non-local),
+//     sending it on a channel, or passing it to an external or dynamic
+//     callee. Passing `&x` to a statically-resolved IN-module callee is
+//     deliberately NOT a sink: the module's own functions are summarized
+//     and visible (`imclint -graph`), and the idiom
+//     `root.SplitInto(t, &rng)` — handing a stack-allocated PRNG to a
+//     known leaf — is exactly how the kernels stay allocation-free.
+//
+// Two further escape classes are checked inside loops only (their
+// depth-0 forms are one-time costs, not per-iteration ones):
+//
+//   - interface boxing, including variadic `...interface{}` spreads: a
+//     concrete non-pointer value crossing into an interface slot is
+//     copied to the heap on every iteration;
+//   - closure captures: a function literal built per iteration forces
+//     every enclosing-frame variable it captures onto the heap for the
+//     whole call, on top of its own per-iteration allocation.
+//
+// The lattice is deliberately unsound in the documented v3 way — it
+// over-approximates aliasing (any occurrence in an RHS taints the LHS)
+// and under-approximates retention by in-module callees. The gap is
+// visible, not hidden: callee parameter writes carry the EffParamWrite
+// summary bit.
+var HeapEscape = &Analyzer{
+	Name: "heapescape",
+	Doc:  "forbid heap escapes of locals in //imc:hotpath functions (returned/stored/sent addresses, escapes into external callees, in-loop boxing and closure captures), with the escape path as a witness chain",
+	Kind: KindFlowSensitive,
+	Run:  runHeapEscape,
+}
+
+func runHeapEscape(pkg *Package, r *Reporter) {
+	for _, fd := range hotFuncDecls(pkg) {
+		checkHeapEscape(pkg, fd, r)
+	}
+}
+
+// escTrace is the witness path from an address-taken root to the
+// expression currently holding it: "p := &x (gen.go:41) → q := p
+// (gen.go:44)".
+type escTrace struct {
+	root  types.Object
+	steps []string
+}
+
+func (t *escTrace) extend(step string) *escTrace {
+	steps := make([]string, 0, len(t.steps)+1)
+	steps = append(steps, t.steps...)
+	return &escTrace{root: t.root, steps: append(steps, step)}
+}
+
+func checkHeapEscape(pkg *Package, fd *ast.FuncDecl, r *Reporter) {
+	if pkg.Info == nil {
+		return
+	}
+	e := &escaper{
+		pkg:   pkg,
+		fd:    fd,
+		taint: make(map[types.Object]*escTrace),
+		r:     r,
+	}
+	e.propagate()
+	e.scanSinks()
+	e.scanLoopOnly()
+}
+
+type escaper struct {
+	pkg   *Package
+	fd    *ast.FuncDecl
+	taint map[types.Object]*escTrace
+	r     *Reporter
+}
+
+// localVar reports whether obj is a variable that lives in fd's frame:
+// declared inside the function (parameters and results included), and
+// not a struct field.
+func (e *escaper) localVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	return v.Pos() >= e.fd.Pos() && v.Pos() <= e.fd.End()
+}
+
+// addrRoot returns the local variable whose storage `&expr` aliases:
+// the base identifier of the operand path (&x, &x.f, &x[i]), nil when
+// the operand is not rooted at a local.
+func (e *escaper) addrRoot(expr ast.Expr) types.Object {
+	for {
+		switch x := expr.(type) {
+		case *ast.Ident:
+			obj := e.pkg.Info.Uses[x]
+			if obj == nil {
+				obj = e.pkg.Info.Defs[x]
+			}
+			if obj != nil && e.localVar(obj) {
+				// &slice[i] aliases the backing array, not the frame —
+				// only value-kinded locals (structs, arrays, scalars)
+				// root an escape.
+				return obj
+			}
+			return nil
+		case *ast.SelectorExpr:
+			if tv, ok := e.pkg.Info.Types[x.X]; ok && tv.Type != nil {
+				if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+					return nil // &p.f derefs p: aliases the pointee, not the frame
+				}
+			}
+			expr = x.X
+		case *ast.IndexExpr:
+			if tv, ok := e.pkg.Info.Types[x.X]; ok && tv.Type != nil {
+				if _, isSlice := tv.Type.Underlying().(*types.Slice); isSlice {
+					return nil // backing array, not the local's frame slot
+				}
+			}
+			expr = x.X
+		case *ast.ParenExpr:
+			expr = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// source returns the escape trace feeding expr: a fresh one when expr
+// contains `&x` of a local, or an existing one when it mentions a
+// tainted variable. Nil when expr cannot carry a frame address.
+func (e *escaper) source(expr ast.Expr) *escTrace {
+	var found *escTrace
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // captures are the closure check's business
+		case *ast.CallExpr:
+			// A call RESULT is not a frame address even when the
+			// arguments are: `return f(&x)` returns f's value. The
+			// arguments themselves are judged at the call site
+			// (checkCallSink), by who the callee is.
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if root := e.addrRoot(n.X); root != nil {
+					found = &escTrace{
+						root:  root,
+						steps: []string{"&" + root.Name() + " (" + e.pos(n.Pos()) + ")"},
+					}
+					return false
+				}
+			}
+		case *ast.Ident:
+			if obj := e.pkg.Info.Uses[n]; obj != nil {
+				if tr := e.taint[obj]; tr != nil {
+					found = tr
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// propagate runs the assignment fixed point: `p := &x` seeds, `q := p`
+// extends. First-wins per variable keeps traces deterministic (source
+// order) and the iteration terminating.
+func (e *escaper) propagate() {
+	type pair struct {
+		lhs types.Object
+		val ast.Expr
+		pos token.Pos
+	}
+	var pairs []pair
+	ast.Inspect(e.fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := e.pkg.Info.Defs[id]
+				if obj == nil {
+					obj = e.pkg.Info.Uses[id]
+				}
+				if obj != nil && e.localVar(obj) {
+					pairs = append(pairs, pair{lhs: obj, val: n.Rhs[i], pos: n.Pos()})
+				}
+			}
+		case *ast.ValueSpec:
+			for i, id := range n.Names {
+				if i >= len(n.Values) {
+					break
+				}
+				if obj := e.pkg.Info.Defs[id]; obj != nil && e.localVar(obj) {
+					pairs = append(pairs, pair{lhs: obj, val: n.Values[i], pos: n.Pos()})
+				}
+			}
+		}
+		return true
+	})
+	for changed := true; changed; {
+		changed = false
+		for _, p := range pairs {
+			if e.taint[p.lhs] != nil {
+				continue
+			}
+			if tr := e.source(p.val); tr != nil {
+				e.taint[p.lhs] = tr.extend(
+					p.lhs.Name() + " = " + renderExpr(p.val) + " (" + e.pos(p.pos) + ")")
+				changed = true
+			}
+		}
+	}
+}
+
+// scanSinks walks the body (function literals pruned) and reports every
+// point where a frame address leaves the frame.
+func (e *escaper) scanSinks() {
+	ast.Inspect(e.fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if tr := e.source(res); tr != nil {
+					e.report(res.Pos(), tr, "returned at "+e.pos(res.Pos()),
+						"the caller outlives the frame, so the compiler moves "+tr.root.Name()+" to the heap")
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if e.frameStore(lhs) {
+					continue
+				}
+				if tr := e.source(n.Rhs[i]); tr != nil {
+					e.report(n.Rhs[i].Pos(), tr,
+						"stored to "+renderExpr(lhs)+" at "+e.pos(n.Pos()),
+						"a store outside the frame pins "+tr.root.Name()+" on the heap")
+				}
+			}
+		case *ast.SendStmt:
+			if tr := e.source(n.Value); tr != nil {
+				e.report(n.Value.Pos(), tr, "sent on "+renderExpr(n.Chan)+" at "+e.pos(n.Pos()),
+					"the receiver outlives the frame")
+			}
+		case *ast.CallExpr:
+			e.checkCallSink(n)
+		}
+		return true
+	})
+}
+
+// frameStore reports whether an assignment target stays inside fd's
+// frame: a plain local variable, or the blank identifier.
+func (e *escaper) frameStore(lhs ast.Expr) bool {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if id.Name == "_" {
+		return true
+	}
+	obj := e.pkg.Info.Defs[id]
+	if obj == nil {
+		obj = e.pkg.Info.Uses[id]
+	}
+	return obj != nil && e.localVar(obj)
+}
+
+// checkCallSink flags frame addresses handed to callees the analysis
+// cannot see into: external (out-of-module) functions and dynamic call
+// sites. Statically-resolved in-module callees are exempt (summarized;
+// see the analyzer doc).
+func (e *escaper) checkCallSink(call *ast.CallExpr) {
+	var calleeDesc string
+	switch res := resolveCall(e.pkg, call); res.kind {
+	case callIgnored:
+		return // builtin or conversion: append(&x…) cannot occur; len/cap don't retain
+	case callStatic:
+		if res.fn.Pkg() != nil && res.fn.Pkg().Path() == e.pkg.Path {
+			return // same package: in-module
+		}
+		if e.pkg.Prog != nil && e.pkg.Prog.Graph.Node(res.fn) != nil {
+			return // elsewhere in the module: summarized, not a sink
+		}
+		calleeDesc = "external callee " + res.fn.Pkg().Path() + "." + res.fn.Name()
+	case callDynamic:
+		calleeDesc = "a dynamic callee"
+	}
+	for _, arg := range call.Args {
+		if tr := e.source(arg); tr != nil {
+			e.report(arg.Pos(), tr,
+				"passed to "+calleeDesc+" at "+e.pos(call.Pos()),
+				"an unseen callee may retain the address, so "+tr.root.Name()+" escapes")
+		}
+	}
+}
+
+// scanLoopOnly checks the per-iteration escape classes: interface
+// boxing and escaping closure captures inside loops.
+func (e *escaper) scanLoopOnly() {
+	cfg := BuildCFG(e.fd.Body)
+	for _, stmt := range loopStmts(cfg) {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				e.checkCapture(n)
+				return false
+			case *ast.CallExpr:
+				e.checkBoxingEscape(n)
+			}
+			return true
+		})
+	}
+}
+
+// checkBoxingEscape flags concrete non-pointer values crossing into
+// interface-typed parameters inside a hot loop — each copy lands on the
+// heap. Variadic ...interface{} spreads (the fmt signature shape) are
+// named explicitly: they are the classic hidden allocator.
+func (e *escaper) checkBoxingEscape(call *ast.CallExpr) {
+	tv, ok := e.pkg.Info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramTypeAt(sig, i)
+		if pt == nil {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at, ok := e.pkg.Info.Types[arg]
+		if !ok || at.Type == nil || at.IsNil() || !boxingAllocates(at.Type) {
+			continue
+		}
+		how := "boxed into an interface parameter"
+		if sig.Variadic() && i >= sig.Params().Len()-1 {
+			how = "boxed through a variadic ...interface{} parameter"
+		}
+		e.r.Reportf("heapescape", arg.Pos(),
+			"%s escapes to the heap on every iteration of a hot loop: %s; box once outside the loop or keep the call off the hot path",
+			renderExpr(arg), how)
+	}
+}
+
+// checkCapture flags an in-loop closure's captured locals: once a
+// literal is built per iteration, the compiler gives every variable it
+// captures by reference a heap cell for the whole call. (The literal's
+// own per-iteration allocation is allocfree's finding; this one names
+// what the capture does to the enclosing frame.)
+func (e *escaper) checkCapture(lit *ast.FuncLit) {
+	var captured []types.Object
+	seen := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := e.pkg.Info.Uses[id]
+		if obj == nil || seen[obj] || !e.localVar(obj) {
+			return true
+		}
+		// Declared outside the literal but inside the function: a capture.
+		if obj.Pos() < lit.Pos() {
+			seen[obj] = true
+			captured = append(captured, obj)
+		}
+		return true
+	})
+	if len(captured) == 0 {
+		return
+	}
+	names := make([]string, len(captured))
+	for i, obj := range captured {
+		names[i] = obj.Name()
+	}
+	e.r.Reportf("heapescape", lit.Pos(),
+		"closure in a hot loop captures %s, moving the captured variables to the heap for the whole call; hoist the closure out of the loop or pass the values as parameters",
+		formatChain(names))
+}
+
+func (e *escaper) report(pos token.Pos, tr *escTrace, sink, why string) {
+	chain := formatChain(append(append([]string{}, tr.steps...), sink))
+	e.r.Reportf("heapescape", pos,
+		"address of local %s escapes to the heap: %s; %s — a hot function must keep its locals on the stack",
+		tr.root.Name(), chain, why)
+}
+
+func (e *escaper) pos(p token.Pos) string {
+	return shortPos(e.pkg.Fset.Position(p))
+}

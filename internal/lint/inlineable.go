@@ -1,0 +1,243 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Inlineable enforces the inlining contract on hot call trees. The
+// compiler only erases call overhead (and unlocks the downstream
+// escape/bounds-check optimizations the other perf contracts assume)
+// when the callees in a hot loop actually inline, so:
+//
+//   - every statically-resolved callee reachable from a hot loop —
+//     transitively, stopping at callees that carry their own
+//     `//imc:hotpath` annotation (kernels are call targets, not inline
+//     candidates; their contracts are enforced at their declaration) —
+//     must be free of unconditional inlining blockers and under the
+//     size budget;
+//   - a hot LEAF function (no in-module static calls, no dynamic
+//     calls) is itself an inline candidate for its hot callers, so its
+//     own body must be blocker-free.
+//
+// The unconditional blockers are the constructs the Go inliner refuses
+// outright: defer, recover, go statements, select, range over a
+// channel, and a `//go:noinline` pragma on the declaration. Plain
+// loops are deliberately NOT blockers — whether the inliner accepts
+// them varies by toolchain, and the tight word-scan helpers
+// (Mask.OnesCount, bitset unions) that hot loops depend on are loops
+// by nature; the budget bounds them instead.
+//
+// The budget counts AST nodes (statements and expressions, roughly
+// proportional to the compiler's own IR cost) and is calibrated so the
+// module's sanctioned helpers — neighbor accessors, alias-table draws,
+// epoch-mask tests — pass with headroom while anything resembling
+// business logic fails.
+var Inlineable = &Analyzer{
+	Name: "inlineable",
+	Doc:  "forbid inlining blockers (defer, recover, go, select, range-over-channel, //go:noinline, oversize bodies) in hot leaf functions and in every callee reachable from a hot loop",
+	Kind: KindInterprocedural,
+	Run:  runInlineable,
+}
+
+// inlineBudget is the AST-node cost ceiling for a callee on a hot
+// path. See astCost for the unit.
+const inlineBudget = 130
+
+func runInlineable(pkg *Package, r *Reporter) {
+	for _, fd := range hotFuncDecls(pkg) {
+		checkInlineLeaf(pkg, fd, r)
+		checkInlineCallees(pkg, fd, r)
+	}
+}
+
+// inlineBlocker is one unconditional reason a function cannot inline.
+type inlineBlocker struct {
+	what string
+	pos  string
+}
+
+// inlineBlockers scans a declaration for the constructs the inliner
+// refuses, in source order.
+func inlineBlockers(pkg *Package, fd *ast.FuncDecl) []inlineBlocker {
+	var out []inlineBlocker
+	add := func(what string, n ast.Node) {
+		out = append(out, inlineBlocker{what: what, pos: shortPos(pkg.Fset.Position(n.Pos()))})
+	}
+	if hasNoinlinePragma(fd) {
+		add("a //go:noinline pragma", fd.Name)
+	}
+	if fd.Body == nil {
+		return out
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // a nested literal is its own function
+		case *ast.DeferStmt:
+			add("defer", n)
+		case *ast.GoStmt:
+			add("a go statement", n)
+		case *ast.SelectStmt:
+			add("select", n)
+		case *ast.RangeStmt:
+			if pkg.Info == nil {
+				break
+			}
+			if tv, ok := pkg.Info.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					add("range over a channel", n)
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "recover" && isBuiltin(pkg, id) {
+				add("recover", n)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// hasNoinlinePragma reports a //go:noinline directive in the
+// declaration's doc block.
+func hasNoinlinePragma(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, "//go:noinline") {
+			return true
+		}
+	}
+	return false
+}
+
+// astCost is the size metric behind inlineBudget: one unit per
+// statement or expression node, skipping the pure syntax carriers
+// (blocks, parens, field lists) so the count tracks work, not
+// formatting.
+func astCost(fd *ast.FuncDecl) int {
+	if fd.Body == nil {
+		return 0
+	}
+	cost := 0
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.BlockStmt, *ast.ParenExpr, *ast.FieldList, *ast.Field,
+			*ast.CommentGroup, *ast.Comment:
+			return true
+		case *ast.FuncLit:
+			cost += 2 // the closure itself; its body is its own function
+			return false
+		default:
+			cost++
+		}
+		return true
+	})
+	return cost
+}
+
+// checkInlineLeaf applies the blocker scan to a hot function that calls
+// nothing the module can see — the innermost kernels whose cost model
+// assumes their hot CALLERS inline them.
+func checkInlineLeaf(pkg *Package, fd *ast.FuncDecl, r *Reporter) {
+	if pkg.Info == nil || !isLeafFunc(pkg, fd) {
+		return
+	}
+	for _, b := range inlineBlockers(pkg, fd) {
+		r.Reportf("inlineable", fd.Name.Pos(),
+			"hot leaf function %s contains %s (%s), which prevents the compiler from inlining it into its hot callers; restructure or move the blocker behind a non-hot wrapper",
+			fd.Name.Name, b.what, b.pos)
+	}
+}
+
+// isLeafFunc reports whether fd resolves no static in-module calls and
+// no dynamic calls. In a whole-program load "in-module" means the call
+// graph; standalone (fixture) loads fall back to same-package
+// resolution.
+func isLeafFunc(pkg *Package, fd *ast.FuncDecl) bool {
+	if node := funcNodeOf(pkg, fd); node != nil {
+		for i := range node.Calls {
+			if node.Calls[i].Callee != nil {
+				return false
+			}
+		}
+		return len(node.Dynamic) == 0
+	}
+	leaf := true
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch res := resolveCall(pkg, call); res.kind {
+		case callDynamic:
+			leaf = false
+		case callStatic:
+			if res.fn.Pkg() != nil && res.fn.Pkg().Path() == pkg.Path {
+				leaf = false
+			}
+		}
+		return true
+	})
+	return leaf
+}
+
+// checkInlineCallees walks the static call tree out of fd's loops —
+// breadth-first, in call-site order, stopping at //imc:hotpath
+// boundaries — and reports every reachable callee that cannot inline.
+// The chain from the loop's call site to the offender is printed like
+// v4's witness chains.
+func checkInlineCallees(pkg *Package, fd *ast.FuncDecl, r *Reporter) {
+	cfg := BuildCFG(fd.Body)
+	node, edges := loopCallEdges(pkg, fd, loopStmts(cfg))
+	if node == nil {
+		return
+	}
+	type item struct {
+		callee *FuncNode
+		site   *CallEdge // the in-loop edge the chain starts at
+		chain  []string
+	}
+	var queue []item
+	visited := make(map[*FuncNode]bool)
+	for _, e := range edges {
+		if e.Callee == nil || e.Callee.Directives[directiveHotPath] || visited[e.Callee] {
+			continue
+		}
+		visited[e.Callee] = true
+		queue = append(queue, item{callee: e.Callee, site: e, chain: []string{e.Callee.Name()}})
+	}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		reportInlineProblems(pkg, fd, it.callee, it.site, it.chain, r)
+		for i := range it.callee.Calls {
+			next := it.callee.Calls[i].Callee
+			if next == nil || next.Directives[directiveHotPath] || visited[next] {
+				continue
+			}
+			visited[next] = true
+			queue = append(queue, item{
+				callee: next,
+				site:   it.site,
+				chain:  append(append([]string{}, it.chain...), next.Name()),
+			})
+		}
+	}
+}
+
+func reportInlineProblems(pkg *Package, fd *ast.FuncDecl, callee *FuncNode, site *CallEdge, chain []string, r *Reporter) {
+	for _, b := range inlineBlockers(callee.Pkg, callee.Decl) {
+		r.Reportf("inlineable", site.Site.Pos(),
+			"call in a hot loop reaches %s → %s, which cannot inline: %s (%s); the call overhead recurs every iteration — restructure the callee or annotate it //imc:hotpath",
+			fd.Name.Name, formatChain(chain), b.what, b.pos)
+	}
+	if cost := astCost(callee.Decl); cost > inlineBudget {
+		r.Reportf("inlineable", site.Site.Pos(),
+			"call in a hot loop reaches %s → %s, whose body exceeds the inlining budget (cost %d > %d); split the callee or annotate it //imc:hotpath to make the boundary explicit",
+			fd.Name.Name, formatChain(chain), cost, inlineBudget)
+	}
+}

@@ -70,15 +70,20 @@ func TestAnalyzerFixtures(t *testing.T) {
 		"exhaustive":    Exhaustive,
 		"chanctx":       ChanCtx,
 		"guardedby":     GuardedBy,
+		"heapescape":    HeapEscape,
+		"boundscheck":   BoundsCheck,
 	}
 	// layering and apisurface need a whole Program (contract file, API
-	// snapshot) rather than a bare fixture package, and lockorder and
-	// lockheld need the call graph; their fixture coverage lives in
-	// interproc_test.go and concurrency_test.go. Everything else must
-	// have a golden fixture here.
+	// snapshot) rather than a bare fixture package; lockorder and
+	// lockheld need the call graph; inlineable and ifacedispatch need
+	// call-graph nodes and effect summaries. Their fixture coverage
+	// lives in interproc_test.go, concurrency_test.go, and
+	// perfcontract_test.go. Everything else must have a golden fixture
+	// here.
 	programOnly := map[string]bool{
 		"layering": true, "apisurface": true,
 		"lockorder": true, "lockheld": true,
+		"inlineable": true, "ifacedispatch": true,
 	}
 	if len(fixtures)+len(programOnly) != len(All) {
 		t.Fatalf("fixture table covers %d analyzers (+%d program-level), suite has %d",
@@ -229,13 +234,13 @@ func TestAnalyzersFor(t *testing.T) {
 		path string
 		want string
 	}{
-		{"imc", "determinism,floatcompare,goroutineleak,printer,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface,chanctx,guardedby,lockheld,lockorder"},
-		{"imc/internal/graph", "determinism,floatcompare,goroutineleak,printer,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface,chanctx,guardedby,lockheld,lockorder"},
-		{"imc/internal/ric", "determinism,floatcompare,goroutineleak,printer,seedplumb,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface,chanctx,guardedby,lockheld,lockorder"},
-		{"imc/internal/maxr", "determinism,floatcompare,goroutineleak,printer,seedplumb,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface,chanctx,guardedby,lockheld,lockorder"},
-		{"imc/internal/clock", "floatcompare,goroutineleak,printer,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface,chanctx,guardedby,lockheld,lockorder"},
-		{"imc/internal/expt", "determinism,floatcompare,goroutineleak,printer,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface,exhaustive,chanctx,guardedby,lockheld,lockorder"},
-		{"imc/internal/serve", "determinism,floatcompare,goroutineleak,printer,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface,exhaustive,chanctx,guardedby,lockheld,lockorder"},
+		{"imc", "determinism,floatcompare,goroutineleak,printer,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface,chanctx,guardedby,lockheld,lockorder,heapescape,inlineable,boundscheck,ifacedispatch"},
+		{"imc/internal/graph", "determinism,floatcompare,goroutineleak,printer,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface,chanctx,guardedby,lockheld,lockorder,heapescape,inlineable,boundscheck,ifacedispatch"},
+		{"imc/internal/ric", "determinism,floatcompare,goroutineleak,printer,seedplumb,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface,chanctx,guardedby,lockheld,lockorder,heapescape,inlineable,boundscheck,ifacedispatch"},
+		{"imc/internal/maxr", "determinism,floatcompare,goroutineleak,printer,seedplumb,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface,chanctx,guardedby,lockheld,lockorder,heapescape,inlineable,boundscheck,ifacedispatch"},
+		{"imc/internal/clock", "floatcompare,goroutineleak,printer,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface,chanctx,guardedby,lockheld,lockorder,heapescape,inlineable,boundscheck,ifacedispatch"},
+		{"imc/internal/expt", "determinism,floatcompare,goroutineleak,printer,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface,exhaustive,chanctx,guardedby,lockheld,lockorder,heapescape,inlineable,boundscheck,ifacedispatch"},
+		{"imc/internal/serve", "determinism,floatcompare,goroutineleak,printer,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface,exhaustive,chanctx,guardedby,lockheld,lockorder,heapescape,inlineable,boundscheck,ifacedispatch"},
 		{"imc/cmd/imcrun", "goroutineleak,ctxfirst,errflow,sharemut,layering,lockorder"},
 		{"imc/examples/quickstart", "goroutineleak,ctxfirst,errflow,sharemut,layering,lockorder"},
 	}

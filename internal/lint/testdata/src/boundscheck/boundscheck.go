@@ -1,0 +1,57 @@
+// Package boundscheck is a lint fixture for the bounds-check
+// elimination contract: want lines mark hot-loop index patterns the
+// compiler cannot prove safe (reloaded selector lengths, additive index
+// arithmetic, unrelated parallel slices). clean.go pins the idiom table
+// that must stay silent.
+package boundscheck
+
+type ring struct {
+	buf []int
+}
+
+//imc:hotpath
+func lenOfField(r *ring) int {
+	t := 0
+	for i := 0; i < len(r.buf); i++ { // want "reloaded every iteration"
+		t += r.buf[i]
+	}
+	return t
+}
+
+//imc:hotpath
+func offByOne(s []int) int {
+	t := 0
+	for i := 0; i < len(s); i++ {
+		if i+1 < len(s) {
+			t += s[i+1] // want "keeps its bounds check"
+		}
+	}
+	return t
+}
+
+//imc:hotpath
+func parallelUnhinted(a, b []int) int {
+	t := 0
+	for i := 0; i < len(a); i++ {
+		t += a[i] + b[i] // want "parallel-slice index"
+	}
+	return t
+}
+
+//imc:hotpath
+func parallelRange(a, b []int) int {
+	t := 0
+	for i, v := range a {
+		t += v + b[i] // want "parallel-slice index"
+	}
+	return t
+}
+
+// Not annotated: the same patterns are legal off the hot path.
+func coldParallel(a, b []int) int {
+	t := 0
+	for i := range a {
+		t += b[i] // clean: not a hot function
+	}
+	return t
+}

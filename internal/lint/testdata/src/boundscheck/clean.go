@@ -1,0 +1,95 @@
+package boundscheck
+
+// The BCE idiom table: every function here is hot, indexes slices in
+// its loops, and must produce zero findings. The lint_test BCE table
+// test pins each entry by name.
+
+//imc:hotpath
+func idiomRangeSelf(s []int) int {
+	t := 0
+	for i := range s {
+		t += s[i]
+	}
+	return t
+}
+
+//imc:hotpath
+func idiomCountedSelf(s []int) int {
+	t := 0
+	for i := 0; i < len(s); i++ {
+		t += s[i]
+	}
+	return t
+}
+
+//imc:hotpath
+func idiomLocalLen(s []int) int {
+	n := len(s)
+	t := 0
+	for i := 0; i < n; i++ {
+		t += s[i]
+	}
+	return t
+}
+
+//imc:hotpath
+func idiomGather(vals []float64, idx []int) float64 {
+	t := 0.0
+	for _, j := range idx {
+		t += vals[j] // data-dependent gather: the index is data, not induction
+	}
+	return t
+}
+
+//imc:hotpath
+func idiomWordPack(words []uint64, n int) int {
+	c := 0
+	for i := 0; i < n; i++ {
+		if words[i/64]&(1<<(uint(i)%64)) != 0 {
+			c++
+		}
+	}
+	return c
+}
+
+//imc:hotpath
+func idiomResliced(a, b []int) int {
+	b = b[:len(a)]
+	t := 0
+	for i := range a {
+		t += b[i]
+	}
+	return t
+}
+
+//imc:hotpath
+func idiomHinted(a, b []int) int {
+	if len(b) < len(a) {
+		return 0
+	}
+	_ = b[len(a)-1]
+	t := 0
+	for i := range a {
+		t += b[i]
+	}
+	return t
+}
+
+//imc:hotpath
+func idiomSizedMake(a []int) []int {
+	out := make([]int, len(a))
+	for i := range a {
+		out[i] = a[i] * 2
+	}
+	return out
+}
+
+//imc:hotpath
+func idiomMapAndArray(m map[int]int, keys []int) int {
+	var tbl [16]int
+	t := 0
+	for _, k := range keys {
+		t += m[k] + tbl[k&15]
+	}
+	return t
+}

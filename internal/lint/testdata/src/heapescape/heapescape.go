@@ -1,0 +1,125 @@
+// Package heapescape is a lint fixture for the stack-residency
+// contract: every want-annotated line marks a frame address leaving the
+// frame (or an in-loop boxing/capture); everything else — local-only
+// pointer use, in-module callees, one-time setup — must stay silent.
+package heapescape
+
+import "fmt"
+
+type node struct {
+	next *node
+	val  int
+}
+
+var global *int
+
+func inModule(p *int) int { return *p }
+
+func sink(v interface{}) {}
+
+func variadicSink(vs ...interface{}) {}
+
+//imc:hotpath
+func returnsAddr() *int {
+	x := 0
+	p := &x
+	return p // want "address of local x escapes to the heap"
+}
+
+//imc:hotpath
+func returnsAddrDirect() *int {
+	x := 1
+	return &x // want "address of local x escapes"
+}
+
+//imc:hotpath
+func storesGlobal() {
+	x := 2
+	global = &x // want "stored to global"
+}
+
+//imc:hotpath
+func storesThroughParam(n *node) {
+	local := node{val: 3}
+	n.next = &local // want "stored to n.next"
+}
+
+//imc:hotpath
+func sendsAddr(ch chan *int) {
+	x := 4
+	ch <- &x // want "sent on ch"
+}
+
+//imc:hotpath
+func passesExternal() {
+	x := 5
+	fmt.Sprint(&x) // want "passed to external callee fmt.Sprint"
+}
+
+//imc:hotpath
+func passesDynamic(f func(*int)) {
+	x := 6
+	f(&x) // want "passed to a dynamic callee"
+}
+
+//imc:hotpath
+func chainThroughCopies() *int {
+	x := 7
+	p := &x
+	q := p
+	return q // want "p = &x"
+}
+
+//imc:hotpath
+func cleanLocalPointer() int {
+	x := 8
+	p := &x
+	*p = 9 // clean: the address never leaves the frame
+	return x
+}
+
+//imc:hotpath
+func cleanInModuleCallee() int {
+	x := 10
+	return inModule(&x) // clean: statically-resolved in-module callee
+}
+
+//imc:hotpath
+func boxesInLoop(items []int) {
+	for _, v := range items {
+		sink(v) // want "boxed into an interface parameter"
+	}
+}
+
+//imc:hotpath
+func boxesVariadicInLoop(items []int) {
+	for _, v := range items {
+		variadicSink(v) // want "boxed through a variadic"
+	}
+}
+
+//imc:hotpath
+func cleanBoxOutsideLoop(items []int) int {
+	sink(len(items)) // clean: one-time boxing, not per-iteration
+	total := 0
+	for _, v := range items {
+		total += v
+	}
+	return total
+}
+
+//imc:hotpath
+func capturesInLoop(items []int) int {
+	total := 0
+	for _, v := range items {
+		add := func() int { return total + v } // want "closure in a hot loop captures"
+		total = add()
+	}
+	return total
+}
+
+// Not annotated: the same escapes are legal here.
+func coldReturnsAddr() *int {
+	x := 11
+	return &x // clean: not a hot function
+}

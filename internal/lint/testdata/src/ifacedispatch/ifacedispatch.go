@@ -1,0 +1,113 @@
+// Package ifacedispatch is a lint fixture for the static-dispatch
+// contract: hot functions must not take interface parameters, dispatch
+// through interfaces or function values in their loops, convert
+// concrete values to interfaces at hot call sites, or reach dynamic
+// dispatch through their static callees. The ctx.Err batch poll and
+// empty-interface parameters stay silent.
+package ifacedispatch
+
+import "context"
+
+type shape interface {
+	area() float64
+	perim() float64
+}
+
+type square struct{ side float64 }
+
+func (s square) area() float64  { return s.side * s.side }
+func (s square) perim() float64 { return 4 * s.side }
+
+type circle struct{ r float64 }
+
+func (c circle) area() float64  { return 3 * c.r * c.r }
+func (c circle) perim() float64 { return 6 * c.r }
+
+var shapePool []shape
+
+//imc:hotpath
+func hotIfaceParam(sh shape) float64 { // want "interface-typed parameter"
+	return sh.area()
+}
+
+//imc:hotpath
+func sumAreas() float64 {
+	t := 0.0
+	for _, sh := range shapePool {
+		t += sh.area() // want "dynamic method call sh.area"
+	}
+	return t
+}
+
+//imc:hotpath
+func applyAll(xs []float64, f func(float64) float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += f(x) // want "call through function value f"
+	}
+	return t
+}
+
+// consume dispatches nothing itself (the assertion is a type test, not
+// a method call), so the only cost at its call sites is the conversion.
+func consume(v shape) float64 {
+	if s, ok := v.(square); ok {
+		return s.side * s.side
+	}
+	return 0
+}
+
+//imc:hotpath
+func convertsPerCall(sqs []square) float64 {
+	t := 0.0
+	for _, s := range sqs {
+		t += consume(s) // want "converts concrete"
+	}
+	return t
+}
+
+// indirect hides an interface dispatch behind a static call.
+func indirect(v float64) float64 {
+	return shapePool[0].area() + v
+}
+
+//imc:hotpath
+func hotTransitive(xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += indirect(x) // want "reaches a dynamic dispatch transitively"
+	}
+	return t
+}
+
+// The sanctioned shape: ctx is required by the longrun contract, and
+// the batched ctx.Err poll amortizes its dispatch to nothing.
+//
+//imc:hotpath
+func pollsCtx(ctx context.Context, xs []float64) (float64, error) {
+	t := 0.0
+	for i, x := range xs {
+		if i&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
+		t += x
+	}
+	return t, nil
+}
+
+// Empty interfaces carry no methods to dispatch; boxing them is
+// allocfree's finding, not ours.
+//
+//imc:hotpath
+func cleanAnyParam(v interface{}) bool { return v != nil }
+
+//imc:hotpath
+func cleanConcrete(sqs []square) float64 {
+	t := 0.0
+	for _, s := range sqs {
+		t += s.area() // clean: concrete receiver, static dispatch
+	}
+	return t
+}

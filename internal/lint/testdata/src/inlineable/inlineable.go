@@ -1,0 +1,183 @@
+// Package inlineable is a lint fixture for the inlining contract: hot
+// leaf functions must be blocker-free, and every callee reachable from
+// a hot loop (transitively, up to //imc:hotpath boundaries) must inline.
+// Want lines mark the blockers; the clean cases pin what must stay
+// silent: plain loops, depth-0 calls, and annotated kernel boundaries.
+package inlineable
+
+// --- hot leaf functions with unconditional blockers -------------------
+
+//imc:hotpath
+func hotLeafDefer(ch chan int) { // want "contains defer"
+	defer close(ch)
+	ch <- 1
+}
+
+//imc:hotpath
+func hotLeafSelect(ch chan int) int { // want "contains select"
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+//imc:hotpath
+func hotLeafRangeChan(ch chan int) int { // want "range over a channel"
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+//imc:hotpath
+func hotLeafRecover(vals []int) (total int) { // want "contains recover"
+	if r := recover(); r != nil {
+		return 0
+	}
+	for _, v := range vals {
+		total += v
+	}
+	return total
+}
+
+// A plain loop is NOT a blocker: the word-scan helpers hot loops depend
+// on are loops by nature.
+//
+//imc:hotpath
+func cleanLeafLoop(vals []int) int {
+	total := 0
+	for _, v := range vals {
+		total += v
+	}
+	return total
+}
+
+// --- callees reached from hot loops -----------------------------------
+
+func noop() {}
+
+func withDefer(v int) int {
+	defer noop()
+	return v + 1
+}
+
+//imc:hotpath
+func hotCallsDefer(items []int) int {
+	t := 0
+	for _, v := range items {
+		t += withDefer(v) // want "cannot inline: defer"
+	}
+	return t
+}
+
+func viaMid(v int) int { return bigBody(v) }
+
+// bigBody is deliberately over the inlining budget.
+func bigBody(v int) int {
+	a := v*3 + 1
+	b := a*5 + 2
+	c := b*7 + 3
+	d := c*11 + 4
+	e := d*13 + 5
+	f := e*17 + 6
+	g := f*19 + 7
+	h := g*23 + 8
+	a = a ^ (b << 1)
+	b = b ^ (c << 2)
+	c = c ^ (d << 3)
+	d = d ^ (e << 4)
+	e = e ^ (f << 5)
+	f = f ^ (g << 6)
+	g = g ^ (h << 7)
+	h = h ^ (a << 8)
+	a += b * c
+	b += c * d
+	c += d * e
+	d += e * f
+	e += f * g
+	f += g * h
+	return a + b + c + d + e + f + g + h
+}
+
+//imc:hotpath
+func hotCallsBig(items []int) int {
+	t := 0
+	for i := range items {
+		t += viaMid(items[i]) // want "exceeds the inlining budget"
+	}
+	return t
+}
+
+//go:noinline
+func pinned(v int) int { return v * 2 }
+
+//imc:hotpath
+func hotCallsNoinline(items []int) int {
+	t := 0
+	for _, v := range items {
+		t += pinned(v) // want "go:noinline pragma"
+	}
+	return t
+}
+
+func spawns(v int) {
+	go func() { _ = v }()
+}
+
+//imc:hotpath
+func hotCallsSpawner(items []int) {
+	for _, v := range items {
+		spawns(v) // want "a go statement"
+	}
+}
+
+// --- clean callee shapes ----------------------------------------------
+
+func double(v int) int { return v + v }
+
+//imc:hotpath
+func hotCallsSmall(items []int) int {
+	t := 0
+	for _, v := range items {
+		t += double(v) // clean: small blocker-free callee inlines
+	}
+	return t
+}
+
+func trace() {}
+
+// kernelBoundary carries its own annotation: callers stop chasing here,
+// and its contracts are enforced at this declaration (it is not a leaf,
+// so the depth-0 defer is its own business, not an inline blocker).
+//
+//imc:hotpath
+func kernelBoundary(items []int) int {
+	defer trace()
+	t := 0
+	for _, v := range items {
+		t += double(v)
+	}
+	return t
+}
+
+//imc:hotpath
+func hotCallsKernel(xss [][]int) int {
+	t := 0
+	for _, s := range xss {
+		t += kernelBoundary(s) // clean: callee is a hotpath boundary
+	}
+	return t
+}
+
+//imc:hotpath
+func hotSetupOnly(items []int) int {
+	n := withDefer(0) // clean: depth-0 call, not in a loop
+	t := 0
+	for _, v := range items {
+		t += v + n
+	}
+	return t
+}

@@ -1,7 +1,6 @@
 package maxr
 
 import (
-	"container/heap"
 	"context"
 
 	"imc/internal/graph"
@@ -10,6 +9,8 @@ import (
 
 // coverageGain returns the increase in influenced-sample count if v is
 // added to the seed set tracked by st.
+//
+//imc:hotpath
 func coverageGain(pool *ric.Pool, st *ric.State, v graph.NodeID) int {
 	gain := 0
 	for _, e := range pool.Entries(v) {
@@ -34,6 +35,8 @@ func coverageGain(pool *ric.Pool, st *ric.State, v graph.NodeID) int {
 // fractionalGain returns the increase in Σ min(|I_g|/h_g, 1) if v is
 // added to the seed set tracked by st — the marginal of ν_R up to the
 // b/|R| scale.
+//
+//imc:hotpath
 func fractionalGain(pool *ric.Pool, st *ric.State, v graph.NodeID) float64 {
 	gain := 0.0
 	for _, e := range pool.Entries(v) {
@@ -64,6 +67,8 @@ func fractionalGain(pool *ric.Pool, st *ric.State, v graph.NodeID) float64 {
 // they started instead of scattering — the concentration that the
 // non-submodular objective rewards but that the plain marginal cannot
 // see.
+//
+//imc:hotpath
 func tieBreakGain(pool *ric.Pool, st *ric.State, v graph.NodeID) float64 {
 	gain := 0.0
 	for _, e := range pool.Entries(v) {
@@ -104,6 +109,7 @@ func GreedyCHat(pool *ric.Pool, k int) ([]graph.NodeID, error) {
 // GreedyCHatCtx is GreedyCHat with cooperative cancellation, polled
 // every ctxPollBatch marginal evaluations.
 //
+//imc:hotpath
 //imc:longrun
 func GreedyCHatCtx(ctx context.Context, pool *ric.Pool, k int) ([]graph.NodeID, error) {
 	if err := validate(pool, k); err != nil {
@@ -115,7 +121,10 @@ func GreedyCHatCtx(ctx context.Context, pool *ric.Pool, k int) ([]graph.NodeID, 
 	cands := candidates(pool)
 	st := pool.NewState()
 	seeds := make([]graph.NodeID, 0, k)
-	used := make(map[graph.NodeID]struct{}, k)
+	// A flat membership slice, not a map: the candidate scan reads it
+	// once per node per round, and an indexed load stays cheap where a
+	// map lookup hashes.
+	used := make([]bool, pool.Graph().NumNodes())
 	evals := 0
 	for len(seeds) < k {
 		best := graph.NodeID(-1)
@@ -128,7 +137,7 @@ func GreedyCHatCtx(ctx context.Context, pool *ric.Pool, k int) ([]graph.NodeID, 
 				}
 			}
 			evals++
-			if _, ok := used[v]; ok {
+			if used[v] {
 				continue
 			}
 			// Candidates are sorted by touch count, and a node's
@@ -161,7 +170,7 @@ func GreedyCHatCtx(ctx context.Context, pool *ric.Pool, k int) ([]graph.NodeID, 
 		}
 		st.Add(best)
 		seeds = append(seeds, best)
-		used[best] = struct{}{}
+		used[best] = true
 	}
 	return padSeeds(pool, seeds, k), nil
 }
@@ -173,11 +182,18 @@ type celfItem struct {
 	round int // seed-set size at which gain was computed
 }
 
+// celfHeap is a concrete binary min-position heap over celfItems,
+// ordered by (gain desc, node asc) — a total order, so the pop sequence
+// is fully determined by the contents. It replaces container/heap: the
+// interface indirection boxed every item through `any` and dispatched
+// Less/Swap dynamically on the hottest edge of the lazy greedy, where a
+// concrete sift inlines. The sift algorithms mirror container/heap's
+// exactly, so the pop order (and therefore every solver output) is
+// unchanged.
 type celfHeap []celfItem
 
-func (h celfHeap) Len() int      { return len(h) }
-func (h celfHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h celfHeap) Less(i, j int) bool {
+// less is the heap order: higher gain first, node ID breaking ties.
+func (h celfHeap) less(i, j int) bool {
 	if h[i].gain > h[j].gain {
 		return true
 	}
@@ -186,13 +202,63 @@ func (h celfHeap) Less(i, j int) bool {
 	}
 	return h[i].node < h[j].node
 }
-func (h *celfHeap) Push(x any) { *h = append(*h, x.(celfItem)) }
-func (h *celfHeap) Pop() any {
-	old := *h
-	n := len(old)
-	item := old[n-1]
-	*h = old[:n-1]
-	return item
+
+// init establishes the heap invariant over arbitrary contents.
+func (h celfHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+// push adds an item and restores the invariant.
+//
+//imc:hotpath
+func (h *celfHeap) push(it celfItem) {
+	*h = append(*h, it)
+	h.up(len(*h) - 1)
+}
+
+// pop removes and returns the top (best) item.
+//
+//imc:hotpath
+func (h *celfHeap) pop() celfItem {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	top := s[n]
+	*h = s[:n]
+	(*h).down(0)
+	return top
+}
+
+func (h celfHeap) up(j int) {
+	for j > 0 {
+		i := (j - 1) / 2
+		if !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (h celfHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		j := l
+		if r := l + 1; r < n && h.less(r, l) {
+			j = r
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
 }
 
 // GreedyNu runs CELF lazy greedy on the submodular upper bound ν_R
@@ -205,6 +271,7 @@ func GreedyNu(pool *ric.Pool, k int) ([]graph.NodeID, error) {
 // GreedyNuCtx is GreedyNu with cooperative cancellation, polled every
 // ctxPollBatch CELF pops.
 //
+//imc:hotpath
 //imc:longrun
 func GreedyNuCtx(ctx context.Context, pool *ric.Pool, k int) ([]graph.NodeID, error) {
 	if err := validate(pool, k); err != nil {
@@ -219,17 +286,17 @@ func GreedyNuCtx(ctx context.Context, pool *ric.Pool, k int) ([]graph.NodeID, er
 	for _, v := range cands {
 		h = append(h, celfItem{node: v, gain: fractionalGain(pool, st, v), round: 0})
 	}
-	heap.Init(&h)
+	h.init()
 	seeds := make([]graph.NodeID, 0, k)
 	pops := 0
-	for len(seeds) < k && h.Len() > 0 {
+	for len(seeds) < k && len(h) > 0 {
 		if pops&(ctxPollBatch-1) == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 		}
 		pops++
-		top := heap.Pop(&h).(celfItem)
+		top := h.pop()
 		if top.round == len(seeds) {
 			if top.gain <= 0 {
 				break
@@ -240,7 +307,7 @@ func GreedyNuCtx(ctx context.Context, pool *ric.Pool, k int) ([]graph.NodeID, er
 		}
 		top.gain = fractionalGain(pool, st, top.node)
 		top.round = len(seeds)
-		heap.Push(&h, top)
+		h.push(top)
 	}
 	return padSeeds(pool, seeds, k), nil
 }

@@ -86,31 +86,43 @@ func (gen *Generator) Generate(rng *xrand.RNG) rawSample {
 	slab := make([]uint64, touch*words)
 	coverNodes := make([]graph.NodeID, 0, touch)
 	coverBits := make([]Mask, 0, touch)
+	// Hoist the scratch state out of the pointer: the BFS bound becomes
+	// a local length (one bounds proof per scan, no per-iteration field
+	// reload through gen) and the epoch tables index without re-reading
+	// the headers.
+	queue := gen.queue
+	nodeEpoch := gen.nodeEpoch
+	coverEpoch := gen.coverEpoch
+	coverSlot := gen.coverSlot
+	liveIn := gen.liveIn
+	coverGen := gen.coverGen
 	for j, m := range members {
 		gen.epoch++
-		gen.queue = gen.queue[:0]
-		gen.queue = append(gen.queue, m)
-		gen.nodeEpoch[m] = gen.epoch
-		for head := 0; head < len(gen.queue); head++ {
-			v := gen.queue[head]
-			slot := gen.coverSlot[v]
-			if gen.coverEpoch[v] != gen.coverGen {
+		epoch := gen.epoch
+		queue = queue[:0]
+		queue = append(queue, m)
+		nodeEpoch[m] = epoch
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			slot := coverSlot[v]
+			if coverEpoch[v] != coverGen {
 				slot = int32(len(coverNodes))
 				coverNodes = append(coverNodes, v)
 				coverBits = append(coverBits, Mask(slab[:words:words]))
 				slab = slab[words:]
-				gen.coverEpoch[v] = gen.coverGen
-				gen.coverSlot[v] = slot
+				coverEpoch[v] = coverGen
+				coverSlot[v] = slot
 			}
 			coverBits[slot].set(j)
-			for _, w := range gen.liveIn[v] {
-				if gen.nodeEpoch[w] != gen.epoch {
-					gen.nodeEpoch[w] = gen.epoch
-					gen.queue = append(gen.queue, w)
+			for _, w := range liveIn[v] {
+				if nodeEpoch[w] != epoch {
+					nodeEpoch[w] = epoch
+					queue = append(queue, w)
 				}
 			}
 		}
 	}
+	gen.queue = queue
 	gen.release()
 	return rawSample{
 		comm:       int32(commIdx),
@@ -176,21 +188,26 @@ func (gen *Generator) FractionalInfluence(rng *xrand.RNG, inSeed []bool) float64
 //imc:hotpath
 func (gen *Generator) memberReachedBy(m graph.NodeID, inSeed []bool) bool {
 	gen.epoch++
-	gen.queue = gen.queue[:0]
-	gen.queue = append(gen.queue, m)
-	gen.nodeEpoch[m] = gen.epoch
-	for head := 0; head < len(gen.queue); head++ {
-		v := gen.queue[head]
+	epoch := gen.epoch
+	nodeEpoch := gen.nodeEpoch
+	liveIn := gen.liveIn
+	queue := gen.queue[:0]
+	queue = append(queue, m)
+	nodeEpoch[m] = epoch
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
 		if inSeed[v] {
+			gen.queue = queue // keep the grown capacity for the next draw
 			return true
 		}
-		for _, w := range gen.liveIn[v] {
-			if gen.nodeEpoch[w] != gen.epoch {
-				gen.nodeEpoch[w] = gen.epoch
-				gen.queue = append(gen.queue, w)
+		for _, w := range liveIn[v] {
+			if nodeEpoch[w] != epoch {
+				nodeEpoch[w] = epoch
+				queue = append(queue, w)
 			}
 		}
 	}
+	gen.queue = queue
 	return false
 }
 
@@ -206,30 +223,35 @@ func (gen *Generator) collectiveBFS(rng *xrand.RNG) (int, []graph.NodeID) {
 	members := gen.part.Community(commIdx).Members
 
 	gen.epoch++
-	gen.queue = gen.queue[:0]
-	gen.resetNodes = gen.resetNodes[:0]
+	epoch := gen.epoch
+	nodeEpoch := gen.nodeEpoch
+	liveIn := gen.liveIn
+	queue := gen.queue[:0]
+	resetNodes := gen.resetNodes[:0]
 	for _, m := range members {
-		if gen.nodeEpoch[m] != gen.epoch {
-			gen.nodeEpoch[m] = gen.epoch
-			gen.queue = append(gen.queue, m)
+		if nodeEpoch[m] != epoch {
+			nodeEpoch[m] = epoch
+			queue = append(queue, m)
 		}
 	}
-	for head := 0; head < len(gen.queue); head++ {
-		u := gen.queue[head]
-		gen.resetNodes = append(gen.resetNodes, u)
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		resetNodes = append(resetNodes, u)
 		switch gen.model {
 		case diffusion.LT:
 			gen.sampleInEdgesLT(u, rng)
 		default:
 			gen.sampleInEdgesIC(u, rng)
 		}
-		for _, v := range gen.liveIn[u] {
-			if gen.nodeEpoch[v] != gen.epoch {
-				gen.nodeEpoch[v] = gen.epoch
-				gen.queue = append(gen.queue, v)
+		for _, v := range liveIn[u] {
+			if nodeEpoch[v] != epoch {
+				nodeEpoch[v] = epoch
+				queue = append(queue, v)
 			}
 		}
 	}
+	gen.queue = queue
+	gen.resetNodes = resetNodes
 	return commIdx, members
 }
 
@@ -239,6 +261,7 @@ func (gen *Generator) collectiveBFS(rng *xrand.RNG) (int, []graph.NodeID) {
 //imc:hotpath
 func (gen *Generator) sampleInEdgesIC(u graph.NodeID, rng *xrand.RNG) {
 	froms, ws, _ := gen.g.InNeighbors(u)
+	ws = ws[:len(froms)] // one shared bounds proof for the parallel scan
 	live := gen.liveIn[u][:0]
 	for i, v := range froms {
 		if rng.Bernoulli(ws[i]) {
@@ -256,6 +279,7 @@ func (gen *Generator) sampleInEdgesIC(u graph.NodeID, rng *xrand.RNG) {
 //imc:hotpath
 func (gen *Generator) sampleInEdgesLT(u graph.NodeID, rng *xrand.RNG) {
 	froms, ws, _ := gen.g.InNeighbors(u)
+	ws = ws[:len(froms)] // one shared bounds proof for the parallel scan
 	live := gen.liveIn[u][:0]
 	total := 0.0
 	for _, w := range ws {

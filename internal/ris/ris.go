@@ -246,8 +246,9 @@ func (p *rrPool) greedyMaxCover(k int) ([]graph.NodeID, int) {
 		p.deg = make([]int32, n)
 	}
 	deg := p.deg[:n]
+	index := p.index[:n] // relate the cover index to the scan bound once
 	for v := 0; v < n; v++ {
-		deg[v] = int32(len(p.index[v]))
+		deg[v] = int32(len(index[v]))
 	}
 	if p.covered == nil || p.covered.Len() < len(p.sets) {
 		p.covered = bitset.New(len(p.sets))
@@ -275,7 +276,7 @@ func (p *rrPool) greedyMaxCover(k int) ([]graph.NodeID, int) {
 		}
 		chosen.Set(best)
 		seeds = append(seeds, graph.NodeID(best))
-		for _, setID := range p.index[best] {
+		for _, setID := range index[best] {
 			if covered.Test(int(setID)) {
 				continue
 			}
@@ -352,17 +353,24 @@ func (s *rrSampler) sampleHits(rng *xrand.RNG, inSeed []bool) bool {
 //imc:hotpath
 func (s *rrSampler) walk(root graph.NodeID, rng *xrand.RNG, inSeed []bool) bool {
 	s.epoch++
-	s.queue = s.queue[:0]
-	s.queue = append(s.queue, root)
-	s.mark[root] = s.epoch
-	for head := 0; head < len(s.queue); head++ {
-		u := s.queue[head]
+	// Hoist the scratch into locals: the BFS bound is then a local
+	// length with one bounds proof, and the weight slices re-slice to
+	// the neighbor count so ws[i] checks once per edge list.
+	epoch := s.epoch
+	mark := s.mark
+	queue := s.queue[:0]
+	queue = append(queue, root)
+	mark[root] = epoch
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
 		if inSeed != nil && inSeed[u] {
+			s.queue = queue // keep the grown capacity for the next draw
 			return true
 		}
 		switch s.model {
 		case diffusion.LT:
 			froms, ws, _ := s.g.InNeighbors(u)
+			ws = ws[:len(froms)]
 			total := 0.0
 			for _, w := range ws {
 				total += w
@@ -378,22 +386,24 @@ func (s *rrSampler) walk(root graph.NodeID, rng *xrand.RNG, inSeed []bool) bool 
 			for i, v := range froms {
 				acc += ws[i]
 				if draw < acc {
-					if s.mark[v] != s.epoch {
-						s.mark[v] = s.epoch
-						s.queue = append(s.queue, v)
+					if mark[v] != epoch {
+						mark[v] = epoch
+						queue = append(queue, v)
 					}
 					break
 				}
 			}
 		default:
 			froms, ws, _ := s.g.InNeighbors(u)
+			ws = ws[:len(froms)]
 			for i, v := range froms {
-				if s.mark[v] != s.epoch && rng.Bernoulli(ws[i]) {
-					s.mark[v] = s.epoch
-					s.queue = append(s.queue, v)
+				if mark[v] != epoch && rng.Bernoulli(ws[i]) {
+					mark[v] = epoch
+					queue = append(queue, v)
 				}
 			}
 		}
 	}
+	s.queue = queue
 	return false
 }
