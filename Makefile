@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-bench graph api test race bench bench-core fuzz jobs-test experiments examples clean
+.PHONY: all build vet lint lint-bench graph api test race bench bench-core fuzz jobs-test poolcache-test experiments examples clean
 
 all: build vet lint test
 
@@ -40,6 +40,14 @@ race:
 # integration test.
 jobs-test:
 	$(GO) test -race -count=1 ./internal/job/ ./internal/serve/
+
+# The pool snapshot format (v2 identity headers) and the shared pool
+# cache, race-enabled: serialization identity checks, donor adoption
+# determinism, cache store/evict/boot behavior, and the serve-level
+# cold-vs-warm byte-identity integration test.
+poolcache-test:
+	$(GO) test -race -count=1 ./internal/ric/ ./internal/poolcache/ \
+		./internal/serve/ -run 'Pool|Donor|Cache|Session|Eviction|Boot|ReadInto|Serial|ColdWarm'
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"imc/internal/job"
+	"imc/internal/poolcache"
 	"imc/internal/serve"
 )
 
@@ -47,6 +48,8 @@ func run() error {
 		maxInflight     = flag.Int("max-inflight", 0, "max concurrent heavy requests before shedding with 429 (0 = GOMAXPROCS)")
 		jobDir          = flag.String("job-dir", "", "directory for the async job store; empty disables /v1/jobs")
 		workers         = flag.Int("workers", 2, "job worker pool size (with -job-dir)")
+		poolCacheDir    = flag.String("pool-cache-dir", "", "directory for the shared RIC pool snapshot cache; empty disables caching")
+		poolCacheBytes  = flag.Int64("pool-cache-bytes", 1<<30, "pool cache byte budget before LRU eviction (with -pool-cache-dir; ≤ 0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -54,6 +57,28 @@ func run() error {
 	cfg := serve.Config{
 		SolveTimeout: *solveTimeout,
 		MaxInflight:  *maxInflight,
+	}
+
+	// The pool cache, when enabled, is shared by the synchronous solve
+	// endpoints and the job workers: any solve warms it, any later solve
+	// over the same (instance, model, seed) adopts the cached samples and
+	// generates only the missing tail.
+	var cache *poolcache.Cache
+	if *poolCacheDir != "" {
+		var err error
+		cache, err = poolcache.Open(*poolCacheDir, poolcache.Options{
+			MaxBytes: *poolCacheBytes,
+			Logf: func(format string, args ...any) {
+				logger.Info(fmt.Sprintf(format, args...))
+			},
+		})
+		if err != nil {
+			return err
+		}
+		st := cache.Stats()
+		logger.Info("pool cache open", "dir", *poolCacheDir,
+			"entries", st.Entries, "bytes", st.Bytes, "budget", *poolCacheBytes)
+		cfg.PoolCache = cache
 	}
 
 	// The job subsystem, when enabled, opens the store (replaying the
@@ -67,7 +92,7 @@ func run() error {
 			return err
 		}
 		defer store.Close()
-		pool = job.NewPool(store, job.PoolOptions{Workers: *workers, Log: logger})
+		pool = job.NewPool(store, job.PoolOptions{Workers: *workers, Log: logger, PoolCache: cache})
 		pending := len(store.PendingIDs())
 		pool.Start()
 		logger.Info("job pool started", "dir", *jobDir, "workers", *workers, "resumedPending", pending)

@@ -1,0 +1,109 @@
+// Package atomicio provides the crash-safe file publication primitives
+// shared by the durable subsystems (the async job store, the pool
+// cache): write-to-temp + fsync + rename publication, so readers never
+// observe a partial file, and CRC-framed payloads, so silent disk
+// corruption surfaces as a descriptive decode error instead of subtly
+// wrong state.
+package atomicio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// ErrCRCMismatch reports that a CRC-framed file's checksum does not
+// cover its payload — the file is corrupt and must not be trusted.
+var ErrCRCMismatch = errors.New("atomicio: crc mismatch")
+
+// WriteFile atomically writes data to path via a synced temp file and
+// rename, so readers never observe a partial file.
+func WriteFile(path string, data []byte) error {
+	return WriteStream(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// WriteStream streams fn's output to path atomically: the bytes go to
+// path+".tmp", the file is synced, and only then renamed over path —
+// a crash mid-write leaves the previous content intact. On any error
+// the temp file is removed.
+func WriteStream(path string, fn func(io.Writer) error) (err error) {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("atomicio: create %s: %w", filepath.Base(tmp), err)
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = fn(f); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("atomicio: sync %s: %w", filepath.Base(tmp), err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("atomicio: close %s: %w", filepath.Base(tmp), err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("atomicio: publish %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}
+
+// WriteCRCStream is WriteStream with integrity framing: everything fn
+// writes is checksummed (IEEE CRC-32) and the 4-byte little-endian sum
+// is appended after the payload. ReadCRCFile verifies and strips it.
+func WriteCRCStream(path string, fn func(io.Writer) error) error {
+	return WriteStream(path, func(w io.Writer) error {
+		sum := crc32.NewIEEE()
+		if err := fn(io.MultiWriter(w, sum)); err != nil {
+			return err
+		}
+		var tail [4]byte
+		binary.LittleEndian.PutUint32(tail[:], sum.Sum32())
+		_, err := w.Write(tail[:])
+		return err
+	})
+}
+
+// ReadCRCFile reads a file written by WriteCRCStream, verifies the
+// trailing checksum, and returns the payload without it. A mismatch
+// (or a file too short to carry the frame) returns an error wrapping
+// ErrCRCMismatch.
+func ReadCRCFile(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	body, err := VerifyCRCFrame(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", filepath.Base(path), err)
+	}
+	return body, nil
+}
+
+// VerifyCRCFrame checks the trailing CRC-32 of an in-memory CRC-framed
+// payload and returns the body without the 4-byte tail. Callers that
+// need custom pre-checks (magic, minimum length) before trusting the
+// checksum read the file themselves and verify the frame here.
+func VerifyCRCFrame(data []byte) ([]byte, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("atomicio: %d bytes, too short for a crc frame: %w",
+			len(data), ErrCRCMismatch)
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(tail); got != want {
+		return nil, fmt.Errorf("atomicio: crc %08x, want %08x: %w", got, want, ErrCRCMismatch)
+	}
+	return body, nil
+}

@@ -1,0 +1,119 @@
+package atomicio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	if err := WriteFile(path, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "payload" {
+		t.Fatalf("read %q", got)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp file left behind")
+	}
+}
+
+// TestWriteStreamFailureKeepsOldContent: a failed write must leave the
+// previously published file untouched and clean up its temp file —
+// the whole point of tmp-and-rename.
+func TestWriteStreamFailureKeepsOldContent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	if err := WriteFile(path, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := WriteStream(path, func(w io.Writer) error {
+		if _, err := w.Write([]byte("partial new")); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "old" {
+		t.Fatalf("published file clobbered by failed write: %q", got)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("failed write left its temp file")
+	}
+}
+
+func TestCRCFrameRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	if err := WriteCRCStream(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("framed"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	body, err := ReadCRCFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != "framed" {
+		t.Fatalf("body %q", body)
+	}
+	// On-disk size = payload + 4-byte tail.
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() != int64(len("framed"))+4 {
+		t.Fatalf("file size %d", info.Size())
+	}
+}
+
+func TestCRCDetectsCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	if err := WriteCRCStream(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("framed payload"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < len(data); off++ {
+		bad := append([]byte(nil), data...)
+		bad[off] ^= 0x01
+		if _, err := VerifyCRCFrame(bad); !errors.Is(err, ErrCRCMismatch) {
+			t.Fatalf("flip at %d: err = %v, want ErrCRCMismatch", off, err)
+		}
+	}
+	for _, short := range [][]byte{nil, {1}, {1, 2, 3}} {
+		if _, err := VerifyCRCFrame(short); !errors.Is(err, ErrCRCMismatch) {
+			t.Fatalf("%d bytes: err = %v, want ErrCRCMismatch", len(short), err)
+		}
+	}
+	// An empty payload is a valid frame.
+	empty := filepath.Join(t.TempDir(), "e")
+	if err := WriteCRCStream(empty, func(io.Writer) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	body, err := ReadCRCFile(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) != 0 {
+		t.Fatalf("empty frame body %q", body)
+	}
+}

@@ -87,6 +87,34 @@ type Options struct {
 	// must otherwise equal the original run's — then the resumed run
 	// retraces the uninterrupted one exactly, seed for seed.
 	Resume *Checkpoint
+	// Grow, when non-nil, supplies pool samples in place of plain
+	// generation: the stop-and-stare loop calls it wherever it would
+	// otherwise generate (the initial batch and each doubling), and the
+	// hook must leave the pool with at least target samples. This is
+	// the pool cache's seam — a cached snapshot donates its prefix and
+	// only the missing tail is generated. Because sample i is always
+	// drawn from PRNG stream i, a correct hook is observationally
+	// identical to generation, so every stop check still runs against
+	// exactly the pool a cold run would have had. Nil means
+	// ric.Pool.EnsureCtx.
+	Grow GrowFunc
+}
+
+// GrowFunc grows pool to at least target samples. Implementations may
+// source samples anywhere (generation, a cache, a donor pool) but the
+// result must be byte-identical to pool.EnsureCtx(ctx, target) — the
+// solvers' determinism and the statistical guarantees both ride on it.
+type GrowFunc func(ctx context.Context, pool *ric.Pool, target int) error
+
+// growFunc returns the configured Grow hook or the plain-generation
+// default.
+func (o Options) growFunc() GrowFunc {
+	if o.Grow != nil {
+		return o.Grow
+	}
+	return func(ctx context.Context, pool *ric.Pool, target int) error {
+		return pool.EnsureCtx(ctx, target)
+	}
 }
 
 // Checkpoint captures the resumable progress of a SolveCtx run at a
@@ -214,8 +242,9 @@ func SolveCtx(ctx context.Context, g *graph.Graph, part *community.Partition, so
 	if initial > opts.MaxSamples {
 		initial = opts.MaxSamples
 	}
+	grow := opts.growFunc()
 	if opts.Resume == nil {
-		if err := pool.GenerateCtx(ctx, initial); err != nil {
+		if err := grow(ctx, pool, initial); err != nil {
 			return Solution{}, err
 		}
 	}
@@ -313,7 +342,7 @@ func SolveCtx(ctx context.Context, g *graph.Graph, part *community.Partition, so
 			sol.Stopped = StopSampleCap
 			break
 		}
-		if err := pool.DoubleCtx(ctx); err != nil {
+		if err := grow(ctx, pool, pool.NumSamples()*2); err != nil {
 			return Solution{}, err
 		}
 		doublings++
@@ -399,7 +428,7 @@ func SolveFixedCtx(ctx context.Context, g *graph.Graph, part *community.Partitio
 	if err != nil {
 		return Solution{}, err
 	}
-	if err := pool.GenerateCtx(ctx, numSamples); err != nil {
+	if err := opts.growFunc()(ctx, pool, numSamples); err != nil {
 		return Solution{}, err
 	}
 	seeds, chat, ratio, err := runSolver(ctx, pool, solver, opts)

@@ -65,6 +65,12 @@ type RunConfig struct {
 	// resumed run returns the byte-identical seed set and benefit the
 	// uninterrupted run would have.
 	Resume *core.Checkpoint
+	// Grow, when non-nil, supplies pool samples for the core-solver
+	// algorithms in place of plain generation (see core.Options.Grow) —
+	// the pool cache's entry point. Like Checkpoint it requires
+	// Runs == 1: each repetition uses a different seed, so one grow
+	// session cannot serve them all.
+	Grow core.GrowFunc
 }
 
 func (c RunConfig) normalized() RunConfig {
@@ -125,8 +131,8 @@ func RunAlg(inst *Instance, alg string, k int, cfg RunConfig) (AlgResult, error)
 //imc:longrun
 func RunAlgCtx(ctx context.Context, inst *Instance, alg string, k int, cfg RunConfig) (AlgResult, error) {
 	cfg = cfg.normalized()
-	if (cfg.Checkpoint != nil || cfg.Resume != nil) && cfg.Runs != 1 {
-		return AlgResult{}, fmt.Errorf("expt: checkpoint/resume requires Runs == 1, got %d", cfg.Runs)
+	if (cfg.Checkpoint != nil || cfg.Resume != nil || cfg.Grow != nil) && cfg.Runs != 1 {
+		return AlgResult{}, fmt.Errorf("expt: checkpoint/resume/grow requires Runs == 1, got %d", cfg.Runs)
 	}
 	out := AlgResult{Alg: alg}
 	var acc stats.Running
@@ -171,6 +177,7 @@ func selectSeeds(ctx context.Context, inst *Instance, alg string, k int, cfg Run
 		// baseline job simply restarts from scratch (they are cheap).
 		Checkpoint: cfg.Checkpoint,
 		Resume:     cfg.Resume,
+		Grow:       cfg.Grow,
 	}
 	switch alg {
 	case AlgUBG:

@@ -6,11 +6,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
 
+	"imc/internal/atomicio"
 	"imc/internal/core"
 )
 
@@ -38,57 +38,33 @@ const (
 	ckptMaxSpec    = 1 << 20
 )
 
-// writeCheckpointFile atomically persists one checkpoint: the bytes are
-// streamed to path+".tmp" (through the CRC), synced, and renamed over
-// path, so a crash mid-write leaves the previous checkpoint intact.
-func writeCheckpointFile(path string, spec Spec, cp core.Checkpoint) (err error) {
+// writeCheckpointFile atomically persists one checkpoint through the
+// shared CRC-framed atomic write machinery (internal/atomicio): header,
+// spec, and pool stream to a synced temp file with a trailing CRC,
+// renamed over path, so a crash mid-write leaves the previous
+// checkpoint intact.
+func writeCheckpointFile(path string, spec Spec, cp core.Checkpoint) error {
 	specJSON, err := json.Marshal(spec)
 	if err != nil {
 		return fmt.Errorf("job: marshal checkpoint spec: %w", err)
 	}
-	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
-	if err != nil {
-		return fmt.Errorf("job: create checkpoint temp: %w", err)
-	}
-	defer func() {
-		if err != nil {
-			f.Close()
-			os.Remove(tmp)
+	return atomicio.WriteCRCStream(path, func(w io.Writer) error {
+		var hdr [ckptHeaderSize]byte
+		copy(hdr[:4], ckptMagic[:])
+		binary.LittleEndian.PutUint32(hdr[4:8], ckptVersion)
+		binary.LittleEndian.PutUint32(hdr[8:12], uint32(cp.Doublings))
+		binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(specJSON)))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return fmt.Errorf("job: write checkpoint header: %w", err)
 		}
-	}()
-
-	sum := crc32.NewIEEE()
-	w := io.MultiWriter(f, sum)
-	var hdr [ckptHeaderSize]byte
-	copy(hdr[:4], ckptMagic[:])
-	binary.LittleEndian.PutUint32(hdr[4:8], ckptVersion)
-	binary.LittleEndian.PutUint32(hdr[8:12], uint32(cp.Doublings))
-	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(specJSON)))
-	if _, err = w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("job: write checkpoint header: %w", err)
-	}
-	if _, err = w.Write(specJSON); err != nil {
-		return fmt.Errorf("job: write checkpoint spec: %w", err)
-	}
-	if err = cp.Pool.Save(w); err != nil {
-		return fmt.Errorf("job: write checkpoint pool: %w", err)
-	}
-	var tail [4]byte
-	binary.LittleEndian.PutUint32(tail[:], sum.Sum32())
-	if _, err = f.Write(tail[:]); err != nil {
-		return fmt.Errorf("job: write checkpoint crc: %w", err)
-	}
-	if err = f.Sync(); err != nil {
-		return fmt.Errorf("job: sync checkpoint: %w", err)
-	}
-	if err = f.Close(); err != nil {
-		return fmt.Errorf("job: close checkpoint: %w", err)
-	}
-	if err = os.Rename(tmp, path); err != nil {
-		return fmt.Errorf("job: publish checkpoint: %w", err)
-	}
-	return nil
+		if _, err := w.Write(specJSON); err != nil {
+			return fmt.Errorf("job: write checkpoint spec: %w", err)
+		}
+		if err := cp.Pool.Save(w); err != nil {
+			return fmt.Errorf("job: write checkpoint pool: %w", err)
+		}
+		return nil
+	})
 }
 
 // decodedCheckpoint is the raw content of a checkpoint file; the pool
@@ -125,9 +101,9 @@ func readCheckpointFile(path string) (*decodedCheckpoint, error) {
 	if v := binary.LittleEndian.Uint32(data[4:8]); v != ckptVersion {
 		return nil, fmt.Errorf("job: checkpoint %s version %d unsupported (want %d)", filepath.Base(path), v, ckptVersion)
 	}
-	body, tail := data[:len(data)-4], data[len(data)-4:]
-	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(tail); got != want {
-		return nil, fmt.Errorf("job: checkpoint %s corrupt: crc %08x, want %08x", filepath.Base(path), got, want)
+	body, err := atomicio.VerifyCRCFrame(data)
+	if err != nil {
+		return nil, fmt.Errorf("job: checkpoint %s corrupt: %w", filepath.Base(path), err)
 	}
 	doublings := binary.LittleEndian.Uint32(data[8:12])
 	specLen := binary.LittleEndian.Uint32(data[12:16])

@@ -10,6 +10,7 @@ import (
 	"imc/internal/clock"
 	"imc/internal/core"
 	"imc/internal/expt"
+	"imc/internal/poolcache"
 	"imc/internal/stats"
 )
 
@@ -24,6 +25,11 @@ type PoolOptions struct {
 	// BuildInstance overrides instance construction (tests inject small
 	// instances); nil means expt.BuildInstance.
 	BuildInstance func(expt.InstanceConfig) (*expt.Instance, error)
+	// PoolCache, when set, shares RIC pool snapshots across jobs: a
+	// job whose (instance, model, seed) identity matches a cached pool
+	// adopts its samples instead of regenerating them, and checkpoint
+	// boundaries store grown pools back. Nil disables cache use.
+	PoolCache *poolcache.Cache
 }
 
 // Pool executes the store's pending jobs on a bounded set of workers.
@@ -32,11 +38,12 @@ type PoolOptions struct {
 // boundary; interrupted jobs return to pending and resume from their
 // checkpoint on the next Start.
 type Pool struct {
-	store   *Store                                           //imc:guardedby immutable
-	workers int                                              //imc:guardedby immutable
-	now     clock.Func                                       //imc:guardedby immutable
-	log     *slog.Logger                                     //imc:guardedby immutable
+	store   *Store                                            //imc:guardedby immutable
+	workers int                                               //imc:guardedby immutable
+	now     clock.Func                                        //imc:guardedby immutable
+	log     *slog.Logger                                      //imc:guardedby immutable
 	build   func(expt.InstanceConfig) (*expt.Instance, error) //imc:guardedby immutable
+	cache   *poolcache.Cache                                  //imc:guardedby immutable — nil disables
 
 	baseCtx    context.Context    //imc:guardedby immutable
 	baseCancel context.CancelFunc //imc:guardedby immutable
@@ -82,6 +89,7 @@ func NewPool(store *Store, opts PoolOptions) *Pool {
 		now:        clock.OrWall(opts.Now),
 		log:        opts.Log,
 		build:      opts.BuildInstance,
+		cache:      opts.PoolCache,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		queued:     make(map[string]bool),
@@ -314,6 +322,13 @@ func (p *Pool) runJob(ctx context.Context, j *Job) (Result, error) {
 		resume = nil
 	}
 
+	// One cache session per run (nil-safe when no cache is wired): the
+	// solver adopts cached samples through Grow, and each checkpoint
+	// boundary stores the grown pool back. The durable job checkpoint
+	// is written first and its errors still abort the solve — the
+	// shared cache is an accelerator, never part of the durability
+	// contract, so its failures are only logged.
+	sess := p.cache.Begin(inst.G, inst.Part, j.Spec.model(), j.Spec.Seed)
 	cfg := expt.RunConfig{
 		Eps:        j.Spec.Eps,
 		Delta:      j.Spec.Delta,
@@ -323,9 +338,13 @@ func (p *Pool) runJob(ctx context.Context, j *Job) (Result, error) {
 		BTMaxRoots: j.Spec.BTMaxRoots,
 		Model:      j.Spec.model(),
 		Now:        p.now,
+		Grow:       sess.Grow,
 		Checkpoint: func(cp core.Checkpoint) error {
 			if err := p.store.SaveCheckpoint(j.ID, cp); err != nil {
 				return err
+			}
+			if err := sess.Save(cp.Pool); err != nil {
+				p.log.Warn("pool cache save failed", "job", j.ID, "err", err)
 			}
 			if hook := p.checkpointHook; hook != nil {
 				hook(j.ID, cp)

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sync"
 
+	"imc/internal/atomicio"
 	"imc/internal/clock"
 	"imc/internal/core"
 	"imc/internal/expt"
@@ -315,8 +316,8 @@ func (s *Store) MarkSucceeded(id string, res Result) error {
 	if err != nil {
 		return fmt.Errorf("job: marshal result: %w", err)
 	}
-	if err := writeFileAtomic(s.resultPath(id), raw); err != nil {
-		return err
+	if err := atomicio.WriteFile(s.resultPath(id), raw); err != nil {
+		return fmt.Errorf("job: persist result: %w", err)
 	}
 	_, err = s.transition(id, StateRunning, StateSucceeded, "", false)
 	return err
@@ -448,33 +449,4 @@ func (s *Store) Close() error {
 	jl := s.jl
 	s.mu.Unlock()
 	return jl.close()
-}
-
-// writeFileAtomic writes data to path via a synced temp file and
-// rename, so readers never observe a partial file.
-func writeFileAtomic(path string, data []byte) error {
-	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
-	if err != nil {
-		return fmt.Errorf("job: create %s: %w", filepath.Base(tmp), err)
-	}
-	if _, err := f.Write(data); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("job: write %s: %w", filepath.Base(tmp), err)
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("job: sync %s: %w", filepath.Base(tmp), err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("job: close %s: %w", filepath.Base(tmp), err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("job: publish %s: %w", filepath.Base(path), err)
-	}
-	return nil
 }

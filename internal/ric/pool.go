@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"imc/internal/community"
 	"imc/internal/diffusion"
@@ -107,22 +108,37 @@ func (p *Pool) GenerateCtx(ctx context.Context, count int) error {
 		wg       sync.WaitGroup
 		firstErr error
 		errOnce  sync.Once
+		// abort is the shared fast-fail flag: the first worker to hit an
+		// error (or observe cancellation) raises it, and every other
+		// worker checks it at the same batch boundary as the ctx poll, so
+		// one failure stops the whole generation within ~ctxPollBatch
+		// samples per worker instead of letting the survivors sample the
+		// full count to completion. A completed (error-free) run never
+		// observes the flag, so its output stays byte-identical.
+		abort atomic.Bool
 	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		abort.Store(true)
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			gen, err := NewGenerator(p.g, p.part, p.model)
 			if err != nil {
-				errOnce.Do(func() { firstErr = err })
+				fail(err)
 				return
 			}
 			var rng xrand.RNG
 			drawn := 0
 			for i := w; i < count; i += workers {
 				if drawn&(ctxPollBatch-1) == 0 {
+					if abort.Load() {
+						return
+					}
 					if cerr := ctx.Err(); cerr != nil {
-						errOnce.Do(func() { firstErr = cerr })
+						fail(cerr)
 						return
 					}
 				}
@@ -166,6 +182,21 @@ func (p *Pool) DoubleCtx(ctx context.Context) error {
 		return errors.New("ric: cannot double an empty pool")
 	}
 	return p.GenerateCtx(ctx, n)
+}
+
+// EnsureCtx grows the pool to at least target samples, generating only
+// the missing tail. A pool already at or past target is left untouched.
+// Because sample i is always drawn from PRNG stream i, the resulting
+// pool is byte-identical to one generated in any other step pattern —
+// EnsureCtx is how cache-warmed pools and cold pools converge on the
+// same sample sequence.
+//
+//imc:longrun
+func (p *Pool) EnsureCtx(ctx context.Context, target int) error {
+	if target <= len(p.samples) {
+		return ctx.Err()
+	}
+	return p.GenerateCtx(ctx, target-len(p.samples))
 }
 
 // NumSamples returns |R|.

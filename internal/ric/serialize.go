@@ -9,26 +9,45 @@ import (
 
 // Pool serialization: RIC sampling dominates end-to-end runtime on
 // large instances, so a pool is worth persisting when several solver
-// configurations will be compared against the same sample set.
+// configurations will be compared against the same sample set, and the
+// pool cache shares snapshots across requests.
 //
-// Layout (little endian):
+// Layout (little endian), format v2:
 //
 //	magic    [4]byte  "IMCP"
-//	version  uint32   (1)
+//	version  uint32   (2)
+//	seed     uint64   the pool's PRNG seed (sample i ← stream i)
+//	model    uint32   diffusion model tag (IC=1, LT=2)
+//	wdigest  uint64   graph.WeightDigest of the sampled graph
 //	n        uint64   node count (must match the pool's graph on load)
 //	r        uint64   community count (must match the partition)
-//	samples  uint64
+//	samples  uint64   sample count at save time
 //	per sample: comm uint32, threshold uint32, numMembers uint32,
 //	            covers uint32, then per cover:
 //	            node uint32, words uint32, words×uint64 mask
+//
+// v2 exists because v1 carried no identity: a v1 snapshot saved under a
+// different seed or model passed every shape check on a same-shaped
+// graph, and a subsequent DoubleCtx drew extension samples from the
+// *pool's* seed — silently mixing PRNG streams. The v2 header pins
+// seed, model, and the exact weighted graph, so a loaded snapshot is
+// guaranteed to extend the sample sequence it claims to be a prefix of.
+// v1 streams are rejected outright: they cannot be trusted.
 //
 // The inverted index and community frequencies are rebuilt on load.
 
 var poolMagic = [4]byte{'I', 'M', 'C', 'P'}
 
-const poolVersion = 1
+const (
+	poolVersion = 2
+	// poolHeaderSize is the fixed v2 header length: magic, version,
+	// seed, model, wdigest, n, r, samples.
+	poolHeaderSize = 4 + 4 + 8 + 4 + 8 + 8 + 8 + 8
+)
 
-// Save serializes the pool's samples and cover index.
+// Save serializes the pool's samples and cover index in format v2. The
+// header carries the pool's identity (seed, model, weight digest), so
+// ReadInto can refuse a snapshot that would fork the PRNG streams.
 func (p *Pool) Save(w io.Writer) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	if _, err := bw.Write(poolMagic[:]); err != nil {
@@ -46,6 +65,15 @@ func (p *Pool) Save(w io.Writer) error {
 		return err
 	}
 	if err := put32(poolVersion); err != nil {
+		return err
+	}
+	if err := put64(p.seed); err != nil {
+		return err
+	}
+	if err := put32(uint32(p.model)); err != nil {
+		return err
+	}
+	if err := put64(p.g.WeightDigest()); err != nil {
 		return err
 	}
 	if err := put64(uint64(p.g.NumNodes())); err != nil {
@@ -92,21 +120,44 @@ func (p *Pool) Save(w io.Writer) error {
 	return nil
 }
 
-// ReadInto deserializes samples written by Save into the pool,
-// which must be freshly created over the same graph and partition and
-// still empty. Decoding is defensive: every count is validated against
-// the pool's graph and partition (community range, member counts,
-// thresholds, exact mask widths), and truncated or corrupt input
-// surfaces as a descriptive error naming the field being read — never
-// a panic. A different random graph of the same shape is still the
-// caller's responsibility, as with any cache.
+// countingReader tracks how many bytes have been consumed so decode
+// errors can name the exact offset of the problem.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// ReadInto deserializes samples written by Save into the pool, which
+// must be freshly created over the same graph and partition with the
+// same seed and model, and still empty. Decoding is defensive on two
+// axes:
+//
+// Identity: the v2 header's seed, model tag, and weight digest must
+// match the pool's exactly — a snapshot taken under a different seed or
+// diffusion model, or over a different weighted graph of the same
+// shape, is rejected instead of silently forking the PRNG streams on
+// the next Double. v1 streams are rejected with an upgrade error: they
+// carry no identity and cannot be trusted.
+//
+// Shape: every count is validated against the pool's graph and
+// partition (community range, member counts, thresholds, exact mask
+// widths), the stream must end exactly at the last declared sample
+// (trailing bytes are corruption, not slack), and truncated or corrupt
+// input surfaces as a descriptive error naming the field being read —
+// never a panic.
 func (p *Pool) ReadInto(r io.Reader) error {
 	if len(p.samples) != 0 {
 		return fmt.Errorf("ric: ReadInto requires an empty pool, have %d samples", len(p.samples))
 	}
-	br := bufio.NewReaderSize(r, 1<<20)
+	cr := &countingReader{r: bufio.NewReaderSize(r, 1<<20)}
 	var magic [4]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
+	if _, err := io.ReadFull(cr, magic[:]); err != nil {
 		return fmt.Errorf("ric: pool snapshot truncated reading magic: %w", err)
 	}
 	if magic != poolMagic {
@@ -114,13 +165,13 @@ func (p *Pool) ReadInto(r io.Reader) error {
 	}
 	var scratch [8]byte
 	get32 := func(field string) (uint32, error) {
-		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+		if _, err := io.ReadFull(cr, scratch[:4]); err != nil {
 			return 0, fmt.Errorf("ric: pool snapshot truncated reading %s: %w", field, noEOF(err))
 		}
 		return binary.LittleEndian.Uint32(scratch[:4]), nil
 	}
 	get64 := func(field string) (uint64, error) {
-		if _, err := io.ReadFull(br, scratch[:]); err != nil {
+		if _, err := io.ReadFull(cr, scratch[:]); err != nil {
 			return 0, fmt.Errorf("ric: pool snapshot truncated reading %s: %w", field, noEOF(err))
 		}
 		return binary.LittleEndian.Uint64(scratch[:]), nil
@@ -129,8 +180,32 @@ func (p *Pool) ReadInto(r io.Reader) error {
 	if err != nil {
 		return err
 	}
+	if version == 1 {
+		return fmt.Errorf("ric: pool snapshot is format v1, which carries no identity (seed/model/weights) and cannot be validated; regenerate the pool and re-save as v%d", poolVersion)
+	}
 	if version != poolVersion {
 		return fmt.Errorf("ric: unsupported pool version %d (want %d)", version, poolVersion)
+	}
+	seed, err := get64("seed")
+	if err != nil {
+		return err
+	}
+	if seed != p.seed {
+		return fmt.Errorf("ric: pool snapshot was sampled with seed %d, pool has seed %d — loading would mix PRNG streams", seed, p.seed)
+	}
+	model, err := get32("model")
+	if err != nil {
+		return err
+	}
+	if model != uint32(p.model) {
+		return fmt.Errorf("ric: pool snapshot was sampled under model %d, pool uses model %d", model, uint32(p.model))
+	}
+	wdigest, err := get64("weight digest")
+	if err != nil {
+		return err
+	}
+	if want := p.g.WeightDigest(); wdigest != want {
+		return fmt.Errorf("ric: pool snapshot weight digest %016x does not match graph digest %016x — different edges or weights", wdigest, want)
 	}
 	n, err := get64("node count")
 	if err != nil {
@@ -222,6 +297,14 @@ func (p *Pool) ReadInto(r io.Reader) error {
 			}
 			p.index[node] = append(p.index[node], CoverEntry{Sample: id, Bits: mask})
 		}
+	}
+	// The stream must end exactly where the declared samples do: a
+	// truncated-then-concatenated or otherwise corrupt file that still
+	// parses as a prefix would previously be accepted silently.
+	if _, err := io.ReadFull(cr, scratch[:1]); err == nil {
+		return fmt.Errorf("ric: pool snapshot has trailing bytes after the last sample at offset %d", cr.n-1)
+	} else if err != io.EOF {
+		return fmt.Errorf("ric: pool snapshot read after last sample at offset %d: %w", cr.n, err)
 	}
 	return nil
 }

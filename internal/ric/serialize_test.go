@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"imc/internal/community"
+	"imc/internal/diffusion"
 	"imc/internal/graph"
 )
 
@@ -17,7 +18,9 @@ func TestPoolSerializationRoundTrip(t *testing.T) {
 	if err := pool.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	back, err := NewPool(g, part, PoolOptions{Seed: 99})
+	// The receiving pool must carry the snapshot's identity: same seed
+	// (and default model) over the same graph.
+	back, err := NewPool(g, part, PoolOptions{Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,13 +49,102 @@ func TestPoolSerializationRoundTrip(t *testing.T) {
 			t.Fatalf("ν̂ differs for %v", seeds)
 		}
 	}
-	// The reloaded pool keeps growing correctly.
+	// The reloaded pool keeps growing correctly — and because it has the
+	// snapshot's seed, the extension continues the same sample sequence.
 	if err := back.Generate(100); err != nil {
 		t.Fatal(err)
 	}
 	if back.NumSamples() != pool.NumSamples()+100 {
 		t.Fatal("post-load generation broken")
 	}
+}
+
+// TestReadIntoRejectsIdentityMismatch is the v2 point: a snapshot only
+// loads into a pool with the exact same sampling identity. Loading
+// under a different seed or model used to succeed silently and then
+// fork the PRNG streams on the next doubling.
+func TestReadIntoRejectsIdentityMismatch(t *testing.T) {
+	g, part := smallInstance(t)
+	pool := buildPool(t, g, part, 50, 11)
+	var buf bytes.Buffer
+	if err := pool.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	t.Run("wrong seed", func(t *testing.T) {
+		p, err := NewPool(g, part, PoolOptions{Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = p.ReadInto(bytes.NewReader(good))
+		if err == nil || !strings.Contains(err.Error(), "mix PRNG streams") {
+			t.Fatalf("want seed-mismatch error, got %v", err)
+		}
+	})
+	t.Run("wrong model", func(t *testing.T) {
+		p, err := NewPool(g, part, PoolOptions{Seed: 11, Model: diffusion.LT})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = p.ReadInto(bytes.NewReader(good))
+		if err == nil || !strings.Contains(err.Error(), "sampled under model") {
+			t.Fatalf("want model-mismatch error, got %v", err)
+		}
+	})
+	t.Run("different weights", func(t *testing.T) {
+		// Same topology, one perturbed weight: shape checks all pass,
+		// only the weight digest can catch it.
+		b := graph.NewBuilder(6)
+		for _, e := range g.Edges() {
+			w := e.Weight
+			if e.From == 0 && e.To == 1 {
+				w += 0.125
+			}
+			b.AddEdge(e.From, e.To, w)
+		}
+		g2, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := NewPool(g2, part, PoolOptions{Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = p.ReadInto(bytes.NewReader(good))
+		if err == nil || !strings.Contains(err.Error(), "weight digest") {
+			t.Fatalf("want digest-mismatch error, got %v", err)
+		}
+	})
+	t.Run("v1 stream", func(t *testing.T) {
+		v1 := append([]byte(nil), good...)
+		v1[4], v1[5], v1[6], v1[7] = 1, 0, 0, 0
+		p, err := NewPool(g, part, PoolOptions{Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = p.ReadInto(bytes.NewReader(v1))
+		if err == nil || !strings.Contains(err.Error(), "format v1") {
+			t.Fatalf("want v1-upgrade error, got %v", err)
+		}
+		if !strings.Contains(err.Error(), "re-save as v2") {
+			t.Fatalf("v1 error should tell the operator what to do, got %v", err)
+		}
+	})
+	t.Run("trailing bytes", func(t *testing.T) {
+		withTail := append(append([]byte(nil), good...), 0xAB)
+		p, err := NewPool(g, part, PoolOptions{Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = p.ReadInto(bytes.NewReader(withTail))
+		if err == nil || !strings.Contains(err.Error(), "trailing bytes") {
+			t.Fatalf("want trailing-bytes error, got %v", err)
+		}
+		if !strings.Contains(err.Error(), "offset") {
+			t.Fatalf("trailing-bytes error should carry the offset, got %v", err)
+		}
+	})
 }
 
 func TestPoolReadIntoValidation(t *testing.T) {
@@ -71,7 +163,7 @@ func TestPoolReadIntoValidation(t *testing.T) {
 	// Bad magic.
 	bad := append([]byte(nil), good...)
 	bad[0] = 'X'
-	empty, err := NewPool(g, part, PoolOptions{Seed: 1})
+	empty, err := NewPool(g, part, PoolOptions{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +175,7 @@ func TestPoolReadIntoValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	otherPool, err := NewPool(g, otherPart, PoolOptions{Seed: 1})
+	otherPool, err := NewPool(g, otherPart, PoolOptions{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +183,7 @@ func TestPoolReadIntoValidation(t *testing.T) {
 		t.Fatal("want community-count error")
 	}
 	// Truncation.
-	fresh, err := NewPool(g, part, PoolOptions{Seed: 1})
+	fresh, err := NewPool(g, part, PoolOptions{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,10 +194,11 @@ func TestPoolReadIntoValidation(t *testing.T) {
 
 // TestReadIntoRejectsCorrupt corrupts one field at a time in a valid
 // encoding and asserts the decoder names the problem instead of
-// accepting garbage or panicking. Offsets follow the documented layout:
-// 32-byte header (magic 0, version 4, n 8, r 16, count 24), then per
-// sample comm/threshold/members/covers at +0/+4/+8/+12 and the first
-// cover's node/words at +16/+20.
+// accepting garbage or panicking. Offsets follow the documented v2
+// layout: 52-byte header (magic 0, version 4, seed 8, model 16,
+// wdigest 20, n 28, r 36, count 44), then per sample
+// comm/threshold/members/covers at +0/+4/+8/+12 and the first cover's
+// node/words at +16/+20.
 func TestReadIntoRejectsCorrupt(t *testing.T) {
 	g, part := smallInstance(t)
 	pool := buildPool(t, g, part, 20, 5)
@@ -123,22 +216,27 @@ func TestReadIntoRejectsCorrupt(t *testing.T) {
 		mutate  func(b []byte) []byte
 		wantSub string
 	}{
-		{"truncated header", func(b []byte) []byte { return b[:20] }, "truncated reading community count"},
-		{"truncated mid-sample", func(b []byte) []byte { return b[:34] }, "truncated reading sample 0 community"},
+		{"truncated header", func(b []byte) []byte { return b[:40] }, "truncated reading community count"},
+		{"truncated mid-sample", func(b []byte) []byte { return b[:54] }, "truncated reading sample 0 community"},
 		{"truncated mid-mask", func(b []byte) []byte { return b[:len(b)-3] }, "truncated"},
 		{"bad version", func(b []byte) []byte { put32(b, 4, 99); return b }, "unsupported pool version 99"},
-		{"community out of range", func(b []byte) []byte { put32(b, 32, 1<<30); return b }, "out of range"},
-		{"zero threshold", func(b []byte) []byte { put32(b, 36, 0); return b }, "threshold 0 out of [1, 3 members]"},
-		{"threshold above members", func(b []byte) []byte { put32(b, 36, 9); return b }, "threshold 9 out of [1, 3 members]"},
-		{"member count mismatch", func(b []byte) []byte { put32(b, 40, 4); return b }, "members recorded but community"},
-		{"cover count overflow", func(b []byte) []byte { put32(b, 44, 1<<27); return b }, "covers exceed node count"},
-		{"mask width mismatch", func(b []byte) []byte { put32(b, 52, 7); return b }, "mask of 7 words for 3 members (want 1)"},
-		{"absurd sample count", func(b []byte) []byte { put32(b, 24, 1 << 31); put32(b, 28, 0); return b }, "sample count 2147483648 out of range"},
-		{"declared samples missing", func(b []byte) []byte { put32(b, 24, 1 << 20); return b }, "truncated"},
+		{"v1 version", func(b []byte) []byte { put32(b, 4, 1); return b }, "format v1"},
+		{"flipped seed", func(b []byte) []byte { b[8] ^= 0xff; return b }, "mix PRNG streams"},
+		{"flipped model", func(b []byte) []byte { put32(b, 16, 2); return b }, "sampled under model"},
+		{"flipped digest", func(b []byte) []byte { b[20] ^= 0xff; return b }, "weight digest"},
+		{"community out of range", func(b []byte) []byte { put32(b, 52, 1<<30); return b }, "out of range"},
+		{"zero threshold", func(b []byte) []byte { put32(b, 56, 0); return b }, "threshold 0 out of [1, 3 members]"},
+		{"threshold above members", func(b []byte) []byte { put32(b, 56, 9); return b }, "threshold 9 out of [1, 3 members]"},
+		{"member count mismatch", func(b []byte) []byte { put32(b, 60, 4); return b }, "members recorded but community"},
+		{"cover count overflow", func(b []byte) []byte { put32(b, 64, 1<<27); return b }, "covers exceed node count"},
+		{"mask width mismatch", func(b []byte) []byte { put32(b, 72, 7); return b }, "mask of 7 words for 3 members (want 1)"},
+		{"absurd sample count", func(b []byte) []byte { put32(b, 44, 1<<31); put32(b, 48, 0); return b }, "sample count 2147483648 out of range"},
+		{"declared samples missing", func(b []byte) []byte { put32(b, 44, 1<<20); return b }, "truncated"},
+		{"trailing byte", func(b []byte) []byte { return append(b, 0) }, "trailing bytes"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			p, err := NewPool(g, part, PoolOptions{Seed: 1})
+			p, err := NewPool(g, part, PoolOptions{Seed: 5})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -157,7 +255,7 @@ func TestReadIntoRejectsCorrupt(t *testing.T) {
 	// at every offset must decode to an error or a valid pool — never a
 	// panic or a hang.
 	for cut := 0; cut < len(good); cut++ {
-		p, err := NewPool(g, part, PoolOptions{Seed: 1})
+		p, err := NewPool(g, part, PoolOptions{Seed: 5})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -168,7 +266,7 @@ func TestReadIntoRejectsCorrupt(t *testing.T) {
 	for off := 0; off < len(good); off++ {
 		flipped := append([]byte(nil), good...)
 		flipped[off] ^= 0x10
-		p, err := NewPool(g, part, PoolOptions{Seed: 1})
+		p, err := NewPool(g, part, PoolOptions{Seed: 5})
 		if err != nil {
 			t.Fatal(err)
 		}

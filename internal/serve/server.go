@@ -27,9 +27,12 @@ import (
 	"time"
 
 	"imc/internal/clock"
+	"imc/internal/core"
+	"imc/internal/diffusion"
 	"imc/internal/expt"
 	"imc/internal/gen"
 	"imc/internal/job"
+	"imc/internal/poolcache"
 	"imc/internal/stats"
 )
 
@@ -49,6 +52,12 @@ type Config struct {
 	// Close); the server only submits, queries, and cancels.
 	JobStore *job.Store
 	JobPool  *job.Pool
+	// PoolCache, when set, shares RIC pool snapshots across requests:
+	// /solve and /budgeted adopt cached samples and store grown pools
+	// back, /estimate reports the cached-pool ĉ_R alongside the Monte
+	// Carlo score, and /metrics exposes the hit/miss/extend counters.
+	// Nil disables caching (every request samples from scratch).
+	PoolCache *poolcache.Cache
 }
 
 // DefaultSolveTimeout is the per-request deadline when none is set.
@@ -93,6 +102,10 @@ type Server struct {
 	// jobStore/jobPool are nil unless Config enabled the job endpoints.
 	jobStore *job.Store //imc:guardedby immutable
 	jobPool  *job.Pool  //imc:guardedby immutable
+
+	// poolCache is the shared snapshot store; nil disables caching
+	// (poolcache methods are nil-safe, so call sites stay unconditional).
+	poolCache *poolcache.Cache //imc:guardedby immutable
 }
 
 // buildResult is one singleflight build slot. inst and err are written
@@ -150,6 +163,7 @@ func NewWithOptions(logger *slog.Logger, now clock.Func, cfg Config) *Server {
 		s.jobStore = cfg.JobStore
 		s.jobPool = cfg.JobPool
 	}
+	s.poolCache = cfg.PoolCache
 	return s
 }
 
@@ -284,6 +298,9 @@ type Metrics struct {
 	// Jobs reports the async job subsystem; absent when jobs are not
 	// configured.
 	Jobs *JobMetrics `json:"jobs,omitempty"`
+	// PoolCache reports the shared pool snapshot store (hits, misses,
+	// extends, eviction pressure); absent when caching is disabled.
+	PoolCache *poolcache.Stats `json:"poolCache,omitempty"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -320,7 +337,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		CachedInstances: cached,
 		LatencySeconds:  lat,
 		Jobs:            s.jobMetrics(),
+		PoolCache:       s.poolCacheMetrics(),
 	})
+}
+
+// poolCacheMetrics snapshots the pool cache for /metrics; nil when
+// caching is disabled, so the field is omitted rather than all-zero.
+func (s *Server) poolCacheMetrics() *poolcache.Stats {
+	if s.poolCache == nil {
+		return nil
+	}
+	st := s.poolCache.Stats()
+	return &st
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -421,14 +449,29 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeInstanceError(w, err)
 		return
 	}
-	res, err := expt.RunAlgCtx(ctx, inst, alg, req.K, expt.RunConfig{
+	cfg := expt.RunConfig{
 		Eps:        req.Eps,
 		Delta:      req.Delta,
 		Seed:       req.Seed,
 		Runs:       1,
 		MaxSamples: req.MaxSamples,
 		BTMaxRoots: req.BTMaxRoots,
-	})
+	}
+	if s.poolCache != nil {
+		// One cache session per request: the core solvers adopt cached
+		// samples through Grow and store grown pools back at every
+		// checkpoint boundary. Cache trouble is never a solve failure —
+		// Save errors are logged and the request proceeds.
+		sess := s.poolCache.Begin(inst.G, inst.Part, diffusion.IC, req.Seed)
+		cfg.Grow = sess.Grow
+		cfg.Checkpoint = func(cp core.Checkpoint) error {
+			if err := sess.Save(cp.Pool); err != nil {
+				s.logger.Warn("pool cache save failed", "err", err)
+			}
+			return nil
+		}
+	}
+	res, err := expt.RunAlgCtx(ctx, inst, alg, req.K, cfg)
 	if err != nil {
 		writeSolverError(w, err)
 		return
@@ -452,12 +495,18 @@ type EstimateRequest struct {
 	Iterations int     `json:"iterations"`
 }
 
-// EstimateResponse is the /estimate reply.
+// EstimateResponse is the /estimate reply. PoolBenefit/PoolSamples
+// appear only when the pool cache holds a snapshot for the request's
+// (instance, seed): the cached-pool estimate ĉ_R(seeds) comes for free
+// and gives a second, sampling-independent read on the Monte Carlo
+// score.
 type EstimateResponse struct {
-	Instance     string  `json:"instance"`
-	Benefit      float64 `json:"benefit"`
-	Spread       float64 `json:"spread"`
-	TotalBenefit float64 `json:"totalBenefit"`
+	Instance     string   `json:"instance"`
+	Benefit      float64  `json:"benefit"`
+	Spread       float64  `json:"spread"`
+	TotalBenefit float64  `json:"totalBenefit"`
+	PoolBenefit  *float64 `json:"poolBenefit,omitempty"`
+	PoolSamples  int      `json:"poolSamples,omitempty"`
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
@@ -496,12 +545,18 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeSolverError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, EstimateResponse{
+	resp := EstimateResponse{
 		Instance:     inst.Name,
 		Benefit:      benefit,
 		Spread:       spread,
 		TotalBenefit: inst.Part.TotalBenefit(),
-	})
+	}
+	if pool := s.poolCache.Begin(inst.G, inst.Part, diffusion.IC, req.Seed).Cached(); pool != nil {
+		pb := pool.CHat(seeds)
+		resp.PoolBenefit = &pb
+		resp.PoolSamples = pool.NumSamples()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // BudgetedRequest is the /budgeted body: cost-aware seed selection
@@ -548,7 +603,8 @@ func (s *Server) handleBudgeted(w http.ResponseWriter, r *http.Request) {
 		samples = 1 << 18
 	}
 	start := s.now()
-	seeds, spent, benefit, err := solveBudgeted(ctx, inst, req.Budget, req.CostUnit, samples, req.Seed)
+	sess := s.poolCache.Begin(inst.G, inst.Part, diffusion.IC, req.Seed)
+	seeds, spent, benefit, err := solveBudgeted(ctx, inst, req.Budget, req.CostUnit, samples, req.Seed, sess)
 	if err != nil {
 		writeSolverError(w, err)
 		return
@@ -658,8 +714,18 @@ func (s *Server) instance(ctx context.Context, req InstanceRequest) (*expt.Insta
 	s.mu.Lock()
 	delete(s.building, key)
 	if err == nil {
-		if len(s.cache) >= s.maxCached {
-			s.cache = make(map[string]*expt.Instance)
+		// At capacity, evict a single entry to make room — never the key
+		// being inserted. The old clear-all here threw away every cached
+		// instance (and with it the identity of any pool-cache donors
+		// pointing at them) just to admit one more.
+		if _, exists := s.cache[key]; !exists && len(s.cache) >= s.maxCached {
+			for k := range s.cache {
+				if k == key {
+					continue
+				}
+				delete(s.cache, k)
+				break
+			}
 		}
 		s.cache[key] = inst
 	}
