@@ -98,10 +98,16 @@ func runBenchCore(outPath, basePath string) error {
 		}
 		rep.Benchmarks = append(rep.Benchmarks, coreBenchmark{Name: name, After: best})
 	}
+	seeds, err := maxr.GreedyCHat(pool, k)
+	if err != nil {
+		return err
+	}
 	add("RICGenerate/IC", benchGenerate(inst, diffusion.IC))
 	add("RICGenerate/LT", benchGenerate(inst, diffusion.LT))
+	add("PoolGenerate/IC", benchPoolGenerate(inst, poolSize))
 	add("GreedyCHat/k=10", benchGreedy(pool, k, maxr.GreedyCHat))
 	add("GreedyNu/k=10", benchGreedy(pool, k, maxr.GreedyNu))
+	add("MCBenefit/IC", benchMCBenefit(inst, seeds))
 
 	if basePath != "" {
 		data, err := os.ReadFile(basePath)
@@ -152,6 +158,41 @@ func benchGenerate(inst *expt.Instance, model diffusion.Model) func(b *testing.B
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			_ = g.Generate(rng)
+		}
+	}
+}
+
+// benchPoolGenerate times a full parallel pool generation: the worker
+// fan-out writing rawSample slots plus the single-threaded fold into
+// samples and the inverted index — the path the memory-layout contracts
+// (cache-line-sized rawSample, pre-grown fold appends) guard.
+func benchPoolGenerate(inst *expt.Instance, count int) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p, err := ric.NewPool(inst.G, inst.Part, ric.PoolOptions{Seed: 7})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := p.Generate(count); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchMCBenefit times Monte-Carlo benefit estimation — the parallel
+// cascade fan-out whose per-worker partial sums the false-sharing
+// contract pads apart.
+func benchMCBenefit(inst *expt.Instance, seeds []graph.NodeID) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := diffusion.EstimateBenefit(inst.G, inst.Part, seeds, diffusion.MCOptions{
+				Iterations: 512, Seed: 11, Workers: 4,
+			}); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }

@@ -61,6 +61,17 @@ type factCache struct {
 	stats     cacheStats
 }
 
+// toolchainFingerprint identifies the toolchain the cached facts were
+// computed under: compiler version plus target platform. GOOS/GOARCH
+// are part of the key because build-constrained files select different
+// sources per platform and the go/types size model the layout
+// analyzers consult is platform-shaped — facts from one toolchain must
+// never replay under another. A variable so tests can simulate a
+// toolchain upgrade without installing one.
+var toolchainFingerprint = func() string {
+	return runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH
+}
+
 // openCache hashes the module's analysis inputs and returns a handle.
 // checksKey names the active analyzer roster (comma-joined, canonical
 // order) so `-check determinism` and a full run never share entries.
@@ -70,7 +81,7 @@ func openCache(dir, moduleDir, checksKey string) (*factCache, error) {
 		return nil, err
 	}
 	h := sha256.New()
-	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%s", cacheSchemaVersion, runtime.Version(), checksKey, mh)
+	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%s", cacheSchemaVersion, toolchainFingerprint(), checksKey, mh)
 	return &factCache{
 		dir:       dir,
 		moduleKey: hex.EncodeToString(h.Sum(nil)),

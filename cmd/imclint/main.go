@@ -1,8 +1,9 @@
 // Command imclint runs the repository's static-analysis suite:
-// twenty-two analyzers built on go/parser, go/ast, and go/types that
+// twenty-six analyzers built on go/parser, go/ast, and go/types that
 // machine-check the determinism, concurrency, allocation, layering,
-// numeric, and hot-path performance invariants the RIC-sampling
-// guarantees depend on (see DESIGN.md, "Static analysis & invariants").
+// numeric, hot-path performance, and memory-layout invariants the
+// RIC-sampling guarantees depend on (see DESIGN.md, "Static analysis
+// & invariants").
 //
 // Usage:
 //
@@ -289,8 +290,10 @@ type benchEntry struct {
 }
 
 // benchSchema versions the -bench output shape so downstream tooling
-// can reject files it does not understand.
-const benchSchema = "imclint-bench/v1"
+// can reject files it does not understand. v2 added the platform field
+// (the layout analyzers' timings are shaped by the size model, which
+// is per-platform) alongside the v6 memory-layout analyzer rows.
+const benchSchema = "imclint-bench/v2"
 
 // benchReport is the -bench output shape: per-analyzer wall time and
 // reported-findings count, plus the sizes of the interprocedural
@@ -300,6 +303,7 @@ const benchSchema = "imclint-bench/v1"
 type benchReport struct {
 	Schema    string              `json:"schema"`
 	GoVersion string              `json:"goversion"`
+	Platform  string              `json:"platform"`
 	Packages  int                 `json:"packages"`
 	CallGraph lint.CallGraphStats `json:"callgraph"`
 	LockGraph lint.LockGraphStats `json:"lockgraph"`
@@ -322,6 +326,7 @@ func writeBench(path string, prog *lint.Program, pkgs []*lint.Package, loader *l
 	rep := benchReport{
 		Schema:    benchSchema,
 		GoVersion: runtime.Version(),
+		Platform:  runtime.GOOS + "/" + runtime.GOARCH,
 		Packages:  len(pkgs),
 		CallGraph: prog.Graph.Stats(),
 		LockGraph: prog.LockStats(),

@@ -241,7 +241,7 @@ func (p *Partition) SplitBySize(s int, seed uint64) (*Partition, error) {
 		return nil, fmt.Errorf("community: size cap %d must be ≥ 1", s)
 	}
 	rng := xrand.New(seed)
-	var sets [][]graph.NodeID
+	sets := make([][]graph.NodeID, 0, len(p.comms))
 	for _, c := range p.comms {
 		if len(c.Members) <= s {
 			sets = append(sets, c.Members)

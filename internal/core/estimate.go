@@ -22,7 +22,11 @@ import (
 // the check off the per-sample hot path.
 const ctxPollBatch = 1024
 
-// EstimateResult is the outcome of the Estimate procedure.
+// EstimateResult is the outcome of the Estimate procedure. One is
+// produced per stop-and-stare round; the layout is pinned waste-free
+// (24 bytes, flag byte in the tail word's slack).
+//
+//imc:compact
 type EstimateResult struct {
 	// Benefit is the estimated c(S) (or ν(S) in fractional mode).
 	Benefit float64

@@ -1,0 +1,11 @@
+//go:build amd64
+
+package core
+
+import "unsafe"
+
+// Compile-time layout pin (gc/amd64): EstimateResult is //imc:compact
+// — 24 bytes, no padding. The constant index compiles only when the
+// size is exactly 24; results are returned by value on every estimate
+// call, so layout drift is a per-call cost.
+var _ = [1]struct{}{}[unsafe.Sizeof(EstimateResult{})-24]

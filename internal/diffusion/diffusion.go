@@ -202,7 +202,9 @@ func Trace(g *graph.Graph, seeds []graph.NodeID, rng *xrand.RNG) []TraceRound {
 	round := 0
 	for len(frontier) > 0 {
 		rounds = append(rounds, TraceRound{Round: round, Activated: append([]graph.NodeID(nil), frontier...)})
-		var next []graph.NodeID
+		// The next frontier is rarely larger than the current one, so
+		// its length is the natural starting capacity.
+		next := make([]graph.NodeID, 0, len(frontier))
 		for _, u := range frontier {
 			tos, ws := g.OutNeighbors(u)
 			for i, v := range tos {
@@ -365,7 +367,7 @@ func mcAverageCtx(ctx context.Context, g *graph.Graph, seeds []graph.NodeID, opt
 	if workers > opts.Iterations {
 		workers = opts.Iterations
 	}
-	partial := make([]float64, workers)
+	partial := make([]mcPartial, workers)
 	var (
 		wg       sync.WaitGroup
 		firstErr error
@@ -391,7 +393,7 @@ func mcAverageCtx(ctx context.Context, g *graph.Graph, seeds []graph.NodeID, opt
 				active, count := sim.Run(seeds, &rng)
 				sum += score(active, count)
 			}
-			partial[w] = sum
+			partial[w].sum = sum
 		}(w)
 	}
 	wg.Wait()
@@ -400,9 +402,20 @@ func mcAverageCtx(ctx context.Context, g *graph.Graph, seeds []graph.NodeID, opt
 	}
 	total := 0.0
 	for _, s := range partial {
-		total += s
+		total += s.sum
 	}
 	return total / float64(opts.Iterations), nil
+}
+
+// mcPartial is one worker's slot in the shared partial-sum array,
+// padded out to a full cache line: adjacent float64 slots would share a
+// line and every worker's final store would invalidate its neighbors'
+// copies (the falseshare contract verifies the 64-byte size).
+//
+//imc:padded
+type mcPartial struct {
+	sum float64
+	_   [56]byte
 }
 
 // StoppingRuleResult reports a Dagum–Karp–Luby–Ross estimate.

@@ -1,0 +1,11 @@
+//go:build amd64
+
+package diffusion
+
+import "unsafe"
+
+// Compile-time layout pin (gc/amd64): mcPartial is //imc:padded to one
+// 64-byte cache line — each Monte-Carlo worker owns one slot of the
+// partial-sums slice, and a size drift would put two workers' running
+// sums on one line. The constant index compiles only at exactly 64.
+var _ = [1]struct{}{}[unsafe.Sizeof(mcPartial{})-64]

@@ -219,7 +219,11 @@ func Fig4(cfg Config) ([]Row, error) {
 		{"c:facebook/bounded", "facebook", Louvain, true, bounded},
 		{"d:dblp/louvain", "dblp", Louvain, false, regular},
 	}
-	var rows []Row
+	cells := 0
+	for _, p := range panels {
+		cells += len(caps) * len(p.algs)
+	}
+	rows := make([]Row, 0, cells)
 	for _, p := range panels {
 		for _, s := range caps {
 			inst, err := BuildInstance(InstanceConfig{
@@ -275,7 +279,7 @@ func benefitVsK(cfg Config, bounded bool, algs []string, skipMB map[string]bool)
 	if datasets == nil {
 		datasets = defaultDatasets()
 	}
-	var rows []Row
+	rows := make([]Row, 0, len(datasets)*len(ks)*len(algs))
 	for _, ds := range datasets {
 		inst, err := BuildInstance(InstanceConfig{
 			Dataset: ds,
@@ -323,7 +327,9 @@ func Fig7(cfg Config) ([]Row, error) {
 		ks = []int{10, 50, 100}
 	}
 	largest := datasets[len(datasets)-1]
-	var rows []Row
+	// Two regular algorithms plus three bounded ones: five cells per
+	// (dataset, k) pair across the two modes.
+	rows := make([]Row, 0, 5*len(datasets)*len(ks))
 	for _, bounded := range []bool{true, false} {
 		panelTag := "b:regular"
 		algs := []string{AlgMAF, AlgUBG}
@@ -385,7 +391,7 @@ func Fig8(cfg Config) ([]Row, error) {
 	if ks == nil {
 		ks = []int{5, 10, 20, 50}
 	}
-	var rows []Row
+	rows := make([]Row, 0, 2*len(datasets)*len(ks))
 	for _, bounded := range []bool{false, true} {
 		mode := "regular"
 		if bounded {

@@ -17,7 +17,7 @@ func Extensions(cfg Config) ([]Row, error) {
 		ks = []int{10, 30}
 	}
 	algs := []string{AlgUBG, AlgUBGLS, AlgMAF, AlgDD, AlgIM}
-	var rows []Row
+	rows := make([]Row, 0, len(datasets)*len(ks)*len(algs))
 	for _, ds := range datasets {
 		inst, err := BuildInstance(InstanceConfig{
 			Dataset: ds,

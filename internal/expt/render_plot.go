@@ -21,7 +21,7 @@ func RenderRowsPlot(w io.Writer, title string, rows []Row) error {
 		series map[string][]float64
 		algs   []string
 	}
-	var panelOrder []string
+	panelOrder := make([]string, 0, len(rows))
 	panels := make(map[string]*panelData)
 	metric := metricFor(rows)
 	for _, r := range rows {

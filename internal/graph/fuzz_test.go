@@ -43,6 +43,75 @@ func FuzzReadBinary(f *testing.F) {
 	})
 }
 
+// FuzzWeightDigest checks the digest's identity contract on arbitrary
+// small graphs: it is deterministic across builds, independent of edge
+// insertion order (Build canonicalizes the CSR), and preserved by a
+// binary write/read round trip — the exact path pool snapshots travel
+// before the digest gate runs.
+func FuzzWeightDigest(f *testing.F) {
+	f.Add([]byte{4, 0, 1, 128, 2, 3, 255})
+	f.Add([]byte{1})
+	f.Add([]byte{8, 0, 1, 0, 1, 0, 1, 7, 6, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		n := int(data[0])%16 + 1
+		var edges []Edge
+		for i := 1; i+2 < len(data); i += 3 {
+			edges = append(edges, Edge{
+				From:   NodeID(int(data[i]) % n),
+				To:     NodeID(int(data[i+1]) % n),
+				Weight: float64(data[i+2]) / 255,
+			})
+		}
+		g, err := FromEdges(n, edges)
+		if err != nil {
+			t.Fatalf("FromEdges rejected in-range input: %v", err)
+		}
+		d := g.WeightDigest()
+		if d != g.WeightDigest() {
+			t.Fatal("digest differs across calls")
+		}
+
+		reversed := make([]Edge, 0, len(edges))
+		for i := len(edges) - 1; i >= 0; i-- {
+			reversed = append(reversed, edges[i])
+		}
+		g2, err := FromEdges(n, reversed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Duplicate (from, to) pairs keep the last-added weight, so
+		// reversal can legitimately change the graph; compare digests
+		// only when the canonical edge streams agree.
+		if len(g.Edges()) == len(g2.Edges()) {
+			same := true
+			for i, e := range g.Edges() {
+				if g2.Edges()[i] != e {
+					same = false
+					break
+				}
+			}
+			if same && d != g2.WeightDigest() {
+				t.Fatal("digest depends on edge insertion order")
+			}
+		}
+
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		rt, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip rejected own output: %v", err)
+		}
+		if rt.WeightDigest() != d {
+			t.Fatalf("digest changed across binary round trip: %x != %x", rt.WeightDigest(), d)
+		}
+	})
+}
+
 // FuzzReadEdgeList checks the edge-list parser never panics and that
 // every successfully parsed graph survives a write/read round trip.
 func FuzzReadEdgeList(f *testing.F) {

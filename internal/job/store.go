@@ -210,7 +210,7 @@ func (s *Store) List() []*Job {
 func (s *Store) PendingIDs() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var out []string
+	out := make([]string, 0, len(s.order))
 	for _, id := range s.order {
 		if s.jobs[id].State == StatePending {
 			out = append(out, id)

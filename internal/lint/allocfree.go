@@ -81,7 +81,13 @@ func checkAllocFree(pkg *Package, fd *ast.FuncDecl, pkgScratch map[types.Object]
 	for obj := range pkgScratch {
 		scratch[obj] = true
 	}
-	var inLoop []ast.Node
+	stmts := 0
+	for _, blk := range cfg.Blocks {
+		if blk.LoopDepth >= 1 {
+			stmts += len(blk.Stmts)
+		}
+	}
+	inLoop := make([]ast.Node, 0, stmts)
 	for _, blk := range cfg.Blocks {
 		if blk.LoopDepth < 1 {
 			continue

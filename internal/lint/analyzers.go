@@ -26,12 +26,17 @@ var All = []*Analyzer{
 	Inlineable,
 	BoundsCheck,
 	IfaceDispatch,
+	StructLayout,
+	FalseShare,
+	ValueCopy,
+	Presize,
 }
 
 // ByName resolves a comma-separated analyzer list ("determinism,printer").
 func ByName(names string) ([]*Analyzer, bool) {
-	var out []*Analyzer
-	for _, name := range strings.Split(names, ",") {
+	parts := strings.Split(names, ",")
+	out := make([]*Analyzer, 0, len(parts))
+	for _, name := range parts {
 		name = strings.TrimSpace(name)
 		if name == "" {
 			continue
@@ -94,11 +99,14 @@ const clockPackage = "/internal/clock"
 //   - heapescape, inlineable, boundscheck, ifacedispatch: library
 //     packages only (the //imc:hotpath perf contracts live in library
 //     code, like allocfree);
+//   - structlayout, falseshare, valuecopy, presize: library packages
+//     only (the memory-layout contracts guard the pooled kernel
+//     structs and worker fan-outs; cmd/ wiring is not bandwidth-bound);
 //   - goroutineleak, ctxfirst, errflow, sharemut, layering, lockorder:
 //     everywhere (a lock-order cycle is a deadlock wherever it lives).
 func AnalyzersFor(modulePath, path string, candidates []*Analyzer) []*Analyzer {
 	lib := isLibraryPackage(modulePath, path)
-	var out []*Analyzer
+	out := make([]*Analyzer, 0, len(candidates))
 	for _, a := range candidates {
 		switch a.Name {
 		case "determinism":
@@ -107,7 +115,8 @@ func AnalyzersFor(modulePath, path string, candidates []*Analyzer) []*Analyzer {
 			}
 		case "floatcompare", "printer", "allocfree", "purity", "ctxplumb", "apisurface",
 			"chanctx", "guardedby", "lockheld",
-			"heapescape", "inlineable", "boundscheck", "ifacedispatch":
+			"heapescape", "inlineable", "boundscheck", "ifacedispatch",
+			"structlayout", "falseshare", "valuecopy", "presize":
 			if lib {
 				out = append(out, a)
 			}

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"strings"
 )
 
@@ -33,11 +34,21 @@ import (
 //	                — the function runs before its receiver is
 //	                  published to other goroutines (construction or
 //	                  replay); guardedby skips it.
+//	//imc:compact   — a STRUCT TYPE directive: the struct's field order
+//	                  must be padding-minimal; the structlayout analyzer
+//	                  reports ANY reorderable padding waste on it.
+//	//imc:padded    — a STRUCT TYPE directive: the struct is a
+//	                  per-worker slot deliberately padded to the 64-byte
+//	                  cache line; the falseshare analyzer verifies its
+//	                  size is a line multiple and exempts slices of it
+//	                  from false-sharing findings; structlayout skips it
+//	                  (the padding is the point).
 //
 // Grammar: the directive must be its own comment line, attached to the
 // function declaration (in its doc comment or on the line of / above
 // the func keyword) — or, for guardedby, to a struct field (doc or
-// trailing line comment) — exactly `//imc:<name>` with an optional
+// trailing line comment), or, for compact/padded, to a type
+// declaration's doc comment — exactly `//imc:<name>` with an optional
 // argument and trailing prose after a space. Like `//go:` directives
 // there is no space after the slashes.
 
@@ -48,6 +59,8 @@ const (
 	directiveGuardedBy  = "guardedby"
 	directiveLocked     = "locked"
 	directivePrepublish = "prepublish"
+	directiveCompact    = "compact"
+	directivePadded     = "padded"
 )
 
 // parseDirective extracts the name of an `//imc:` directive comment
@@ -94,4 +107,46 @@ func funcDirectives(pkg *Package) map[*ast.FuncDecl]map[string]bool {
 // hasDirective reports whether fd carries //imc:<name>.
 func hasDirective(dirs map[*ast.FuncDecl]map[string]bool, fd *ast.FuncDecl, name string) bool {
 	return dirs[fd][name]
+}
+
+// typeDirectives returns the set of //imc: directives attached to each
+// type declaration of the package. A directive counts when it sits in
+// the TypeSpec's own doc comment or — for the common unparenthesized
+// `type Foo struct{…}` form — in the enclosing GenDecl's doc comment.
+func typeDirectives(pkg *Package) map[*ast.TypeSpec]map[string]bool {
+	out := make(map[*ast.TypeSpec]map[string]bool)
+	add := func(ts *ast.TypeSpec, doc *ast.CommentGroup) {
+		if doc == nil {
+			return
+		}
+		for _, c := range doc.List {
+			if name, ok := parseDirective(c.Text); ok {
+				set := out[ts]
+				if set == nil {
+					set = make(map[string]bool)
+					out[ts] = set
+				}
+				set[name] = true
+			}
+		}
+	}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if len(gd.Specs) == 1 {
+					add(ts, gd.Doc)
+				}
+				add(ts, ts.Doc)
+			}
+		}
+	}
+	return out
 }

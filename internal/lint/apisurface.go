@@ -73,7 +73,7 @@ func checkAPISurface(pkg *Package, r *Reporter) {
 				live[pr] = true
 			}
 		}
-		var gone []string
+		gone := make([]string, 0, len(snap))
 		for section := range snap {
 			if !live[section] {
 				gone = append(gone, section)
@@ -92,7 +92,7 @@ func checkAPISurface(pkg *Package, r *Reporter) {
 			"package %s has no section in the API snapshot; approve with imclint -update-api", rel)
 		return
 	}
-	var keys []string
+	keys := make([]string, 0, len(current))
 	for k := range current {
 		keys = append(keys, k)
 	}
@@ -110,7 +110,7 @@ func checkAPISurface(pkg *Package, r *Reporter) {
 				"exported API changed: %q was %q, now %q; approve with imclint -update-api", k, old, got)
 		}
 	}
-	var removed []string
+	removed := make([]string, 0, len(want))
 	for k := range want {
 		if _, ok := current[k]; !ok {
 			removed = append(removed, k)
@@ -180,7 +180,7 @@ func WriteAPISnapshot(prog *Program) []byte {
 		rel string
 		pkg *Package
 	}
-	var secs []sec
+	secs := make([]sec, 0, len(prog.Packages))
 	for _, pkg := range prog.Packages {
 		if pkg.Types == nil || !isLibraryPackage(prog.ModulePath, pkg.Path) {
 			continue
@@ -192,7 +192,7 @@ func WriteAPISnapshot(prog *Program) []byte {
 	sort.Slice(secs, func(i, j int) bool { return secs[i].rel < secs[j].rel })
 	for _, s := range secs {
 		entries, _ := apiEntries(s.pkg)
-		var keys []string
+		keys := make([]string, 0, len(entries))
 		for k := range entries {
 			keys = append(keys, k)
 		}

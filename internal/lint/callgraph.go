@@ -49,11 +49,6 @@ type Program struct {
 	ModuleDir  string
 	// Packages lists the loaded packages in load order (sorted by dir).
 	Packages []*Package
-	// FullModule records whether the program covers the entire module
-	// ("./..."); the apisurface analyzer only runs on full loads, since
-	// a partial load cannot distinguish "package removed" from "package
-	// not requested".
-	FullModule bool
 	// Graph is the whole-program call graph.
 	Graph *CallGraph
 	// LayersPath locates the layering contract (default
@@ -66,17 +61,28 @@ type Program struct {
 	// layers caches the parsed layering contract (lazy; see layering.go).
 	layers    *layerContract
 	layersErr error
-	layersSet bool
 	// apiSnap caches the parsed API snapshot (lazy; see apisurface.go).
 	apiSnap map[string]map[string]string
 	apiErr  error
-	apiSet  bool
-	// apiChecked guards the once-per-program "package removed" pass of
-	// the apisurface analyzer.
-	apiChecked bool
 	// lockinfo caches the lock-order graph and per-function acquired-lock
 	// facts (lazy; see locks.go).
 	lockinfo *lockInfo
+
+	// The flag bytes sit together at the tail so they pack into one
+	// word instead of each padding out an 8-byte-aligned neighbor (the
+	// structlayout analyzer holds the struct to its minimal layout).
+	//
+	// FullModule records whether the program covers the entire module
+	// ("./..."); the apisurface analyzer only runs on full loads, since
+	// a partial load cannot distinguish "package removed" from "package
+	// not requested".
+	FullModule bool
+	// layersSet and apiSet record that the lazy caches above are filled.
+	layersSet bool
+	apiSet    bool
+	// apiChecked guards the once-per-program "package removed" pass of
+	// the apisurface analyzer.
+	apiChecked bool
 }
 
 // NewProgram assembles the interprocedural view over pkgs: builds the
@@ -411,7 +417,7 @@ func (g *CallGraph) Dump(w *strings.Builder) {
 			w.WriteString("]")
 		}
 		seen := make(map[string]bool)
-		var callees []string
+		callees := make([]string, 0, len(node.Calls))
 		for _, e := range node.Calls {
 			name := ""
 			if e.Callee != nil {

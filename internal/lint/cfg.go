@@ -386,7 +386,7 @@ func (b *builder) switchBody(body *ast.BlockStmt, comm func(*ast.CommClause) ast
 	hasDefault := false
 	// Build every clause; collect clause-entry blocks for fallthrough.
 	type clause struct{ entry, exit *Block }
-	var clauses []clause
+	clauses := make([]clause, 0, len(body.List))
 	for _, raw := range body.List {
 		entry := b.newBlock(b.loopDepth)
 		b.edge(dispatch, entry)

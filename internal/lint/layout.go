@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"fmt"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// layout.go holds the byte-level model shared by the v6 memory-layout
+// analyzers (structlayout, falseshare, valuecopy, presize): field
+// offsets, sizes, and alignments as the gc compiler lays them out.
+//
+// The model is pinned to gc/amd64 on purpose. Findings must be
+// deterministic across the machines that run the suite (fixture goldens,
+// CI, developer laptops), and every 64-bit platform the repo targets
+// (amd64, arm64) shares this layout — 8-byte words, 8-byte max
+// alignment, 64-byte cache lines. The kernels' own unsafe.Sizeof pins
+// assert the same numbers at compile time.
+
+// layoutSizes is the canonical layout model for all v6 measurements.
+var layoutSizes = types.SizesFor("gc", "amd64")
+
+// cacheLineBytes is the coherence granularity the falseshare contract is
+// written against: two writers inside one 64-byte line contend on line
+// ownership even when their bytes never overlap.
+const cacheLineBytes = 64
+
+// sizeableType reports whether t can be measured by layoutSizes: the
+// loader type-checks best-effort, so invalid or incomplete types show up
+// inside structs and must be treated as "unknown", never measured.
+func sizeableType(t types.Type) bool {
+	return sizeableTypeRec(t, make(map[types.Type]bool))
+}
+
+func sizeableTypeRec(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return t != nil
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Kind() != types.Invalid
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if !sizeableTypeRec(u.Field(i).Type(), seen) {
+				return false
+			}
+		}
+		return true
+	case *types.Array:
+		return sizeableTypeRec(u.Elem(), seen)
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		// Reference shapes: fixed size regardless of what they point at.
+		return true
+	}
+	return false
+}
+
+// sizeOf returns t's size in bytes under the canonical model, or -1
+// when t cannot be measured.
+func sizeOf(t types.Type) int64 {
+	if !sizeableType(t) {
+		return -1
+	}
+	return layoutSizes.Sizeof(t)
+}
+
+// fieldLayout is one field's place in a struct: offset and size under
+// the canonical model.
+type fieldLayout struct {
+	name  string
+	off   int64
+	size  int64
+	align int64
+}
+
+// structLayout computes the per-field layout and total size of st.
+// ok is false when any field cannot be measured.
+func structLayout(st *types.Struct) (fields []fieldLayout, size int64, ok bool) {
+	if !sizeableType(st) {
+		return nil, 0, false
+	}
+	vars := make([]*types.Var, st.NumFields())
+	for i := range vars {
+		vars[i] = st.Field(i)
+	}
+	offsets := layoutSizes.Offsetsof(vars)
+	fields = make([]fieldLayout, len(vars))
+	for i, v := range vars {
+		fields[i] = fieldLayout{
+			name:  v.Name(),
+			off:   offsets[i],
+			size:  layoutSizes.Sizeof(v.Type()),
+			align: layoutSizes.Alignof(v.Type()),
+		}
+	}
+	return fields, layoutSizes.Sizeof(st), true
+}
+
+// minimalReorder returns a padding-minimal field permutation of st (as
+// field indices) and the struct size that order achieves, computed by
+// re-laying the reordered struct under the same model. The order is the
+// classic packing sort — alignment descending, then size descending,
+// ties broken by original position so the result is deterministic and
+// disturbs the source as little as possible.
+func minimalReorder(st *types.Struct) (order []int, size int64) {
+	n := st.NumFields()
+	order = make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	al := make([]int64, n)
+	sz := make([]int64, n)
+	for i := 0; i < n; i++ {
+		al[i] = layoutSizes.Alignof(st.Field(i).Type())
+		sz[i] = layoutSizes.Sizeof(st.Field(i).Type())
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if al[ia] != al[ib] {
+			return al[ia] > al[ib]
+		}
+		if sz[ia] != sz[ib] {
+			return sz[ia] > sz[ib]
+		}
+		return ia < ib
+	})
+	vars := make([]*types.Var, n)
+	for i, idx := range order {
+		f := st.Field(idx)
+		vars[i] = types.NewField(f.Pos(), f.Pkg(), f.Name(), f.Type(), f.Embedded())
+	}
+	return order, layoutSizes.Sizeof(types.NewStruct(vars, nil))
+}
+
+// renderLayout prints a field layout the way the findings quote it:
+// "name@offset:size" per field, space-separated.
+func renderLayout(fields []fieldLayout) string {
+	parts := make([]string, len(fields))
+	for i, f := range fields {
+		parts[i] = fmt.Sprintf("%s@%d:%d", f.name, f.off, f.size)
+	}
+	return strings.Join(parts, " ")
+}
+
+// renderOrder prints a field permutation as the reordered name list.
+func renderOrder(st *types.Struct, order []int) string {
+	parts := make([]string, len(order))
+	for i, idx := range order {
+		parts[i] = st.Field(idx).Name()
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// TestStructLayoutRendering pins the fix-in-the-message contract: a
+// structlayout finding must print the current layout (name@offset:size
+// per field) and the minimal reordering with its achieved size.
+func TestStructLayoutRendering(t *testing.T) {
+	t.Parallel()
+	pkg := loadFixture(t, "structlayout")
+	diags := Run(pkg, []*Analyzer{StructLayout})
+	found := false
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "wasteful") {
+			continue
+		}
+		found = true
+		for _, frag := range []string{
+			"wasteful is 32 bytes",
+			"[a@0:1 b@8:8 c@16:1 d@24:8]",
+			"reordering fields to [b, d, a, c]",
+			"packs it to 24 bytes (8 saved per value)",
+		} {
+			if !strings.Contains(d.Message, frag) {
+				t.Errorf("layout finding missing %q: %s", frag, d.Message)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no finding for the wasteful struct")
+	}
+}
+
+// TestMinimalReorderModel exercises the layout model directly: the
+// reorder must be minimal, stable for equal-rank fields, and re-laid
+// under the same gc/amd64 sizes the findings quote.
+func TestMinimalReorderModel(t *testing.T) {
+	t.Parallel()
+	mk := func(name string, t types.Type) *types.Var {
+		return types.NewField(0, nil, name, t, false)
+	}
+	b := types.Typ[types.Bool]
+	f64 := types.Typ[types.Float64]
+	i32 := types.Typ[types.Int32]
+
+	st := types.NewStruct([]*types.Var{mk("a", b), mk("b", f64), mk("c", b), mk("d", f64)}, nil)
+	if sz := layoutSizes.Sizeof(st); sz != 32 {
+		t.Fatalf("baseline size = %d, want 32", sz)
+	}
+	order, minSize := minimalReorder(st)
+	if minSize != 24 {
+		t.Errorf("minimal size = %d, want 24", minSize)
+	}
+	// Stable sort: align desc, size desc, then declaration order — the
+	// two float64s keep their relative order, as do the two bools.
+	if got, want := renderOrder(st, order), "b, d, a, c"; got != want {
+		t.Errorf("reorder = %q, want %q", got, want)
+	}
+
+	// A struct already at its minimum reorders to itself, saving zero.
+	tight := types.NewStruct([]*types.Var{mk("x", f64), mk("y", i32), mk("z", i32)}, nil)
+	if _, min := minimalReorder(tight); min != layoutSizes.Sizeof(tight) {
+		t.Errorf("tight struct: minimal %d != current %d", min, layoutSizes.Sizeof(tight))
+	}
+}
+
+// TestFalseShareRendering pins the evidence in the sibling-field
+// finding: both spawn lines, both field names, and the byte gap.
+func TestFalseShareRendering(t *testing.T) {
+	t.Parallel()
+	pkg := loadFixture(t, "falseshare")
+	diags := Run(pkg, []*Analyzer{FalseShare})
+	var fieldFinding, elemFinding, padFinding bool
+	for _, d := range diags {
+		switch {
+		case strings.Contains(d.Message, "fields hits and misses"):
+			fieldFinding = true
+			for _, frag := range []string{"goroutines spawned at lines", "8 bytes apart", "64-byte cache line"} {
+				if !strings.Contains(d.Message, frag) {
+					t.Errorf("field finding missing %q: %s", frag, d.Message)
+				}
+			}
+		case strings.Contains(d.Message, "elements of partial"):
+			elemFinding = true
+			if !strings.Contains(d.Message, "8-byte float64, 8 per 64-byte cache line") {
+				t.Errorf("element finding does not quote size and density: %s", d.Message)
+			}
+			if !strings.Contains(d.Message, "//imc:padded") {
+				t.Errorf("element finding does not name the sanctioned fix: %s", d.Message)
+			}
+		case strings.Contains(d.Message, "//imc:padded struct drifted"):
+			padFinding = true
+			if !strings.Contains(d.Message, "72 bytes") || !strings.Contains(d.Message, "_ [56]byte") {
+				t.Errorf("pad-verification finding does not quote size and fix: %s", d.Message)
+			}
+		}
+	}
+	if !fieldFinding || !elemFinding || !padFinding {
+		t.Errorf("missing findings: field=%v elem=%v pad=%v", fieldFinding, elemFinding, padFinding)
+	}
+}
+
+// TestValueCopyRendering pins the byte size and loop depth every
+// valuecopy finding must carry.
+func TestValueCopyRendering(t *testing.T) {
+	t.Parallel()
+	pkg := loadFixture(t, "valuecopy")
+	diags := Run(pkg, []*Analyzer{ValueCopy})
+	if len(diags) == 0 {
+		t.Fatal("no diagnostics")
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "64-byte") {
+			t.Errorf("finding does not carry the byte size: %s", d.Message)
+		}
+		if !strings.Contains(d.Message, "loop depth 1") {
+			t.Errorf("finding does not carry the loop depth: %s", d.Message)
+		}
+	}
+}
+
+// TestPresizeRendering pins the derived bound and the birth line in the
+// presize message — the finding must hand the fix over, not just point.
+func TestPresizeRendering(t *testing.T) {
+	t.Parallel()
+	pkg := loadFixture(t, "presize")
+	diags := Run(pkg, []*Analyzer{Presize})
+	wantBounds := map[string]bool{"len(s)": false, "n": false, "k": false}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "was born without capacity at line") {
+			t.Errorf("finding does not locate the birth: %s", d.Message)
+		}
+		if !strings.Contains(d.Message, "make(…, 0, ") || !strings.Contains(d.Message, "[:0]") {
+			t.Errorf("finding does not offer both sanctioned fixes: %s", d.Message)
+		}
+		for bound := range wantBounds {
+			if strings.Contains(d.Message, "bounded by "+bound+" ") {
+				wantBounds[bound] = true
+			}
+		}
+	}
+	for bound, seen := range wantBounds {
+		if !seen {
+			t.Errorf("no finding derived bound %q", bound)
+		}
+	}
+}
+
+// TestLayoutContractDeterminism loads each memory-layout fixture twice,
+// independently, and requires byte-identical diagnostic streams.
+func TestLayoutContractDeterminism(t *testing.T) {
+	t.Parallel()
+	render := func(diags []Diagnostic) string {
+		var sb strings.Builder
+		for _, d := range diags {
+			sb.WriteString(d.String())
+			sb.WriteByte('\n')
+		}
+		return sb.String()
+	}
+	checks := map[string]*Analyzer{
+		"structlayout": StructLayout,
+		"falseshare":   FalseShare,
+		"valuecopy":    ValueCopy,
+		"presize":      Presize,
+	}
+	for name, a := range checks {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			one := render(Run(loadFixture(t, name), []*Analyzer{a}))
+			two := render(Run(loadFixture(t, name), []*Analyzer{a}))
+			if one != two {
+				t.Errorf("diagnostics differ across independent loads:\n--- first\n%s--- second\n%s", one, two)
+			}
+			if one == "" {
+				t.Error("no diagnostics produced; determinism check is vacuous")
+			}
+		})
+	}
+}

@@ -88,11 +88,12 @@ type allowComment struct {
 	checks []string
 	// reason is the mandatory justification after the colon.
 	reason string
-	// legacy records that the comment used the pre-v2 em-dash/double-
-	// dash separator instead of the colon.
-	legacy bool
 	// pos locates the comment for hygiene diagnostics.
 	pos token.Pos
+	// legacy records that the comment used the pre-v2 em-dash/double-
+	// dash separator instead of the colon. It shares a word with used —
+	// the flag bytes sit after the aligned fields so neither pads.
+	legacy bool
 	// used flips when the comment suppresses at least one diagnostic
 	// in the current run.
 	used bool

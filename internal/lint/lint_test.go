@@ -72,6 +72,10 @@ func TestAnalyzerFixtures(t *testing.T) {
 		"guardedby":     GuardedBy,
 		"heapescape":    HeapEscape,
 		"boundscheck":   BoundsCheck,
+		"structlayout":  StructLayout,
+		"falseshare":    FalseShare,
+		"valuecopy":     ValueCopy,
+		"presize":       Presize,
 	}
 	// layering and apisurface need a whole Program (contract file, API
 	// snapshot) rather than a bare fixture package; lockorder and
@@ -234,13 +238,13 @@ func TestAnalyzersFor(t *testing.T) {
 		path string
 		want string
 	}{
-		{"imc", "determinism,floatcompare,goroutineleak,printer,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface,chanctx,guardedby,lockheld,lockorder,heapescape,inlineable,boundscheck,ifacedispatch"},
-		{"imc/internal/graph", "determinism,floatcompare,goroutineleak,printer,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface,chanctx,guardedby,lockheld,lockorder,heapescape,inlineable,boundscheck,ifacedispatch"},
-		{"imc/internal/ric", "determinism,floatcompare,goroutineleak,printer,seedplumb,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface,chanctx,guardedby,lockheld,lockorder,heapescape,inlineable,boundscheck,ifacedispatch"},
-		{"imc/internal/maxr", "determinism,floatcompare,goroutineleak,printer,seedplumb,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface,chanctx,guardedby,lockheld,lockorder,heapescape,inlineable,boundscheck,ifacedispatch"},
-		{"imc/internal/clock", "floatcompare,goroutineleak,printer,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface,chanctx,guardedby,lockheld,lockorder,heapescape,inlineable,boundscheck,ifacedispatch"},
-		{"imc/internal/expt", "determinism,floatcompare,goroutineleak,printer,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface,exhaustive,chanctx,guardedby,lockheld,lockorder,heapescape,inlineable,boundscheck,ifacedispatch"},
-		{"imc/internal/serve", "determinism,floatcompare,goroutineleak,printer,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface,exhaustive,chanctx,guardedby,lockheld,lockorder,heapescape,inlineable,boundscheck,ifacedispatch"},
+		{"imc", "determinism,floatcompare,goroutineleak,printer,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface,chanctx,guardedby,lockheld,lockorder,heapescape,inlineable,boundscheck,ifacedispatch,structlayout,falseshare,valuecopy,presize"},
+		{"imc/internal/graph", "determinism,floatcompare,goroutineleak,printer,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface,chanctx,guardedby,lockheld,lockorder,heapescape,inlineable,boundscheck,ifacedispatch,structlayout,falseshare,valuecopy,presize"},
+		{"imc/internal/ric", "determinism,floatcompare,goroutineleak,printer,seedplumb,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface,chanctx,guardedby,lockheld,lockorder,heapescape,inlineable,boundscheck,ifacedispatch,structlayout,falseshare,valuecopy,presize"},
+		{"imc/internal/maxr", "determinism,floatcompare,goroutineleak,printer,seedplumb,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface,chanctx,guardedby,lockheld,lockorder,heapescape,inlineable,boundscheck,ifacedispatch,structlayout,falseshare,valuecopy,presize"},
+		{"imc/internal/clock", "floatcompare,goroutineleak,printer,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface,chanctx,guardedby,lockheld,lockorder,heapescape,inlineable,boundscheck,ifacedispatch,structlayout,falseshare,valuecopy,presize"},
+		{"imc/internal/expt", "determinism,floatcompare,goroutineleak,printer,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface,exhaustive,chanctx,guardedby,lockheld,lockorder,heapescape,inlineable,boundscheck,ifacedispatch,structlayout,falseshare,valuecopy,presize"},
+		{"imc/internal/serve", "determinism,floatcompare,goroutineleak,printer,ctxfirst,ctxplumb,allocfree,errflow,purity,sharemut,layering,apisurface,exhaustive,chanctx,guardedby,lockheld,lockorder,heapescape,inlineable,boundscheck,ifacedispatch,structlayout,falseshare,valuecopy,presize"},
 		{"imc/cmd/imcrun", "goroutineleak,ctxfirst,errflow,sharemut,layering,lockorder"},
 		{"imc/examples/quickstart", "goroutineleak,ctxfirst,errflow,sharemut,layering,lockorder"},
 	}

@@ -483,7 +483,7 @@ func (li *lockInfo) cycleEdges(cyc []lockID) []*lockEdgeInfo {
 	for _, id := range cyc {
 		in[id] = true
 	}
-	var out []*lockEdgeInfo
+	out := make([]*lockEdgeInfo, 0, len(cyc))
 	for _, e := range li.edgeList {
 		if in[e.from] && in[e.to] {
 			out = append(out, e)

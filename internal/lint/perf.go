@@ -21,7 +21,7 @@ import (
 // perf-contract analyzers report in.
 func hotFuncDecls(pkg *Package) []*ast.FuncDecl {
 	dirs := funcDirectives(pkg)
-	var out []*ast.FuncDecl
+	out := make([]*ast.FuncDecl, 0, len(dirs))
 	for _, file := range pkg.Files {
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -39,7 +39,13 @@ func hotFuncDecls(pkg *Package) []*ast.FuncDecl {
 // LoopDepth ≥ 1, minus the rangeBind markers (the ranged-over
 // expression itself was placed, and is checked, at the outer depth).
 func loopStmts(cfg *CFG) []ast.Node {
-	var out []ast.Node
+	n := 0
+	for _, blk := range cfg.Blocks {
+		if blk.LoopDepth >= 1 {
+			n += len(blk.Stmts)
+		}
+	}
+	out := make([]ast.Node, 0, n)
 	for _, blk := range cfg.Blocks {
 		if blk.LoopDepth < 1 {
 			continue

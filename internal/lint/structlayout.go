@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// StructLayout measures every named struct type of a library package
+// under the canonical gc/amd64 layout model (go/types.Sizes) and flags
+// field orders that waste padding:
+//
+//   - unannotated structs are reported when a reordering would save at
+//     least structLayoutThreshold bytes per value — below that, the
+//     churn of reordering beats the bytes saved;
+//   - `//imc:compact` structs are held to zero reorderable waste: ANY
+//     saving a permutation can realize is reported. The annotation is
+//     the pin for kernel structs whose arrays dominate the working set
+//     (RIC samples, cover entries, CELF heap items), where one wasted
+//     word is one wasted word per pooled element;
+//   - `//imc:padded` structs are skipped — their padding is deliberate
+//     cache-line insulation, verified by the falseshare analyzer.
+//
+// Each finding prints the current layout (name@offset:size per field)
+// and a minimal-padding reordering with the size it achieves, computed
+// by re-laying the permuted struct under the same model — the fix is in
+// the message. Unfixable padding (tail alignment a reorder cannot
+// remove) is never reported: a struct at its minimal size passes even
+// with internal holes.
+//
+// The analyzer also polices the annotation grammar itself: compact or
+// padded on a non-struct type is dead weight and reported.
+var StructLayout = &Analyzer{
+	Name: "structlayout",
+	Doc:  "flag struct field orders that waste padding bytes (any waste on //imc:compact structs), printing the layout and a minimal-padding reordering",
+	Kind: KindSyntactic,
+	Run:  runStructLayout,
+}
+
+// structLayoutThreshold is the minimum per-value saving (bytes) that
+// makes an unannotated struct worth reordering.
+const structLayoutThreshold = 8
+
+func runStructLayout(pkg *Package, r *Reporter) {
+	if pkg.Info == nil {
+		return
+	}
+	dirs := typeDirectives(pkg)
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				checkStructLayout(pkg, ts, dirs[ts], r)
+			}
+		}
+	}
+}
+
+func checkStructLayout(pkg *Package, ts *ast.TypeSpec, dirs map[string]bool, r *Reporter) {
+	obj, _ := pkg.Info.Defs[ts.Name].(*types.TypeName)
+	if obj == nil {
+		return
+	}
+	st, isStruct := obj.Type().Underlying().(*types.Struct)
+	if !isStruct {
+		for _, d := range []string{directiveCompact, directivePadded} {
+			if dirs[d] {
+				r.Reportf("structlayout", ts.Pos(),
+					"//imc:%s on %s has no effect: the directive applies to struct types only", d, ts.Name.Name)
+			}
+		}
+		return
+	}
+	if dirs[directivePadded] {
+		return // deliberate cache-line padding; falseshare verifies it
+	}
+	if st.NumFields() < 2 {
+		return
+	}
+	fields, size, ok := structLayout(st)
+	if !ok {
+		return // incompletely typed; unknown is not evidence
+	}
+	order, minSize := minimalReorder(st)
+	saving := size - minSize
+	compact := dirs[directiveCompact]
+	if saving <= 0 || (!compact && saving < structLayoutThreshold) {
+		return
+	}
+	pin := ""
+	if compact {
+		pin = "//imc:compact struct "
+	}
+	r.Reportf("structlayout", ts.Pos(),
+		"%s%s is %d bytes laid out as [%s]; reordering fields to [%s] packs it to %d bytes (%d saved per value)",
+		pin, ts.Name.Name, size, renderLayout(fields), renderOrder(st, order), minSize, saving)
+}

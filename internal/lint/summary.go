@@ -84,7 +84,7 @@ func (e Effect) String() string {
 	if e == 0 {
 		return "none"
 	}
-	var parts []string
+	parts := make([]string, 0, len(effectNames))
 	for _, n := range effectNames {
 		if e&n.bit != 0 {
 			parts = append(parts, n.name)
@@ -563,7 +563,7 @@ func boxedArgs(pkg *Package, call *ast.CallExpr) []ast.Expr {
 		return nil
 	}
 	params := sig.Params()
-	var out []ast.Expr
+	out := make([]ast.Expr, 0, len(call.Args))
 	for i, arg := range call.Args {
 		var pt types.Type
 		switch {
@@ -769,7 +769,7 @@ type contractViolation struct {
 // their own declaration). One violation is reported per offending edge:
 // the first banned effect's chain.
 func walkContract(pkg *Package, edges []*CallEdge, banned Effect, boundary string) []contractViolation {
-	var out []contractViolation
+	out := make([]contractViolation, 0, len(edges))
 	for _, edge := range edges {
 		if edge.Callee != nil {
 			if edge.Callee.Directives[boundary] {

@@ -1,0 +1,112 @@
+// Package falseshare is a lint fixture for the cache-line sharing
+// contract: want lines mark writes from distinct goroutines that land
+// in one 64-byte line — per-worker slots in an unpadded slice, and
+// sibling struct fields — plus an //imc:padded annotation whose pad
+// has rotted. Line-sized elements and single spawns stay silent.
+package falseshare
+
+import "sync"
+
+// The per-worker-accumulator shape: one spawn site in a loop, each
+// goroutine storing its partial into its own slot — eight slots per
+// cache line.
+func stridedSlots(n int) []float64 {
+	partial := make([]float64, 4)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sum := 0.0
+			for i := w; i < n; i += 4 {
+				sum += float64(i)
+			}
+			partial[w] = sum // want "distinct goroutines write elements of partial"
+		}(w)
+	}
+	wg.Wait()
+	return partial
+}
+
+// Two distinct spawn sites writing fixed neighboring slots of one
+// slice: constant indices, but plural writers.
+func twoSpawns(out []int64) {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		out[0] = 1 // want "distinct goroutines write elements of out"
+	}()
+	go func() {
+		defer wg.Done()
+		out[1] = 2
+	}()
+	wg.Wait()
+}
+
+type counters struct {
+	hits   int64
+	misses int64
+}
+
+// Sibling fields of one shared struct, 8 bytes apart.
+func siblingFields(c *counters) {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		c.hits++ // want "write fields hits and misses of shared c"
+	}()
+	go func() {
+		defer wg.Done()
+		c.misses++
+	}()
+	wg.Wait()
+}
+
+// The sanctioned fix: a line-sized padded slot type. Elements are a
+// cache-line multiple, so strided writes stay silent.
+//
+//imc:padded
+type slot struct {
+	sum float64
+	_   [56]byte
+}
+
+func paddedSlots(n int) float64 {
+	partial := make([]slot, 4)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += 4 {
+				partial[w].sum += float64(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return partial[0].sum
+}
+
+// The annotation is verified, not trusted: a field grew past the pad
+// and the struct is 72 bytes — adjacent elements share lines again.
+//
+//imc:padded
+type drifted struct { // want "not a multiple of the 64-byte cache line"
+	sum   float64
+	count int64
+	_     [56]byte
+}
+
+var _ = drifted{}
+
+// One goroutine writing one slot shares its line with nobody.
+func singleSpawn(out []float64, i int) {
+	done := make(chan struct{})
+	go func() {
+		out[i] = 1
+		close(done)
+	}()
+	<-done
+}

@@ -1,0 +1,98 @@
+// Package presize is a lint fixture for the slice pre-sizing contract:
+// want lines mark self-appends in statically bounded loops on local
+// slices born without capacity. Births with capacity, reuse-and-
+// reslice, spread appends, non-local slices, and unbounded loops stay
+// silent.
+package presize
+
+func collectRange(s []int) []int {
+	var out []int
+	for _, v := range s {
+		if v > 0 {
+			out = append(out, v) // want "bounded by len(s) but was born without capacity"
+		}
+	}
+	return out
+}
+
+func counted(n int) []int {
+	out := []int{}
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want "bounded by n but was born without capacity"
+	}
+	return out
+}
+
+// The CELF seed-selection shape: the slice's own length compared
+// against the target is the bound.
+func celf(k int) []int {
+	var seeds []int
+	for len(seeds) < k {
+		seeds = append(seeds, len(seeds)) // want "bounded by k but was born without capacity"
+	}
+	return seeds
+}
+
+// make with an explicit zero capacity is still capacity-less.
+func makeZero(s []string) []string {
+	out := make([]string, 0)
+	for _, v := range s {
+		out = append(out, v) // want "born without capacity"
+	}
+	return out
+}
+
+// Sanctioned: born with the loop's capacity.
+func presized(s []int) []int {
+	out := make([]int, 0, len(s))
+	for _, v := range s {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Sanctioned: reuse-and-reslice keeps the old backing array — the
+// steady-state cost is zero allocations.
+func reuseBuffer(s []int) []int {
+	buf := make([]int, len(s))
+	out := buf[:0]
+	for _, v := range s {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Sanctioned: spread appends grow by more than one element per
+// iteration, so the loop bound alone is not the capacity.
+func spread(chunks [][]int) []int {
+	var out []int
+	for _, c := range chunks {
+		out = append(out, c...)
+	}
+	return out
+}
+
+// Silent: no derivable trip count.
+func unbounded(next func() (int, bool)) []int {
+	var out []int
+	for {
+		v, ok := next()
+		if !ok {
+			break
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+type sink struct {
+	buf []int
+}
+
+// Silent: a field's allocation history is not visible to a
+// per-function analysis.
+func (s *sink) fill(vals []int) {
+	for _, v := range vals {
+		s.buf = append(s.buf, v)
+	}
+}

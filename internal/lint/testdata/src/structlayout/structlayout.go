@@ -1,0 +1,63 @@
+// Package structlayout is a lint fixture for the memory-layout
+// contract: want lines mark field orders that waste padding under the
+// canonical gc/amd64 model. Unannotated structs fire only at 8+ bytes
+// of reorderable waste; //imc:compact structs are held to zero;
+// //imc:padded structs are skipped (falseshare verifies them); the
+// directives themselves are policed against non-struct types.
+package structlayout
+
+// 14 bytes of alignment holes a permutation removes: the two float64s
+// force 7-byte pads after each bool.
+type wasteful struct { // want "packs it to 24 bytes (8 saved per value)"
+	a bool
+	b float64
+	c bool
+	d float64
+}
+
+// Only 4 reorderable bytes — below the unannotated threshold — but the
+// compact pin demands zero waste.
+//
+//imc:compact
+type pinned struct { // want "//imc:compact struct pinned"
+	a bool
+	b int32
+	c bool
+}
+
+// Same shape unannotated: 4 bytes of waste is tolerated churn.
+type tolerated struct {
+	a bool
+	b int32
+	c bool
+}
+
+// Already minimal: the tail pad after b survives every permutation, and
+// unfixable padding is not a finding.
+type tail struct {
+	a int64
+	b int32
+}
+
+// Deliberate cache-line insulation: structlayout leaves padded structs
+// to the falseshare analyzer.
+//
+//imc:padded
+type lane struct {
+	v int64
+	_ [56]byte
+}
+
+// Fewer than two fields cannot be reordered.
+type one struct {
+	x byte
+}
+
+//imc:compact
+type scalar int // want "applies to struct types only"
+
+//imc:padded
+type alias []int // want "applies to struct types only"
+
+// keep the declared-only types referenced
+var _ = []any{wasteful{}, pinned{}, tolerated{}, tail{}, lane{}, one{}, scalar(0), alias(nil)}

@@ -1,0 +1,105 @@
+// Package valuecopy is a lint fixture for the big-value copy contract
+// inside //imc:hotpath functions: want lines mark range-by-value over
+// big-struct elements, big structs passed (or received) by value per
+// loop iteration, and big values boxed into interfaces per iteration.
+// Small structs, pointers, cold functions, and one-off copies at loop
+// depth 0 stay silent.
+package valuecopy
+
+// big is exactly at the 64-byte threshold.
+type big struct {
+	a, b, c, d int64
+	e, f, g, h int64
+}
+
+// small is well under it: copying beats the indirection.
+type small struct {
+	a, b int32
+}
+
+func use(b big) int64     { return b.a }
+func usePtr(b *big) int64 { return b.a }
+func sinkIface(v any)     {}
+
+func (b big) total() int64 { return b.a + b.e }
+
+//imc:hotpath
+func sumRange(s []big) int64 {
+	t := int64(0)
+	for _, v := range s { // want "range copies a 64-byte"
+		t += v.a
+	}
+	return t
+}
+
+//imc:hotpath
+func passLoop(s []big) int64 {
+	t := int64(0)
+	for i := range s {
+		t += use(s[i]) // want "passes a 64-byte"
+	}
+	return t
+}
+
+//imc:hotpath
+func boxCall(s []big) {
+	for i := range s {
+		sinkIface(s[i]) // want "boxes a 64-byte"
+	}
+}
+
+//imc:hotpath
+func boxAssign(s []big) any {
+	var acc any
+	for i := range s {
+		acc = s[i] // want "boxes a 64-byte"
+	}
+	return acc
+}
+
+//imc:hotpath
+func recvLoop(s []big) int64 {
+	t := int64(0)
+	for i := range s {
+		t += s[i].total() // want "value receiver"
+	}
+	return t
+}
+
+// Silent: below the threshold.
+//
+//imc:hotpath
+func sumSmall(s []small) int32 {
+	t := int32(0)
+	for _, v := range s {
+		t += v.a
+	}
+	return t
+}
+
+// Silent: the contract scopes to //imc:hotpath functions.
+func coldRange(s []big) int64 {
+	t := int64(0)
+	for _, v := range s {
+		t += v.a
+	}
+	return t
+}
+
+// Silent: a pointer per iteration is the sanctioned idiom.
+//
+//imc:hotpath
+func viaPointer(s []big) int64 {
+	t := int64(0)
+	for i := range s {
+		t += usePtr(&s[i])
+	}
+	return t
+}
+
+// Silent: one copy at loop depth 0 is not per-iteration traffic.
+//
+//imc:hotpath
+func onceIsFine(b big) int64 {
+	return use(b)
+}

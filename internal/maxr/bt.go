@@ -71,10 +71,6 @@ func (b BT) SolveCtx(ctx context.Context, pool *ric.Pool, k int) (Result, error)
 	}
 	covers := pool.SampleCovers()
 	roots := b.capRoots(candidates(pool))
-	type rootResult struct {
-		seeds []graph.NodeID
-		score int
-	}
 	results := make([]rootResult, len(roots))
 	workers := b.Workers
 	if workers <= 0 {
@@ -115,6 +111,19 @@ func (b BT) SolveCtx(ctx context.Context, pool *ric.Pool, k int) (Result, error)
 		}
 	}
 	return finalize(pool, padSeeds(pool, bestSeeds, k)), nil
+}
+
+// rootResult is one root subproblem's slot in the shared result array
+// SolveCtx's workers fill in parallel. The bare payload is 32 bytes —
+// two slots per cache line — so adjacent workers' stores would bounce
+// the line between cores; the pad gives each slot its own line (the
+// falseshare contract verifies the 64-byte size).
+//
+//imc:padded
+type rootResult struct {
+	seeds []graph.NodeID
+	score int
+	_     [32]byte
 }
 
 func (b BT) capRoots(roots []graph.NodeID) []graph.NodeID {
@@ -307,7 +316,7 @@ func (st *instState) influenced(inst *btInstance) int {
 func (inst *btInstance) greedy(k int) []graph.NodeID {
 	st := inst.newState()
 	used := make(map[graph.NodeID]struct{}, k)
-	var seeds []graph.NodeID
+	seeds := make([]graph.NodeID, 0, k)
 	for len(seeds) < k {
 		best := graph.NodeID(-1)
 		bestGain := 0

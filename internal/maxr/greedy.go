@@ -175,11 +175,16 @@ func GreedyCHatCtx(ctx context.Context, pool *ric.Pool, k int) ([]graph.NodeID, 
 	return padSeeds(pool, seeds, k), nil
 }
 
-// celfItem is one lazy-greedy heap entry.
+// celfItem is one lazy-greedy heap entry. The heap holds one per
+// candidate node, so the layout is pinned waste-free: round is an
+// int32 — seed-set sizes fit comfortably — so it packs into one word
+// with the int32 node ID (16 bytes per entry instead of 24).
+//
+//imc:compact
 type celfItem struct {
-	node  graph.NodeID
 	gain  float64
-	round int // seed-set size at which gain was computed
+	node  graph.NodeID
+	round int32 // seed-set size at which gain was computed
 }
 
 // celfHeap is a concrete binary min-position heap over celfItems,
@@ -297,7 +302,7 @@ func GreedyNuCtx(ctx context.Context, pool *ric.Pool, k int) ([]graph.NodeID, er
 		}
 		pops++
 		top := h.pop()
-		if top.round == len(seeds) {
+		if int(top.round) == len(seeds) {
 			if top.gain <= 0 {
 				break
 			}
@@ -306,7 +311,7 @@ func GreedyNuCtx(ctx context.Context, pool *ric.Pool, k int) ([]graph.NodeID, er
 			continue
 		}
 		top.gain = fractionalGain(pool, st, top.node)
-		top.round = len(seeds)
+		top.round = int32(len(seeds))
 		h.push(top)
 	}
 	return padSeeds(pool, seeds, k), nil

@@ -154,7 +154,7 @@ func (c *Cache) scan() error {
 		samples uint64
 		mod     int64
 	}
-	var files []found
+	files := make([]found, 0, len(dents))
 	for _, de := range dents {
 		name := de.Name()
 		if de.IsDir() {

@@ -12,15 +12,25 @@ import (
 // Generator produces RIC samples for one (graph, partition, model)
 // triple. It owns per-sample scratch buffers and is therefore NOT safe
 // for concurrent use — the pool creates one generator per worker.
+//
+//imc:compact
 type Generator struct {
 	g     *graph.Graph
 	part  *community.Partition
 	model diffusion.Model
 	alias *xrand.Alias
 
-	// Collective reverse-BFS scratch. Epoch counters let us "clear" the
-	// per-node markers in O(1) between samples.
-	epoch     int32
+	// Epoch counters let us "clear" the per-node markers in O(1)
+	// between samples: epoch versions the collective reverse-BFS
+	// markers, coverGen is bumped once per Generate so cover slots stay
+	// valid across all member BFS passes of the same sample. The two
+	// int32s sit adjacent so they pack into one word — splitting them
+	// between the 8-byte-aligned slice headers costs a padded word each
+	// (the structlayout analyzer pins the minimal layout).
+	epoch    int32
+	coverGen int32
+
+	// Collective reverse-BFS scratch.
 	nodeEpoch []int32
 	queue     []graph.NodeID
 	// liveIn[u] holds the in-neighbors of u whose edge was sampled live
@@ -29,10 +39,7 @@ type Generator struct {
 	liveIn     [][]graph.NodeID
 	resetNodes []graph.NodeID
 
-	// Per-member BFS scratch (cover-slot assignment). coverGen is bumped
-	// once per Generate so slots stay valid across all member BFS passes
-	// of the same sample.
-	coverGen   int32
+	// Per-member BFS scratch (cover-slot assignment).
 	coverEpoch []int32
 	coverSlot  []int32
 }

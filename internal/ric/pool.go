@@ -152,6 +152,14 @@ func (p *Pool) GenerateCtx(ctx context.Context, count int) error {
 	if firstErr != nil {
 		return firstErr
 	}
+	// Pre-grow the sample store to its exact post-fold length: the fold
+	// appends once per raw, so growing up front pays one reallocation
+	// instead of log2(count) doubling copies (presize contract).
+	if free := cap(p.samples) - base; free < count {
+		grown := make([]Sample, base, base+count)
+		copy(grown, p.samples)
+		p.samples = grown
+	}
 	for i, raw := range raws {
 		id := int32(base + i)
 		p.samples = append(p.samples, Sample{

@@ -22,7 +22,10 @@ import (
 
 // Sample is one RIC sample. Nodes' member-coverage lives in the pool's
 // inverted index; the sample itself carries only the source community
-// metadata.
+// metadata. The pool holds one per sample — millions at scale — so
+// the layout is pinned waste-free (four int32s, 16 bytes).
+//
+//imc:compact
 type Sample struct {
 	// Comm is the source community's index within the partition.
 	Comm int32
@@ -38,7 +41,12 @@ type Sample struct {
 }
 
 // CoverEntry records that one node covers a set of members in one
-// sample. Entries live in the pool's inverted index (node → entries).
+// sample. Entries live in the pool's inverted index (node → entries) —
+// the dominant term of the pool's working set, so the layout is
+// pinned waste-free (32 bytes: the mask header absorbs the int32's
+// alignment pad in either order).
+//
+//imc:compact
 type CoverEntry struct {
 	// Sample indexes into the pool's samples.
 	Sample int32
@@ -47,7 +55,14 @@ type CoverEntry struct {
 }
 
 // rawSample is a fully materialized sample as produced by the generator
-// before it is folded into a pool's inverted index.
+// before it is folded into a pool's inverted index. GenerateCtx's
+// workers store into raws[i] with a stride-|workers| interleave, so
+// neighboring slots belong to different goroutines: at exactly one
+// 64-byte cache line per slot (3×int32 + pad + two slice headers) no
+// two workers ever share a line (the falseshare contract verifies
+// the size).
+//
+//imc:padded
 type rawSample struct {
 	comm       int32
 	threshold  int32
