@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint layout-lint lint-bench graph api test race bench bench-core fuzz jobs-test poolcache-test experiments examples clean
+.PHONY: all build vet lint layout-lint lint-bench graph api test race bench bench-core fuzz jobs-test poolcache-test shard-test experiments examples clean
 
 all: build vet lint test
 
@@ -53,6 +53,17 @@ jobs-test:
 poolcache-test:
 	$(GO) test -race -count=1 ./internal/ric/ ./internal/poolcache/ \
 		./internal/serve/ -run 'Pool|Donor|Cache|Session|Eviction|Boot|ReadInto|Serial|ColdWarm'
+
+# The distributed shard runtime, race-enabled: stream-family
+# disjointness, offset-pool splice identity, merged-marginal greedy
+# equality, the coordinator/worker protocol (worker death, restart
+# resume, degrade-to-local), and the serve-level distributed-vs-local
+# byte-identity test.
+shard-test:
+	$(GO) test -race -count=1 ./internal/xrand/ ./internal/shard/
+	$(GO) test -race -count=1 ./internal/ric/ -run 'Offset|Splice|ImportRange|Shard'
+	$(GO) test -race -count=1 ./internal/maxr/ -run 'Merged|Shards'
+	$(GO) test -race -count=1 ./internal/serve/ -run 'Shard|Distributed'
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -14,6 +14,19 @@
 //
 //	imcserve -addr :8080 -job-dir /var/lib/imcserve/jobs -workers 2
 //	curl -X POST localhost:8080/v1/jobs -d '{"dataset":"facebook","scale":0.1,"alg":"UBG","k":10}'
+//
+// The distributed shard runtime splits RIC sample generation across
+// processes. One imcserve runs as the coordinator; any number run as
+// workers and join it:
+//
+//	imcserve -addr :8080 -coordinator
+//	imcserve -addr :8081 -worker -join http://coord:8080 -advertise http://worker1:8081
+//	imcserve -addr :8082 -worker -join http://coord:8080 -advertise http://worker2:8082
+//
+// Solves against the coordinator then farm generation out to the
+// workers and splice the shards back — byte-identical to a
+// single-process solve, whatever the worker count. With no workers
+// joined, the coordinator simply generates locally.
 package main
 
 import (
@@ -25,18 +38,59 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"imc/internal/job"
 	"imc/internal/poolcache"
 	"imc/internal/serve"
+	"imc/internal/shard"
 )
 
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "imcserve:", err)
 		os.Exit(1)
+	}
+}
+
+// flagGroups drives the sectioned -h output: every flag is declared
+// under exactly one heading, so the help text reads as the subsystems
+// users enable, not as one alphabetical wall.
+var flagGroups = []struct {
+	title string
+	names []string
+}{
+	{"Server", []string{"addr", "shutdown-timeout"}},
+	{"Robustness", []string{"solve-timeout", "max-inflight"}},
+	{"Async jobs (/v1/jobs)", []string{"job-dir", "workers"}},
+	{"Pool cache", []string{"pool-cache-dir", "pool-cache-bytes"}},
+	{"Distributed shard runtime", []string{"coordinator", "worker", "join", "advertise", "shard-attempts"}},
+}
+
+func groupedUsage() {
+	out := flag.CommandLine.Output()
+	fmt.Fprintf(out, "Usage of imcserve:\n")
+	for _, g := range flagGroups {
+		fmt.Fprintf(out, "\n%s:\n", g.title)
+		for _, name := range g.names {
+			f := flag.Lookup(name)
+			if f == nil {
+				continue
+			}
+			typeName, usage := flag.UnquoteUsage(f)
+			fmt.Fprintf(out, "  -%s", f.Name)
+			if typeName != "" {
+				fmt.Fprintf(out, " %s", typeName)
+			}
+			fmt.Fprintf(out, "\n    \t%s", strings.ReplaceAll(usage, "\n", "\n    \t"))
+			if f.DefValue != "" && f.DefValue != "false" {
+				fmt.Fprintf(out, " (default %s)", f.DefValue)
+			}
+			fmt.Fprintln(out)
+		}
 	}
 }
 
@@ -50,8 +104,20 @@ func run() error {
 		workers         = flag.Int("workers", 2, "job worker pool size (with -job-dir)")
 		poolCacheDir    = flag.String("pool-cache-dir", "", "directory for the shared RIC pool snapshot cache; empty disables caching")
 		poolCacheBytes  = flag.Int64("pool-cache-bytes", 1<<30, "pool cache byte budget before LRU eviction (with -pool-cache-dir; ≤ 0 = unlimited)")
+		coordinator     = flag.Bool("coordinator", false, "run as shard coordinator: distribute RIC generation to joined workers")
+		workerMode      = flag.Bool("worker", false, "run as shard worker: serve sample ranges at /shard/*")
+		joinURL         = flag.String("join", "", "coordinator base URL to register with (with -worker)")
+		advertise       = flag.String("advertise", "", "base URL the coordinator should dial back (required with -join)")
+		shardAttempts   = flag.Int("shard-attempts", 3, "workers tried per sample range before the coordinator generates it locally")
 	)
+	flag.Usage = groupedUsage
 	flag.Parse()
+	if *joinURL != "" && !*workerMode {
+		return errors.New("-join requires -worker")
+	}
+	if *joinURL != "" && *advertise == "" {
+		return errors.New("-join requires -advertise (the URL the coordinator dials back)")
+	}
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	cfg := serve.Config{
@@ -60,9 +126,10 @@ func run() error {
 	}
 
 	// The pool cache, when enabled, is shared by the synchronous solve
-	// endpoints and the job workers: any solve warms it, any later solve
-	// over the same (instance, model, seed) adopts the cached samples and
-	// generates only the missing tail.
+	// endpoints, the job workers, and the shard worker (which stores its
+	// generated ranges as content-addressed shard entries): any solve
+	// warms it, any later solve over the same (instance, model, seed)
+	// adopts the cached samples and generates only the missing tail.
 	var cache *poolcache.Cache
 	if *poolCacheDir != "" {
 		var err error
@@ -100,6 +167,36 @@ func run() error {
 		cfg.JobPool = pool
 	}
 
+	// Shard roles. A worker persists generated ranges in the pool cache
+	// and records completions in a journal ledger (under -job-dir when
+	// set), so a killed-and-restarted worker serves the same ranges
+	// without regenerating. A coordinator accepts joins at /shard/join
+	// and farms solve-time generation out to whoever has joined.
+	if *workerMode {
+		wcfg := shard.WorkerConfig{
+			Build:  serve.ShardInstanceBuilder(),
+			Cache:  cache,
+			Logger: logger,
+		}
+		if *jobDir != "" {
+			wcfg.LedgerPath = filepath.Join(*jobDir, "shard-ledger.jsonl")
+		}
+		w, err := shard.NewWorker(wcfg)
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+		logger.Info("shard worker enabled", "ledger", wcfg.LedgerPath != "", "cache", cache != nil)
+		cfg.ShardWorker = w
+	}
+	if *coordinator {
+		cfg.ShardCoordinator = shard.NewCoordinator(shard.CoordinatorConfig{
+			MaxAttempts: *shardAttempts,
+			Logger:      logger,
+		})
+		logger.Info("shard coordinator enabled", "attempts", *shardAttempts)
+	}
+
 	handler := serve.NewWithOptions(logger, nil, cfg).Handler()
 	srv := &http.Server{
 		Addr:              *addr,
@@ -112,6 +209,16 @@ func run() error {
 		logger.Info("listening", "addr", *addr)
 		errCh <- srv.ListenAndServe()
 	}()
+
+	// The join loop registers this worker with the coordinator, retrying
+	// until it lands, then re-joins periodically as a heartbeat —
+	// re-registration is how a worker the coordinator marked dead (after
+	// a restart, say) returns to rotation.
+	joinCtx, stopJoin := context.WithCancel(context.Background())
+	defer stopJoin()
+	if *joinURL != "" {
+		go joinLoop(joinCtx, logger, *joinURL, *advertise)
+	}
 
 	// drainJobs checkpoints and parks the running jobs: each worker is
 	// interrupted at its next solver batch, the job returns to pending
@@ -152,5 +259,29 @@ func run() error {
 		drainJobs(ctx)
 		<-errCh // drain the ListenAndServe result
 		return nil
+	}
+}
+
+// joinLoop registers with the coordinator: fast retries until the first
+// success (the coordinator may still be booting), then a slow heartbeat.
+func joinLoop(ctx context.Context, logger *slog.Logger, coordURL, advertise string) {
+	interval := 2 * time.Second
+	joined := false
+	for {
+		if err := shard.Join(ctx, nil, coordURL, advertise); err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			logger.Warn("shard join failed", "coordinator", coordURL, "err", err)
+		} else if !joined {
+			logger.Info("joined shard coordinator", "coordinator", coordURL, "advertise", advertise)
+			joined = true
+			interval = 30 * time.Second
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(interval):
+		}
 	}
 }

@@ -109,7 +109,7 @@ func TestPublicAPIGraphConstruction(t *testing.T) {
 
 func TestPublicAPIGenerators(t *testing.T) {
 	names := DatasetNames()
-	if len(names) != 5 {
+	if len(names) != 6 {
 		t.Fatalf("datasets: %v", names)
 	}
 	if _, err := BarabasiAlbert(50, 2, 1); err != nil {

@@ -88,6 +88,19 @@ func Registry() map[string]Dataset {
 				return BarabasiAlbert(n, 10, seed)
 			},
 		},
+		{
+			Name:       "karate",
+			PaperNodes: 34, PaperEdges: 78, Directed: false,
+			Family: "fixed graph (Zachary's karate club)",
+			Build: func(scale float64, seed uint64) (*graph.Graph, error) {
+				// Not an analog: the real 34-node club, byte-identical at
+				// every scale and seed. Small enough for exact checks, so
+				// it anchors CI smoke jobs (the distributed shard runtime
+				// byte-compares multi-process and single-process solves on
+				// it) and mirrors the repo-root testdata/karate.txt fixture.
+				return Karate()
+			},
+		},
 	}
 	out := make(map[string]Dataset, len(ds))
 	for _, d := range ds {
@@ -96,9 +109,37 @@ func Registry() map[string]Dataset {
 	return out
 }
 
-// Names returns the registry keys in Table I order.
+// karateEdges is Zachary's karate club (34 nodes, 78 undirected edges),
+// identical to testdata/karate.txt.
+var karateEdges = [78][2]int32{
+	{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}, {0, 6}, {0, 7}, {0, 8},
+	{0, 10}, {0, 11}, {0, 12}, {0, 13}, {0, 17}, {0, 19}, {0, 21},
+	{0, 31}, {1, 2}, {1, 3}, {1, 7}, {1, 13}, {1, 17}, {1, 19}, {1, 21},
+	{1, 30}, {2, 3}, {2, 7}, {2, 8}, {2, 9}, {2, 13}, {2, 27}, {2, 28},
+	{2, 32}, {3, 7}, {3, 12}, {3, 13}, {4, 6}, {4, 10}, {5, 6}, {5, 10},
+	{5, 16}, {6, 16}, {8, 30}, {8, 32}, {8, 33}, {9, 33}, {13, 33},
+	{14, 32}, {14, 33}, {15, 32}, {15, 33}, {18, 32}, {18, 33}, {19, 33},
+	{20, 32}, {20, 33}, {22, 32}, {22, 33}, {23, 25}, {23, 27}, {23, 29},
+	{23, 32}, {23, 33}, {24, 25}, {24, 27}, {24, 31}, {25, 31}, {26, 29},
+	{26, 33}, {27, 33}, {28, 31}, {28, 33}, {29, 32}, {29, 33}, {30, 32},
+	{30, 33}, {31, 32}, {31, 33}, {32, 33},
+}
+
+// Karate builds Zachary's karate club as an arc-doubled graph with unit
+// weights (reassign with ApplyWeights), matching
+// ReadEdgeList(testdata/karate.txt, directed=false) exactly.
+func Karate() (*graph.Graph, error) {
+	b := graph.NewBuilder(34)
+	for _, e := range karateEdges {
+		b.AddUndirected(e[0], e[1], 1)
+	}
+	return b.Build()
+}
+
+// Names returns the registry keys in Table I order, plus the karate
+// fixture.
 func Names() []string {
-	return []string{"facebook", "wikivote", "epinions", "dblp", "pokec"}
+	return []string{"facebook", "wikivote", "epinions", "dblp", "pokec", "karate"}
 }
 
 // BuildDataset generates the named analog or returns an error listing

@@ -159,7 +159,7 @@ func TestRandomDirectedExactEdgeCount(t *testing.T) {
 
 func TestRegistryAnalogsMatchPaperShapes(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 5 {
+	if len(reg) != 6 {
 		t.Fatalf("registry has %d datasets", len(reg))
 	}
 	for _, name := range Names() {
@@ -208,5 +208,25 @@ func TestScaledDatasets(t *testing.T) {
 	}
 	if n := small.NumNodes(); n < 500 || n > 1000 {
 		t.Fatalf("epinions at 1%% scale has %d nodes", n)
+	}
+}
+
+// TestKarateFixtureShape: the registry's karate entry is the real club
+// — fixed 34 nodes and 78 undirected edges (156 arcs) at every scale
+// and seed, byte-identical across builds.
+func TestKarateFixtureShape(t *testing.T) {
+	a, err := BuildDataset("karate", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumNodes() != 34 || a.NumEdges() != 156 {
+		t.Fatalf("karate analog is %d nodes / %d arcs, want 34 / 156", a.NumNodes(), a.NumEdges())
+	}
+	b, err := BuildDataset("karate", 0.1, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.WeightDigest() != b.WeightDigest() {
+		t.Fatal("karate fixture varies with scale or seed")
 	}
 }

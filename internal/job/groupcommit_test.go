@@ -77,21 +77,21 @@ func TestConcurrentSubmitsSurviveReopen(t *testing.T) {
 // without touching the file again.
 func TestCommitPiggyback(t *testing.T) {
 	dir := t.TempDir()
-	jl, err := openJournal(dir+"/journal.log", 0)
+	jl, err := OpenJournalAt(dir+"/journal.log", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer jl.close()
+	defer jl.Close()
 
-	t1, err := jl.stage(journalRecord{Op: opSubmit, ID: "j1", At: testEpoch})
+	t1, err := jl.Stage(journalRecord{Op: opSubmit, ID: "j1", At: testEpoch})
 	if err != nil {
 		t.Fatal(err)
 	}
-	t2, err := jl.stage(journalRecord{Op: opSubmit, ID: "j2", At: testEpoch})
+	t2, err := jl.Stage(journalRecord{Op: opSubmit, ID: "j2", At: testEpoch})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := jl.commit(t2); err != nil {
+	if err := jl.Commit(t2); err != nil {
 		t.Fatal(err)
 	}
 	jl.mu.Lock()
@@ -100,7 +100,7 @@ func TestCommitPiggyback(t *testing.T) {
 	if synced != t2 {
 		t.Fatalf("synced = %d after committing ticket %d", synced, t2)
 	}
-	if err := jl.commit(t1); err != nil {
+	if err := jl.Commit(t1); err != nil {
 		t.Fatalf("piggybacked commit: %v", err)
 	}
 

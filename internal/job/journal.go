@@ -11,26 +11,28 @@ import (
 	"time"
 )
 
-// The journal is the store's single source of truth for job metadata:
-// an append-only JSONL file of submissions and state transitions.
-// Replaying it from the top reconstructs every job's current state, so
-// the store never rewrites records in place — a crash can at worst
-// leave one torn line at the tail, which replay detects and truncates
-// away before appending resumes.
+// The journal is an append-only JSONL ledger: replaying it from the top
+// reconstructs the owning component's current state, so records are
+// never rewritten in place — a crash can at worst leave one torn line
+// at the tail, which replay detects and truncates away before appending
+// resumes. The Store uses one for job metadata; the distributed shard
+// runtime (internal/shard) uses one as its exactly-once generation
+// ledger. Both get the same durability contract from the exported
+// Journal/ReplayJournal/OpenJournalAt surface.
 //
-// Large blobs (pool checkpoints, results) live in side files named by
-// job ID and are written via atomic rename; the journal only records
-// that they exist.
+// Large blobs (pool checkpoints, results, shard exports) live in side
+// files and are written via atomic rename; a journal only records that
+// they exist.
 
-// journalOp enumerates record types.
+// journalOp enumerates the Store's record types.
 const (
 	opSubmit     = "submit"
 	opState      = "state"
 	opCheckpoint = "checkpoint"
 )
 
-// journalRecord is one JSONL line. Fields beyond Op/ID/At apply only
-// to some ops.
+// journalRecord is one Store JSONL line. Fields beyond Op/ID/At apply
+// only to some ops.
 type journalRecord struct {
 	Op string    `json:"op"`
 	ID string    `json:"id"`
@@ -50,30 +52,30 @@ type journalRecord struct {
 	Samples   int `json:"samples,omitempty"`
 }
 
-// journal is the append handle, split into two halves so the store
+// Journal is the append handle, split into two halves so an owner
 // never fsyncs inside its own mutex (the lockheld analyzer's canonical
-// stall: every Get/List would queue behind disk latency):
+// stall: every read would queue behind disk latency):
 //
-//   - stage() runs under Store.mu: it marshals the record into the
-//     pending buffer and issues a ticket. Buffer order therefore
+//   - Stage() runs under the owner's mutex: it marshals the record into
+//     the pending buffer and issues a ticket. Buffer order therefore
 //     matches the order state changes were applied, which is what
 //     replay depends on.
-//   - commit(ticket) runs AFTER Store.mu is released: it swaps the
-//     pending buffer out and pays for write+flush+fsync under the
+//   - Commit(ticket) runs AFTER the owner's mutex is released: it swaps
+//     the pending buffer out and pays for write+flush+fsync under the
 //     journal's own writer lock. A commit that finds its ticket
 //     already synced piggybacks on an earlier caller's fsync — under
 //     contention the journal group-commits many records per sync.
 //
-// Durability semantics are unchanged for callers: a method returns
-// only after its record is on disk. What changes on failure: the
-// in-memory transition has already been published when commit fails,
-// so the caller gets the error while memory runs ahead of disk. The
-// sticky werr then fails every later mutation, freezing the store
-// until restart — at which point replay rewinds to the last synced
-// record and the interrupted jobs resume from checkpoints.
-type journal struct {
-	// Staging half, guarded by smu (taken with Store.mu held; always
-	// innermost, so the lock-order graph stays acyclic).
+// Durability semantics for callers: a mutation returns only after its
+// record is on disk. What changes on failure: the in-memory transition
+// has already been published when Commit fails, so the caller gets the
+// error while memory runs ahead of disk. The sticky werr then fails
+// every later mutation, freezing the owner until restart — at which
+// point replay rewinds to the last synced record and interrupted work
+// resumes from its side files.
+type Journal struct {
+	// Staging half, guarded by smu (taken with the owner's mutex held;
+	// always innermost, so the lock-order graph stays acyclic).
 	smu     sync.Mutex
 	pending []byte //imc:guardedby smu
 	staged  uint64 //imc:guardedby smu — tickets issued
@@ -87,12 +89,16 @@ type journal struct {
 	werr   error         //imc:guardedby mu — sticky write/sync failure
 }
 
-// replayJournal reads every intact record from path, reporting the
-// byte offset where intact data ends. A missing file is an empty
-// journal. A torn or corrupt tail — the signature of a crash mid-append
-// — stops replay; the caller truncates to the returned offset before
-// appending.
-func replayJournal(path string, apply func(journalRecord) error) (int64, error) {
+// ReplayJournal reads every intact JSONL record from path, reporting
+// the byte offset where intact data ends. A missing file is an empty
+// journal. apply receives each line's raw JSON and reports whether the
+// record is well-formed for the owner's schema: returning false stops
+// replay at the previous record — the line, and everything after it,
+// is treated as the torn/corrupt tail of a crash mid-append, which the
+// caller truncates away via OpenJournalAt. An apply error aborts the
+// replay outright (the journal is intact but the state is
+// contradictory, e.g. a transition for an unknown ID).
+func ReplayJournal(path string, apply func(line json.RawMessage) (bool, error)) (int64, error) {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return 0, nil
@@ -113,23 +119,38 @@ func replayJournal(path string, apply func(journalRecord) error) (int64, error) 
 		if err != nil {
 			return 0, fmt.Errorf("job: read journal: %w", err)
 		}
-		var rec journalRecord
-		if jerr := json.Unmarshal(line, &rec); jerr != nil || rec.Op == "" || rec.ID == "" {
+		if !json.Valid(line) {
 			// Corrupt interior line: everything after it is suspect too,
 			// so stop here and let the caller truncate.
 			return good, nil
 		}
-		if aerr := apply(rec); aerr != nil {
+		ok, aerr := apply(json.RawMessage(line))
+		if aerr != nil {
 			return 0, fmt.Errorf("job: replay journal: %w", aerr)
+		}
+		if !ok {
+			return good, nil
 		}
 		good += int64(len(line))
 	}
 }
 
-// openJournal opens path for appending, truncated to intactBytes (the
-// offset replayJournal reported) so torn tails never corrupt later
+// replayJournal replays the Store's schema: a line that does not decode
+// to a record with an op and an ID is corruption, not a variant.
+func replayJournal(path string, apply func(journalRecord) error) (int64, error) {
+	return ReplayJournal(path, func(line json.RawMessage) (bool, error) {
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Op == "" || rec.ID == "" {
+			return false, nil
+		}
+		return true, apply(rec)
+	})
+}
+
+// OpenJournalAt opens path for appending, truncated to intactBytes (the
+// offset ReplayJournal reported) so torn tails never corrupt later
 // records.
-func openJournal(path string, intactBytes int64) (*journal, error) {
+func OpenJournalAt(path string, intactBytes int64) (*Journal, error) {
 	if err := os.Truncate(path, intactBytes); err != nil && !errors.Is(err, os.ErrNotExist) {
 		return nil, fmt.Errorf("job: truncate journal tail: %w", err)
 	}
@@ -137,15 +158,15 @@ func openJournal(path string, intactBytes int64) (*journal, error) {
 	if err != nil {
 		return nil, fmt.Errorf("job: open journal for append: %w", err)
 	}
-	return &journal{file: f, bw: bufio.NewWriter(f)}, nil
+	return &Journal{file: f, bw: bufio.NewWriter(f)}, nil
 }
 
-// stage marshals one record into the pending buffer and returns its
-// commit ticket. Callers stage under Store.mu (so buffer order matches
-// in-memory apply order) and pass the ticket to commit after releasing
-// it. A marshal failure stages nothing — the caller can still roll
-// back its in-memory change.
-func (j *journal) stage(rec journalRecord) (uint64, error) {
+// Stage marshals one record into the pending buffer and returns its
+// commit ticket. Callers stage under their own mutex (so buffer order
+// matches in-memory apply order) and pass the ticket to Commit after
+// releasing it. A marshal failure stages nothing — the caller can still
+// roll back its in-memory change.
+func (j *Journal) Stage(rec any) (uint64, error) {
 	raw, err := json.Marshal(rec)
 	if err != nil {
 		return 0, fmt.Errorf("job: marshal journal record: %w", err)
@@ -158,13 +179,13 @@ func (j *journal) stage(rec journalRecord) (uint64, error) {
 	return j.staged, nil
 }
 
-// commit makes every record up to ticket durable. The fast path — a
+// Commit makes every record up to ticket durable. The fast path — a
 // concurrent commit already synced past the ticket — returns without
-// touching the file. Job submission rates are nowhere near fsync
-// throughput, and a lost transition means a job silently re-runs or
-// vanishes on restart, so the journal always pays for durability; the
-// group-commit batching just makes contenders share one payment.
-func (j *journal) commit(ticket uint64) error {
+// touching the file. Record rates are nowhere near fsync throughput,
+// and a lost record means work silently re-runs or vanishes on restart,
+// so the journal always pays for durability; the group-commit batching
+// just makes contenders share one payment.
+func (j *Journal) Commit(ticket uint64) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.werr != nil {
@@ -193,7 +214,7 @@ func (j *journal) commit(ticket uint64) error {
 // and fsyncs. Called with j.mu held.
 //
 //imc:locked mu
-func (j *journal) flushAndSync(buf []byte) error {
+func (j *Journal) flushAndSync(buf []byte) error {
 	if _, err := j.bw.Write(buf); err != nil {
 		return fmt.Errorf("job: append journal: %w", err)
 	}
@@ -206,27 +227,27 @@ func (j *journal) flushAndSync(buf []byte) error {
 	return nil
 }
 
-// append stages and immediately commits one record — the single-
-// threaded path (Open's replay demotions), where there is nothing to
-// batch with.
-func (j *journal) append(rec journalRecord) error {
-	ticket, err := j.stage(rec)
+// Append stages and immediately commits one record — the single-
+// threaded path (boot-time replay demotions), where there is nothing
+// to batch with.
+func (j *Journal) Append(rec any) error {
+	ticket, err := j.Stage(rec)
 	if err != nil {
 		return err
 	}
-	return j.commit(ticket)
+	return j.Commit(ticket)
 }
 
-// close flushes anything still staged and releases the file handle.
-// Single-caller contract (Store.Close): no commits may be in flight.
-func (j *journal) close() error {
+// Close flushes anything still staged and releases the file handle.
+// Single-caller contract: no commits may be in flight.
+func (j *Journal) Close() error {
 	if j == nil {
 		return nil
 	}
 	j.smu.Lock()
 	top := j.staged
 	j.smu.Unlock()
-	cerr := j.commit(top)
+	cerr := j.Commit(top)
 	j.mu.Lock()
 	f := j.file
 	j.file = nil

@@ -25,7 +25,7 @@ type Store struct {
 	now clock.Func //imc:guardedby immutable
 
 	mu    sync.Mutex
-	jl    *journal          //imc:guardedby mu
+	jl    *Journal          //imc:guardedby mu
 	jobs  map[string]*Job   //imc:guardedby mu
 	order []string          //imc:guardedby mu — job IDs in submission order
 	byKey map[string]string //imc:guardedby mu — idempotency key → job ID
@@ -58,7 +58,7 @@ func Open(dir string, now clock.Func) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	if s.jl, err = openJournal(path, intact); err != nil {
+	if s.jl, err = OpenJournalAt(path, intact); err != nil {
 		return nil, err
 	}
 	// Crash recovery: a "running" job's worker no longer exists. Journal
@@ -70,7 +70,7 @@ func Open(dir string, now clock.Func) (*Store, error) {
 		}
 		j.State = StatePending
 		j.Resumes++
-		if err := s.jl.append(journalRecord{
+		if err := s.jl.Append(journalRecord{
 			Op: opState, ID: id, At: s.now(), State: StatePending, Resumes: j.Resumes,
 		}); err != nil {
 			return nil, err
@@ -159,7 +159,7 @@ func (s *Store) Submit(spec Spec, key string) (*Job, bool, error) {
 		State:       StatePending,
 		SubmittedAt: s.now(),
 	}
-	ticket, err := s.jl.stage(journalRecord{
+	ticket, err := s.jl.Stage(journalRecord{
 		Op: opSubmit, ID: j.ID, At: j.SubmittedAt, Key: key, Spec: &spec,
 	})
 	if err != nil {
@@ -177,7 +177,7 @@ func (s *Store) Submit(spec Spec, key string) (*Job, bool, error) {
 	s.mu.Unlock()
 	// Durability outside the lock: concurrent submissions group-commit
 	// behind one fsync instead of serializing reads behind the disk.
-	if err := jl.commit(ticket); err != nil {
+	if err := jl.Commit(ticket); err != nil {
 		return nil, false, err
 	}
 	return out, true, nil
@@ -251,7 +251,7 @@ func (s *Store) transition(id string, from, to State, errMsg string, bumpResumes
 		resumes++
 	}
 	at := s.now()
-	ticket, err := s.jl.stage(journalRecord{
+	ticket, err := s.jl.Stage(journalRecord{
 		Op: opState, ID: id, At: at, State: to, Error: errMsg, Resumes: resumes,
 	})
 	if err != nil {
@@ -270,7 +270,7 @@ func (s *Store) transition(id string, from, to State, errMsg string, bumpResumes
 	out := j.clone()
 	jl := s.jl
 	s.mu.Unlock()
-	if err := jl.commit(ticket); err != nil {
+	if err := jl.Commit(ticket); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -375,7 +375,7 @@ func (s *Store) SaveCheckpoint(id string, cp core.Checkpoint) error {
 		return ErrNotFound
 	}
 	info := &CheckpointInfo{Doublings: cp.Doublings, Samples: cp.Pool.NumSamples()}
-	ticket, err := s.jl.stage(journalRecord{
+	ticket, err := s.jl.Stage(journalRecord{
 		Op: opCheckpoint, ID: id, At: s.now(), Doublings: info.Doublings, Samples: info.Samples,
 	})
 	if err != nil {
@@ -385,7 +385,7 @@ func (s *Store) SaveCheckpoint(id string, cp core.Checkpoint) error {
 	j.Checkpoint = info
 	jl := s.jl
 	s.mu.Unlock()
-	return jl.commit(ticket)
+	return jl.Commit(ticket)
 }
 
 // LoadCheckpoint restores the job's latest checkpoint against the
@@ -448,5 +448,5 @@ func (s *Store) Close() error {
 	s.mu.Lock()
 	jl := s.jl
 	s.mu.Unlock()
-	return jl.close()
+	return jl.Close()
 }

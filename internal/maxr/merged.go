@@ -1,0 +1,421 @@
+package maxr
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"imc/internal/graph"
+	"imc/internal/ric"
+)
+
+// Merged-marginal solving over shard pools: the distributed runtime
+// (internal/shard) holds the sample sequence [0, Θ) as N contiguous
+// offset pools instead of one flat pool, and the greedy loops here run
+// on marginals merged across them.
+//
+// The merge is byte-exact, not merely statistically equivalent. Two
+// facts make that work:
+//
+//   - Integer coverage counts are position-independent sums, so the
+//     ĉ_R marginal (coverageGain) over shards equals the flat value
+//     exactly.
+//   - Float marginals (fractionalGain, tieBreakGain) are accumulated
+//     per cover entry, and a flat pool's entry list for node v is its
+//     shards' entry lists concatenated in range order. The merged
+//     kernels thread ONE accumulator through the shards in range order
+//     — the identical sequence of float additions the flat kernel
+//     performs — so even non-associative float rounding agrees to the
+//     last ULP. Summing per-shard subtotals instead would not have this
+//     property; that is why the kernels below duplicate the inner loop
+//     rather than calling the per-pool gain functions N times.
+//
+// CELF ordering is therefore preserved: the lazy-greedy heap sees the
+// same gains in the same order as the single-pool solver, and the seed
+// sequence is identical by construction, not by luck.
+
+// Shards is an ordered, contiguous decomposition of one pool identity:
+// pools[0] starts at stream offset 0 and each subsequent pool starts
+// where the previous one ends, so together they hold exactly the
+// sample sequence [0, Θ) a single flat pool would. All pools must
+// share the same graph and partition objects, seed, and model.
+type Shards struct {
+	pools []*ric.Pool //imc:guardedby immutable
+	total int         //imc:guardedby immutable
+}
+
+// NewShards validates and wraps an ordered shard decomposition. Empty
+// shards are permitted (a worker can be assigned a zero-width range);
+// an empty pools list is not.
+func NewShards(pools []*ric.Pool) (*Shards, error) {
+	if len(pools) == 0 {
+		return nil, fmt.Errorf("maxr: shard set must hold at least one pool")
+	}
+	first := pools[0]
+	if first.Offset() != 0 {
+		return nil, fmt.Errorf("maxr: first shard starts at stream %d, want 0", first.Offset())
+	}
+	next := 0
+	for i, p := range pools {
+		if p.Graph() != first.Graph() || p.Partition() != first.Partition() {
+			return nil, fmt.Errorf("maxr: shard %d covers different graph or partition objects", i)
+		}
+		if p.Seed() != first.Seed() || p.Model() != first.Model() {
+			return nil, fmt.Errorf("maxr: shard %d has seed %d model %v, want seed %d model %v",
+				i, p.Seed(), p.Model(), first.Seed(), first.Model())
+		}
+		if p.Offset() != next {
+			return nil, fmt.Errorf("maxr: shard %d starts at stream %d but the previous shard ends at %d — ranges must be contiguous", i, p.Offset(), next)
+		}
+		next = p.Offset() + p.NumSamples()
+	}
+	return &Shards{pools: pools, total: next}, nil
+}
+
+// NumShards returns how many shard pools the decomposition holds.
+func (sh *Shards) NumShards() int { return len(sh.pools) }
+
+// NumSamples returns Θ, the total sample count across shards.
+func (sh *Shards) NumSamples() int { return sh.total }
+
+// Graph returns the shared underlying graph.
+func (sh *Shards) Graph() *graph.Graph { return sh.pools[0].Graph() }
+
+// TouchCount returns how many samples across all shards node v touches
+// — equal to the flat pool's touch count.
+func (sh *Shards) TouchCount(v graph.NodeID) int {
+	n := 0
+	for _, p := range sh.pools {
+		n += p.TouchCount(v)
+	}
+	return n
+}
+
+// Scale is b/Θ: one influenced sample's contribution to ĉ_R.
+func (sh *Shards) Scale() float64 {
+	return sh.pools[0].Partition().TotalBenefit() / float64(sh.total)
+}
+
+// newStates returns one empty coverage state per shard.
+func (sh *Shards) newStates() []*ric.State {
+	sts := make([]*ric.State, len(sh.pools))
+	for i, p := range sh.pools {
+		sts[i] = p.NewState()
+	}
+	return sts
+}
+
+// CoverageCount returns the number of samples across all shards that
+// seeds influences — an integer sum, exactly the flat pool's count.
+func (sh *Shards) CoverageCount(seeds []graph.NodeID) int {
+	n := 0
+	for _, p := range sh.pools {
+		n += p.CoverageCount(seeds)
+	}
+	return n
+}
+
+// CHat evaluates ĉ_R(S) over the merged sample set.
+func (sh *Shards) CHat(seeds []graph.NodeID) float64 {
+	if sh.total == 0 {
+		return 0
+	}
+	return sh.Scale() * float64(sh.CoverageCount(seeds))
+}
+
+// mergedCoverageGain is coverageGain with one accumulator threaded
+// through the shards in range order.
+//
+//imc:hotpath
+func mergedCoverageGain(pools []*ric.Pool, sts []*ric.State, v graph.NodeID) int {
+	sts = sts[:len(pools)] // bound hint: one state per pool, checked once
+	gain := 0
+	for si, pool := range pools {
+		st := sts[si]
+		for _, e := range pool.Entries(v) {
+			h := pool.Sample(int(e.Sample)).Threshold
+			cur := st.CoverCount(e.Sample)
+			if cur >= h {
+				continue
+			}
+			var add int32
+			if base := st.Covered(e.Sample); base == nil {
+				add = int32(e.Bits.OnesCount())
+			} else {
+				add = int32(e.Bits.NewBitsOver(base))
+			}
+			if cur+add >= h {
+				gain++
+			}
+		}
+	}
+	return gain
+}
+
+// mergedFractionalGain is fractionalGain with one accumulator threaded
+// through the shards in range order — the same float addition sequence
+// as the flat kernel, so the result matches to the last ULP.
+//
+//imc:hotpath
+func mergedFractionalGain(pools []*ric.Pool, sts []*ric.State, v graph.NodeID) float64 {
+	sts = sts[:len(pools)] // bound hint: one state per pool, checked once
+	gain := 0.0
+	for si, pool := range pools {
+		st := sts[si]
+		for _, e := range pool.Entries(v) {
+			h := pool.Sample(int(e.Sample)).Threshold
+			cur := st.CoverCount(e.Sample)
+			if cur >= h {
+				continue
+			}
+			var add int32
+			if base := st.Covered(e.Sample); base == nil {
+				add = int32(e.Bits.OnesCount())
+			} else {
+				add = int32(e.Bits.NewBitsOver(base))
+			}
+			after := cur + add
+			if after > h {
+				after = h
+			}
+			gain += float64(after-cur) / float64(h)
+		}
+	}
+	return gain
+}
+
+// mergedTieBreakGain is tieBreakGain with one accumulator threaded
+// through the shards in range order.
+//
+//imc:hotpath
+func mergedTieBreakGain(pools []*ric.Pool, sts []*ric.State, v graph.NodeID) float64 {
+	sts = sts[:len(pools)] // bound hint: one state per pool, checked once
+	gain := 0.0
+	for si, pool := range pools {
+		st := sts[si]
+		for _, e := range pool.Entries(v) {
+			h := pool.Sample(int(e.Sample)).Threshold
+			cur := st.CoverCount(e.Sample)
+			if cur >= h {
+				continue
+			}
+			var add int32
+			if base := st.Covered(e.Sample); base == nil {
+				add = int32(e.Bits.OnesCount())
+			} else {
+				add = int32(e.Bits.NewBitsOver(base))
+			}
+			after := cur + add
+			if after > h {
+				after = h
+			}
+			gain += float64(after-cur) / float64(h) * (1 + float64(cur)/float64(h))
+		}
+	}
+	return gain
+}
+
+// shardCandidates returns all nodes touching at least one sample in any
+// shard, ordered by merged touch count descending (ties by node ID) —
+// the same order candidates() computes on the flat pool.
+func shardCandidates(sh *Shards) ([]graph.NodeID, []int) {
+	n := sh.Graph().NumNodes()
+	touch := make([]int, n)
+	for _, p := range sh.pools {
+		for v := 0; v < n; v++ {
+			touch[v] += p.TouchCount(graph.NodeID(v))
+		}
+	}
+	out := make([]graph.NodeID, 0, n/4+1)
+	for v := 0; v < n; v++ {
+		if touch[v] > 0 {
+			out = append(out, graph.NodeID(v))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ti, tj := touch[out[i]], touch[out[j]]
+		if ti != tj {
+			return ti > tj
+		}
+		return out[i] < out[j]
+	})
+	return out, touch
+}
+
+// padShardSeeds mirrors padSeeds over the merged candidate order.
+func padShardSeeds(sh *Shards, seeds []graph.NodeID, k int) []graph.NodeID {
+	if len(seeds) >= k {
+		return seeds[:k]
+	}
+	used := make(map[graph.NodeID]struct{}, len(seeds))
+	for _, s := range seeds {
+		used[s] = struct{}{}
+	}
+	cands, _ := shardCandidates(sh)
+	for _, v := range cands {
+		if len(seeds) >= k {
+			return seeds
+		}
+		if _, ok := used[v]; !ok {
+			seeds = append(seeds, v)
+			used[v] = struct{}{}
+		}
+	}
+	for v := 0; v < sh.Graph().NumNodes() && len(seeds) < k; v++ {
+		if _, ok := used[graph.NodeID(v)]; !ok {
+			seeds = append(seeds, graph.NodeID(v))
+			used[graph.NodeID(v)] = struct{}{}
+		}
+	}
+	return seeds
+}
+
+func validateShards(sh *Shards, k int) error {
+	if sh.total == 0 {
+		return ErrEmptyPool
+	}
+	if k < 1 {
+		return fmt.Errorf("maxr: budget k=%d must be ≥ 1", k)
+	}
+	return nil
+}
+
+// GreedyCHatShards runs GreedyCHatCtx's selection loop on merged
+// marginals: same exact touch-count prune, same tie-break, same polled
+// cancellation — and, because the merged kernels replay the flat
+// kernels' float addition order, the same seed sequence.
+//
+//imc:hotpath
+//imc:longrun
+func GreedyCHatShards(ctx context.Context, sh *Shards, k int) ([]graph.NodeID, error) {
+	if err := validateShards(sh, k); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cands, touch := shardCandidates(sh)
+	sts := sh.newStates()
+	seeds := make([]graph.NodeID, 0, k)
+	used := make([]bool, sh.Graph().NumNodes())
+	evals := 0
+	for len(seeds) < k {
+		best := graph.NodeID(-1)
+		bestGain := -1
+		bestFrac := -1.0
+		for _, v := range cands {
+			if evals&(ctxPollBatch-1) == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			evals++
+			if used[v] {
+				continue
+			}
+			// The exact prune from GreedyCHatCtx: candidates are sorted
+			// by merged touch count, which bounds the merged gain.
+			if touch[v] < bestGain {
+				break
+			}
+			g := mergedCoverageGain(sh.pools, sts, v)
+			if g < bestGain {
+				continue
+			}
+			if g > bestGain {
+				bestGain = g
+				bestFrac = mergedTieBreakGain(sh.pools, sts, v)
+				best = v
+				continue
+			}
+			if f := mergedTieBreakGain(sh.pools, sts, v); f > bestFrac {
+				bestFrac = f
+				best = v
+			}
+		}
+		if best < 0 {
+			break
+		}
+		for _, st := range sts {
+			st.Add(best)
+		}
+		seeds = append(seeds, best)
+		used[best] = true
+	}
+	return padShardSeeds(sh, seeds, k), nil
+}
+
+// GreedyNuShards runs CELF lazy greedy on the merged ν_R marginal. The
+// heap order, stale-gain recomputation, and pop sequence mirror
+// GreedyNuCtx exactly; merged gains equal flat gains bit-for-bit, so
+// the CELF ordering — and the seed set — is preserved across any shard
+// decomposition.
+//
+//imc:hotpath
+//imc:longrun
+func GreedyNuShards(ctx context.Context, sh *Shards, k int) ([]graph.NodeID, error) {
+	if err := validateShards(sh, k); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cands, _ := shardCandidates(sh)
+	sts := sh.newStates()
+	h := make(celfHeap, 0, len(cands))
+	for _, v := range cands {
+		h = append(h, celfItem{node: v, gain: mergedFractionalGain(sh.pools, sts, v), round: 0})
+	}
+	h.init()
+	seeds := make([]graph.NodeID, 0, k)
+	pops := 0
+	for len(seeds) < k && len(h) > 0 {
+		if pops&(ctxPollBatch-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		pops++
+		top := h.pop()
+		if int(top.round) == len(seeds) {
+			if top.gain <= 0 {
+				break
+			}
+			for _, st := range sts {
+				st.Add(top.node)
+			}
+			seeds = append(seeds, top.node)
+			continue
+		}
+		top.gain = mergedFractionalGain(sh.pools, sts, top.node)
+		top.round = int32(len(seeds))
+		h.push(top)
+	}
+	return padShardSeeds(sh, seeds, k), nil
+}
+
+// UBGShards is the sandwich solver (UBG) on a shard decomposition:
+// greedy on the merged ν_R bound plus greedy on merged ĉ_R, keeping
+// the better seed set under the merged coverage count — the same
+// selection rule as UBG.SolveCtx on a flat pool.
+//
+//imc:longrun
+func UBGShards(ctx context.Context, sh *Shards, k int) (Result, error) {
+	if err := validateShards(sh, k); err != nil {
+		return Result{}, err
+	}
+	sNu, err := GreedyNuShards(ctx, sh, k)
+	if err != nil {
+		return Result{}, err
+	}
+	sC, err := GreedyCHatShards(ctx, sh, k)
+	if err != nil {
+		return Result{}, err
+	}
+	covNu := sh.CoverageCount(sNu)
+	covC := sh.CoverageCount(sC)
+	if covC > covNu {
+		return Result{Seeds: sC, Coverage: covC, CHat: sh.Scale() * float64(covC)}, nil
+	}
+	return Result{Seeds: sNu, Coverage: covNu, CHat: sh.Scale() * float64(covNu)}, nil
+}

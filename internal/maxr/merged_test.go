@@ -1,0 +1,161 @@
+package maxr
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"imc/internal/community"
+	"imc/internal/gen"
+	"imc/internal/graph"
+	"imc/internal/ric"
+)
+
+// mergedInstance builds the randomPool instance, exposing (g, part) so
+// shard pools can be generated over the same objects.
+func mergedInstance(t *testing.T, seed uint64) (*graph.Graph, *community.Partition) {
+	t.Helper()
+	g, err := gen.RandomDirected(25, 80, 0.5, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := community.Random(25, 5, seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part.SetBoundedThresholds(2)
+	part.SetPopulationBenefits()
+	return g, part
+}
+
+// buildShardSet cuts [0, theta) into n contiguous ranges and generates
+// each in its own offset pool over the shared instance.
+func buildShardSet(t *testing.T, g *graph.Graph, part *community.Partition, theta, n int, seed uint64) *Shards {
+	t.Helper()
+	pools := make([]*ric.Pool, n)
+	for w := 0; w < n; w++ {
+		lo, hi := w*theta/n, (w+1)*theta/n
+		p, err := ric.NewPool(g, part, ric.PoolOptions{Seed: seed, Offset: lo})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.EnsureCtx(context.Background(), hi-lo); err != nil {
+			t.Fatal(err)
+		}
+		pools[w] = p
+	}
+	sh, err := NewShards(pools)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sh
+}
+
+// TestMergedGreedyMatchesFlat is the merged-marginal determinism pin:
+// for N ∈ {1, 2, 4} shards, both greedy loops and the UBG sandwich
+// pick byte-identical seed sequences with identical coverage and ĉ_R
+// to the single-pool solvers. The merged kernels replay the flat
+// kernels' float addition order, so this is equality, not tolerance.
+func TestMergedGreedyMatchesFlat(t *testing.T) {
+	const theta, k, seed = 800, 5, 42
+	g, part := mergedInstance(t, 7)
+	flat, err := ric.NewPool(g, part, ric.PoolOptions{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := flat.EnsureCtx(context.Background(), theta); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	wantC, err := GreedyCHatCtx(ctx, flat, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNu, err := GreedyNuCtx(ctx, flat, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantUBG, err := UBG{}.SolveCtx(ctx, flat, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, n := range []int{1, 2, 4} {
+		sh := buildShardSet(t, g, part, theta, n, seed)
+		if sh.NumSamples() != theta {
+			t.Fatalf("N=%d: shards hold %d samples, want %d", n, sh.NumSamples(), theta)
+		}
+		gotC, err := GreedyCHatShards(ctx, sh, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(wantC, gotC) {
+			t.Errorf("N=%d: GreedyCHatShards picked %v, flat picked %v", n, gotC, wantC)
+		}
+		gotNu, err := GreedyNuShards(ctx, sh, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(wantNu, gotNu) {
+			t.Errorf("N=%d: GreedyNuShards picked %v, flat picked %v", n, gotNu, wantNu)
+		}
+		gotUBG, err := UBGShards(ctx, sh, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(wantUBG.Seeds, gotUBG.Seeds) ||
+			wantUBG.Coverage != gotUBG.Coverage || wantUBG.CHat != gotUBG.CHat {
+			t.Errorf("N=%d: UBGShards = %+v, flat UBG = %+v", n, gotUBG, wantUBG)
+		}
+		// Merged evaluation primitives agree exactly too.
+		if got, want := sh.CoverageCount(wantC), flat.CoverageCount(wantC); got != want {
+			t.Errorf("N=%d: merged coverage %d, flat %d", n, got, want)
+		}
+		if got, want := sh.CHat(wantC), flat.CHat(wantC); got != want {
+			t.Errorf("N=%d: merged ĉ %g, flat %g", n, got, want)
+		}
+		if got, want := sh.Scale(), flat.Scale(); math.Abs(got-want) > 0 {
+			t.Errorf("N=%d: merged scale %g, flat %g", n, got, want)
+		}
+	}
+}
+
+// TestNewShardsValidation: gaps, overlaps, wrong start, and identity
+// mismatches are refused at construction.
+func TestNewShardsValidation(t *testing.T) {
+	g, part := mergedInstance(t, 7)
+	mk := func(offset, count int, seed uint64) *ric.Pool {
+		p, err := ric.NewPool(g, part, ric.PoolOptions{Seed: seed, Offset: offset})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.EnsureCtx(context.Background(), count); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if _, err := NewShards(nil); err == nil {
+		t.Error("empty shard set accepted")
+	}
+	if _, err := NewShards([]*ric.Pool{mk(5, 10, 1)}); err == nil {
+		t.Error("non-zero start accepted")
+	}
+	if _, err := NewShards([]*ric.Pool{mk(0, 10, 1), mk(20, 10, 1)}); err == nil {
+		t.Error("gap accepted")
+	}
+	if _, err := NewShards([]*ric.Pool{mk(0, 10, 1), mk(5, 10, 1)}); err == nil {
+		t.Error("overlap accepted")
+	}
+	if _, err := NewShards([]*ric.Pool{mk(0, 10, 1), mk(10, 10, 2)}); err == nil {
+		t.Error("cross-seed shard set accepted")
+	}
+	// A zero-width shard is fine (a worker acknowledging an empty range).
+	sh, err := NewShards([]*ric.Pool{mk(0, 10, 1), mk(10, 0, 1), mk(10, 5, 1)})
+	if err != nil {
+		t.Fatalf("empty middle shard refused: %v", err)
+	}
+	if sh.NumSamples() != 15 {
+		t.Fatalf("shards hold %d samples, want 15", sh.NumSamples())
+	}
+}

@@ -82,6 +82,12 @@ type Stats struct {
 	Saves     uint64 `json:"saves"`
 	Evictions uint64 `json:"evictions"`
 	Errors    uint64 `json:"errors"`
+	// ShardSaves/ShardHits/ShardMisses count the shard-range entries the
+	// distributed runtime stores and serves (SaveShard/LoadShard); shard
+	// saves are also included in Saves.
+	ShardSaves  uint64 `json:"shardSaves"`
+	ShardHits   uint64 `json:"shardHits"`
+	ShardMisses uint64 `json:"shardMisses"`
 }
 
 // entry is the in-memory record of one cache file.

@@ -115,6 +115,42 @@ func (s *Session) Cached() *ric.Pool {
 	return s.donor.Pool()
 }
 
+// Adopt splices cached samples into pool up to target without
+// generating anything, and reports how many were adopted. This is the
+// cache half of Grow, exposed separately so callers with their own
+// generation strategy (the distributed shard coordinator, say) can
+// compose adoption with it instead of pool.EnsureCtx. Safe on nil
+// (adopts nothing).
+func (s *Session) Adopt(pool *ric.Pool, target int) int {
+	if s == nil {
+		return 0
+	}
+	s.once.Do(s.load)
+	if s.donor == nil || target <= pool.NumSamples() {
+		return 0
+	}
+	adopted, err := s.donor.ExtendTo(pool, target)
+	if err != nil {
+		// An identity mismatch here means the session is being used
+		// with a pool it was not begun for — a caller bug, not a bad
+		// cache file. The snapshot stays; this session just stops
+		// adopting and generates everything.
+		s.c.log("poolcache: session %s cannot adopt: %v", s.key, err)
+		s.c.mu.Lock()
+		s.c.stats.Errors++
+		s.c.mu.Unlock()
+		s.donor = nil
+		return 0
+	}
+	if adopted > 0 {
+		s.c.mu.Lock()
+		s.c.stats.Extends++
+		s.c.stats.AdoptedSamples += uint64(adopted)
+		s.c.mu.Unlock()
+	}
+	return adopted
+}
+
 // Grow brings pool up to at least target samples, adopting cached
 // samples first and generating only the missing tail. Because sample i
 // is always drawn from PRNG stream i, the result is byte-identical to
@@ -128,26 +164,7 @@ func (s *Session) Grow(ctx context.Context, pool *ric.Pool, target int) error {
 	if s == nil {
 		return pool.EnsureCtx(ctx, target)
 	}
-	s.once.Do(s.load)
-	if s.donor != nil && target > pool.NumSamples() {
-		adopted, err := s.donor.ExtendTo(pool, target)
-		if err != nil {
-			// An identity mismatch here means the session is being used
-			// with a pool it was not begun for — a caller bug, not a bad
-			// cache file. The snapshot stays; this session just stops
-			// adopting and generates everything.
-			s.c.log("poolcache: session %s cannot adopt: %v", s.key, err)
-			s.c.mu.Lock()
-			s.c.stats.Errors++
-			s.c.mu.Unlock()
-			s.donor = nil
-		} else if adopted > 0 {
-			s.c.mu.Lock()
-			s.c.stats.Extends++
-			s.c.stats.AdoptedSamples += uint64(adopted)
-			s.c.mu.Unlock()
-		}
-	}
+	s.Adopt(pool, target)
 	return pool.EnsureCtx(ctx, target)
 }
 

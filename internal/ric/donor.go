@@ -50,6 +50,9 @@ func (d *Donor) ExtendTo(p *Pool, target int) (int, error) {
 	if p.model != d.src.model {
 		return 0, fmt.Errorf("ric: donor model %v does not match pool model %v", d.src.model, p.model)
 	}
+	if p.offset != d.src.offset {
+		return 0, fmt.Errorf("ric: donor stream offset %d does not match pool offset %d — local sample indexes would name different streams", d.src.offset, p.offset)
+	}
 	lo := len(p.samples)
 	hi := target
 	if hi > len(d.src.samples) {

@@ -34,6 +34,10 @@ import (
 // guaranteed to extend the sample sequence it claims to be a prefix of.
 // v1 streams are rejected outright: they cannot be trusted.
 //
+// The per-sample record body is shared with the IMCS shard-range export
+// (shardio.go) via poolEncoder/poolDecoder, so the two formats cannot
+// drift apart.
+//
 // The inverted index and community frequencies are rebuilt on load.
 
 var poolMagic = [4]byte{'I', 'M', 'C', 'P'}
@@ -45,79 +49,110 @@ const (
 	poolHeaderSize = 4 + 4 + 8 + 4 + 8 + 8 + 8 + 8
 )
 
+// poolEncoder writes the little-endian primitives and per-sample
+// records shared by the IMCP (full pool) and IMCS (shard range)
+// formats.
+type poolEncoder struct {
+	bw      *bufio.Writer
+	scratch [8]byte
+}
+
+func (e *poolEncoder) put32(v uint32) error {
+	binary.LittleEndian.PutUint32(e.scratch[:4], v)
+	_, err := e.bw.Write(e.scratch[:4])
+	return err
+}
+
+func (e *poolEncoder) put64(v uint64) error {
+	binary.LittleEndian.PutUint64(e.scratch[:], v)
+	_, err := e.bw.Write(e.scratch[:])
+	return err
+}
+
+// encodeSample writes one sample record: comm, threshold, numMembers,
+// cover count, then each cover's node, mask width, and mask words.
+func (e *poolEncoder) encodeSample(smp Sample, covers []NodeCover) error {
+	if err := e.put32(uint32(smp.Comm)); err != nil {
+		return err
+	}
+	if err := e.put32(uint32(smp.Threshold)); err != nil {
+		return err
+	}
+	if err := e.put32(uint32(smp.NumMembers)); err != nil {
+		return err
+	}
+	if err := e.put32(uint32(len(covers))); err != nil {
+		return err
+	}
+	for _, nc := range covers {
+		if err := e.put32(uint32(nc.Node)); err != nil {
+			return err
+		}
+		if err := e.put32(uint32(len(nc.Bits))); err != nil {
+			return err
+		}
+		for _, word := range nc.Bits {
+			if err := e.put64(word); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // Save serializes the pool's samples and cover index in format v2. The
 // header carries the pool's identity (seed, model, weight digest), so
 // ReadInto can refuse a snapshot that would fork the PRNG streams.
+//
+// Only offset-0 pools can be saved: the IMCP header has no range field,
+// so a shard pool's samples would silently be misread as the sequence
+// prefix on load. Shards persist through ExportRange instead.
 func (p *Pool) Save(w io.Writer) error {
-	bw := bufio.NewWriterSize(w, 1<<20)
-	if _, err := bw.Write(poolMagic[:]); err != nil {
+	if p.offset != 0 {
+		return fmt.Errorf("ric: Save requires an offset-0 pool, this shard starts at stream %d (use ExportRange)", p.offset)
+	}
+	enc := &poolEncoder{bw: bufio.NewWriterSize(w, 1<<20)}
+	if _, err := enc.bw.Write(poolMagic[:]); err != nil {
 		return fmt.Errorf("ric: write magic: %w", err)
 	}
-	var scratch [8]byte
-	put32 := func(v uint32) error {
-		binary.LittleEndian.PutUint32(scratch[:4], v)
-		_, err := bw.Write(scratch[:4])
+	if err := enc.put32(poolVersion); err != nil {
 		return err
 	}
-	put64 := func(v uint64) error {
-		binary.LittleEndian.PutUint64(scratch[:], v)
-		_, err := bw.Write(scratch[:])
+	if err := p.encodeIdentity(enc); err != nil {
 		return err
 	}
-	if err := put32(poolVersion); err != nil {
-		return err
-	}
-	if err := put64(p.seed); err != nil {
-		return err
-	}
-	if err := put32(uint32(p.model)); err != nil {
-		return err
-	}
-	if err := put64(p.g.WeightDigest()); err != nil {
-		return err
-	}
-	if err := put64(uint64(p.g.NumNodes())); err != nil {
-		return err
-	}
-	if err := put64(uint64(p.part.NumCommunities())); err != nil {
-		return err
-	}
-	if err := put64(uint64(len(p.samples))); err != nil {
+	if err := enc.put64(uint64(len(p.samples))); err != nil {
 		return err
 	}
 	// Rebuild the per-sample cover lists from the inverted index.
 	covers := p.SampleCovers()
 	for i, smp := range p.samples {
-		if err := put32(uint32(smp.Comm)); err != nil {
+		if err := enc.encodeSample(smp, covers[i]); err != nil {
 			return err
-		}
-		if err := put32(uint32(smp.Threshold)); err != nil {
-			return err
-		}
-		if err := put32(uint32(smp.NumMembers)); err != nil {
-			return err
-		}
-		if err := put32(uint32(len(covers[i]))); err != nil {
-			return err
-		}
-		for _, nc := range covers[i] {
-			if err := put32(uint32(nc.Node)); err != nil {
-				return err
-			}
-			if err := put32(uint32(len(nc.Bits))); err != nil {
-				return err
-			}
-			for _, word := range nc.Bits {
-				if err := put64(word); err != nil {
-					return err
-				}
-			}
 		}
 	}
-	if err := bw.Flush(); err != nil {
+	if err := enc.bw.Flush(); err != nil {
 		return fmt.Errorf("ric: flush pool: %w", err)
 	}
 	return nil
+}
+
+// encodeIdentity writes the shared identity block: seed, model tag,
+// weight digest, node count, community count.
+func (p *Pool) encodeIdentity(enc *poolEncoder) error {
+	if err := enc.put64(p.seed); err != nil {
+		return err
+	}
+	if err := enc.put32(uint32(p.model)); err != nil {
+		return err
+	}
+	if err := enc.put64(p.g.WeightDigest()); err != nil {
+		return err
+	}
+	if err := enc.put64(uint64(p.g.NumNodes())); err != nil {
+		return err
+	}
+	return enc.put64(uint64(p.part.NumCommunities()))
 }
 
 // countingReader tracks how many bytes have been consumed so decode
@@ -131,6 +166,167 @@ func (c *countingReader) Read(p []byte) (int, error) {
 	n, err := c.r.Read(p)
 	c.n += int64(n)
 	return n, err
+}
+
+// poolDecoder reads the primitives and per-sample records shared by the
+// IMCP and IMCS formats. kind names the stream ("pool snapshot" or
+// "shard export") in error messages.
+type poolDecoder struct {
+	cr      *countingReader
+	kind    string
+	scratch [8]byte
+}
+
+func newPoolDecoder(r io.Reader, kind string) *poolDecoder {
+	return &poolDecoder{cr: &countingReader{r: bufio.NewReaderSize(r, 1<<20)}, kind: kind}
+}
+
+func (d *poolDecoder) get32(field string) (uint32, error) {
+	if _, err := io.ReadFull(d.cr, d.scratch[:4]); err != nil {
+		return 0, fmt.Errorf("ric: %s truncated reading %s: %w", d.kind, field, noEOF(err))
+	}
+	return binary.LittleEndian.Uint32(d.scratch[:4]), nil
+}
+
+func (d *poolDecoder) get64(field string) (uint64, error) {
+	if _, err := io.ReadFull(d.cr, d.scratch[:]); err != nil {
+		return 0, fmt.Errorf("ric: %s truncated reading %s: %w", d.kind, field, noEOF(err))
+	}
+	return binary.LittleEndian.Uint64(d.scratch[:]), nil
+}
+
+// end verifies the stream finishes exactly where the declared records
+// do: a truncated-then-concatenated or otherwise corrupt file that
+// still parses as a prefix would previously be accepted silently.
+func (d *poolDecoder) end() error {
+	if _, err := io.ReadFull(d.cr, d.scratch[:1]); err == nil {
+		return fmt.Errorf("ric: %s has trailing bytes after the last sample at offset %d", d.kind, d.cr.n-1)
+	} else if err != io.EOF {
+		return fmt.Errorf("ric: %s read after last sample at offset %d: %w", d.kind, d.cr.n, err)
+	}
+	return nil
+}
+
+// checkIdentity reads the shared identity block and validates it
+// against the pool: seed, model tag, and weight digest must match
+// exactly — a stream taken under a different seed or diffusion model,
+// or over a different weighted graph of the same shape, is rejected
+// instead of silently forking the PRNG streams on the next Double.
+func (p *Pool) checkIdentity(d *poolDecoder) error {
+	seed, err := d.get64("seed")
+	if err != nil {
+		return err
+	}
+	if seed != p.seed {
+		return fmt.Errorf("ric: %s was sampled with seed %d, pool has seed %d — loading would mix PRNG streams", d.kind, seed, p.seed)
+	}
+	model, err := d.get32("model")
+	if err != nil {
+		return err
+	}
+	if model != uint32(p.model) {
+		return fmt.Errorf("ric: %s was sampled under model %d, pool uses model %d", d.kind, model, uint32(p.model))
+	}
+	wdigest, err := d.get64("weight digest")
+	if err != nil {
+		return err
+	}
+	if want := p.g.WeightDigest(); wdigest != want {
+		return fmt.Errorf("ric: %s weight digest %016x does not match graph digest %016x — different edges or weights", d.kind, wdigest, want)
+	}
+	n, err := d.get64("node count")
+	if err != nil {
+		return err
+	}
+	if int(n) != p.g.NumNodes() {
+		return fmt.Errorf("ric: %s was sampled over %d nodes, graph has %d", d.kind, n, p.g.NumNodes())
+	}
+	r64, err := d.get64("community count")
+	if err != nil {
+		return err
+	}
+	if int(r64) != p.part.NumCommunities() {
+		return fmt.Errorf("ric: %s has %d communities, partition has %d", d.kind, r64, p.part.NumCommunities())
+	}
+	return nil
+}
+
+// decodeSample reads, validates, and appends one sample record. i names
+// the record in error messages. Every count is validated against the
+// pool's graph and partition (community range, member counts,
+// thresholds, exact mask widths), so truncated or corrupt input
+// surfaces as a descriptive error naming the field being read — never
+// a panic.
+func (p *Pool) decodeSample(d *poolDecoder, i uint64) error {
+	comm, err := d.get32(fmt.Sprintf("sample %d community", i))
+	if err != nil {
+		return err
+	}
+	if int(comm) >= p.part.NumCommunities() {
+		return fmt.Errorf("ric: sample %d: community %d out of range [0, %d)", i, comm, p.part.NumCommunities())
+	}
+	threshold, err := d.get32(fmt.Sprintf("sample %d threshold", i))
+	if err != nil {
+		return err
+	}
+	numMembers, err := d.get32(fmt.Sprintf("sample %d member count", i))
+	if err != nil {
+		return err
+	}
+	// A sample's member count is the size of its source community and
+	// its threshold sits in [1, members]; the encoder can emit nothing
+	// else, so anything different is corruption, not a format variant.
+	if want := len(p.part.Community(int(comm)).Members); int(numMembers) != want {
+		return fmt.Errorf("ric: sample %d: %d members recorded but community %d has %d", i, numMembers, comm, want)
+	}
+	if threshold < 1 || threshold > numMembers {
+		return fmt.Errorf("ric: sample %d: threshold %d out of [1, %d members]", i, threshold, numMembers)
+	}
+	coverCount, err := d.get32(fmt.Sprintf("sample %d cover count", i))
+	if err != nil {
+		return err
+	}
+	if int(coverCount) > p.g.NumNodes() {
+		return fmt.Errorf("ric: sample %d: %d covers exceed node count %d", i, coverCount, p.g.NumNodes())
+	}
+	id := int32(len(p.samples))
+	p.samples = append(p.samples, Sample{
+		Comm:       int32(comm),
+		Threshold:  int32(threshold),
+		NumMembers: int32(numMembers),
+		TouchCount: int32(coverCount),
+	})
+	p.commFreq[comm]++
+	wantWords := (uint32(numMembers) + maskWordBits - 1) / maskWordBits
+	for c := uint32(0); c < coverCount; c++ {
+		node, err := d.get32(fmt.Sprintf("sample %d cover %d node", i, c))
+		if err != nil {
+			return err
+		}
+		if int(node) >= p.g.NumNodes() {
+			return fmt.Errorf("ric: sample %d: cover node %d out of range [0, %d)", i, node, p.g.NumNodes())
+		}
+		words, err := d.get32(fmt.Sprintf("sample %d cover %d mask width", i, c))
+		if err != nil {
+			return err
+		}
+		// Masks carry one bit per member, so the width is fully
+		// determined; a short mask would later index out of range in
+		// the solvers, a long one would corrupt union counts.
+		if words != wantWords {
+			return fmt.Errorf("ric: sample %d: mask of %d words for %d members (want %d)", i, words, numMembers, wantWords)
+		}
+		mask := make(Mask, words)
+		for wi := range mask {
+			word, err := d.get64(fmt.Sprintf("sample %d cover %d mask word %d", i, c, wi))
+			if err != nil {
+				return err
+			}
+			mask[wi] = word
+		}
+		p.index[node] = append(p.index[node], CoverEntry{Sample: id, Bits: mask})
+	}
+	return nil
 }
 
 // ReadInto deserializes samples written by Save into the pool, which
@@ -151,32 +347,25 @@ func (c *countingReader) Read(p []byte) (int, error) {
 // (trailing bytes are corruption, not slack), and truncated or corrupt
 // input surfaces as a descriptive error naming the field being read —
 // never a panic.
+//
+// Only offset-0 pools can load a snapshot: IMCP records the sequence
+// prefix [0, samples), which is not the slice a shard pool holds.
 func (p *Pool) ReadInto(r io.Reader) error {
+	if p.offset != 0 {
+		return fmt.Errorf("ric: ReadInto requires an offset-0 pool, this shard starts at stream %d (use ImportRange)", p.offset)
+	}
 	if len(p.samples) != 0 {
 		return fmt.Errorf("ric: ReadInto requires an empty pool, have %d samples", len(p.samples))
 	}
-	cr := &countingReader{r: bufio.NewReaderSize(r, 1<<20)}
+	d := newPoolDecoder(r, "pool snapshot")
 	var magic [4]byte
-	if _, err := io.ReadFull(cr, magic[:]); err != nil {
+	if _, err := io.ReadFull(d.cr, magic[:]); err != nil {
 		return fmt.Errorf("ric: pool snapshot truncated reading magic: %w", err)
 	}
 	if magic != poolMagic {
 		return fmt.Errorf("ric: bad pool magic %q", magic)
 	}
-	var scratch [8]byte
-	get32 := func(field string) (uint32, error) {
-		if _, err := io.ReadFull(cr, scratch[:4]); err != nil {
-			return 0, fmt.Errorf("ric: pool snapshot truncated reading %s: %w", field, noEOF(err))
-		}
-		return binary.LittleEndian.Uint32(scratch[:4]), nil
-	}
-	get64 := func(field string) (uint64, error) {
-		if _, err := io.ReadFull(cr, scratch[:]); err != nil {
-			return 0, fmt.Errorf("ric: pool snapshot truncated reading %s: %w", field, noEOF(err))
-		}
-		return binary.LittleEndian.Uint64(scratch[:]), nil
-	}
-	version, err := get32("version")
+	version, err := d.get32("version")
 	if err != nil {
 		return err
 	}
@@ -186,42 +375,10 @@ func (p *Pool) ReadInto(r io.Reader) error {
 	if version != poolVersion {
 		return fmt.Errorf("ric: unsupported pool version %d (want %d)", version, poolVersion)
 	}
-	seed, err := get64("seed")
-	if err != nil {
+	if err := p.checkIdentity(d); err != nil {
 		return err
 	}
-	if seed != p.seed {
-		return fmt.Errorf("ric: pool snapshot was sampled with seed %d, pool has seed %d — loading would mix PRNG streams", seed, p.seed)
-	}
-	model, err := get32("model")
-	if err != nil {
-		return err
-	}
-	if model != uint32(p.model) {
-		return fmt.Errorf("ric: pool snapshot was sampled under model %d, pool uses model %d", model, uint32(p.model))
-	}
-	wdigest, err := get64("weight digest")
-	if err != nil {
-		return err
-	}
-	if want := p.g.WeightDigest(); wdigest != want {
-		return fmt.Errorf("ric: pool snapshot weight digest %016x does not match graph digest %016x — different edges or weights", wdigest, want)
-	}
-	n, err := get64("node count")
-	if err != nil {
-		return err
-	}
-	if int(n) != p.g.NumNodes() {
-		return fmt.Errorf("ric: pool was sampled over %d nodes, graph has %d", n, p.g.NumNodes())
-	}
-	r64, err := get64("community count")
-	if err != nil {
-		return err
-	}
-	if int(r64) != p.part.NumCommunities() {
-		return fmt.Errorf("ric: pool has %d communities, partition has %d", r64, p.part.NumCommunities())
-	}
-	count, err := get64("sample count")
+	count, err := d.get64("sample count")
 	if err != nil {
 		return err
 	}
@@ -229,84 +386,11 @@ func (p *Pool) ReadInto(r io.Reader) error {
 		return fmt.Errorf("ric: sample count %d out of range", count)
 	}
 	for i := uint64(0); i < count; i++ {
-		comm, err := get32(fmt.Sprintf("sample %d community", i))
-		if err != nil {
+		if err := p.decodeSample(d, i); err != nil {
 			return err
-		}
-		if int(comm) >= p.part.NumCommunities() {
-			return fmt.Errorf("ric: sample %d: community %d out of range [0, %d)", i, comm, p.part.NumCommunities())
-		}
-		threshold, err := get32(fmt.Sprintf("sample %d threshold", i))
-		if err != nil {
-			return err
-		}
-		numMembers, err := get32(fmt.Sprintf("sample %d member count", i))
-		if err != nil {
-			return err
-		}
-		// A sample's member count is the size of its source community and
-		// its threshold sits in [1, members]; Save can emit nothing else,
-		// so anything different is corruption, not a format variant.
-		if want := len(p.part.Community(int(comm)).Members); int(numMembers) != want {
-			return fmt.Errorf("ric: sample %d: %d members recorded but community %d has %d", i, numMembers, comm, want)
-		}
-		if threshold < 1 || threshold > numMembers {
-			return fmt.Errorf("ric: sample %d: threshold %d out of [1, %d members]", i, threshold, numMembers)
-		}
-		coverCount, err := get32(fmt.Sprintf("sample %d cover count", i))
-		if err != nil {
-			return err
-		}
-		if int(coverCount) > p.g.NumNodes() {
-			return fmt.Errorf("ric: sample %d: %d covers exceed node count %d", i, coverCount, p.g.NumNodes())
-		}
-		id := int32(len(p.samples))
-		p.samples = append(p.samples, Sample{
-			Comm:       int32(comm),
-			Threshold:  int32(threshold),
-			NumMembers: int32(numMembers),
-			TouchCount: int32(coverCount),
-		})
-		p.commFreq[comm]++
-		wantWords := (uint32(numMembers) + maskWordBits - 1) / maskWordBits
-		for c := uint32(0); c < coverCount; c++ {
-			node, err := get32(fmt.Sprintf("sample %d cover %d node", i, c))
-			if err != nil {
-				return err
-			}
-			if int(node) >= p.g.NumNodes() {
-				return fmt.Errorf("ric: sample %d: cover node %d out of range [0, %d)", i, node, p.g.NumNodes())
-			}
-			words, err := get32(fmt.Sprintf("sample %d cover %d mask width", i, c))
-			if err != nil {
-				return err
-			}
-			// Masks carry one bit per member, so the width is fully
-			// determined; a short mask would later index out of range in
-			// the solvers, a long one would corrupt union counts.
-			if words != wantWords {
-				return fmt.Errorf("ric: sample %d: mask of %d words for %d members (want %d)", i, words, numMembers, wantWords)
-			}
-			mask := make(Mask, words)
-			for wi := range mask {
-				word, err := get64(fmt.Sprintf("sample %d cover %d mask word %d", i, c, wi))
-				if err != nil {
-					return err
-				}
-				mask[wi] = word
-			}
-			p.index[node] = append(p.index[node], CoverEntry{Sample: id, Bits: mask})
 		}
 	}
-	// The stream must end exactly where the declared samples do: a
-	// truncated-then-concatenated or otherwise corrupt file that still
-	// parses as a prefix would previously be accepted silently.
-	if _, err := io.ReadFull(cr, scratch[:1]); err == nil {
-		return fmt.Errorf("ric: pool snapshot has trailing bytes after the last sample at offset %d", cr.n-1)
-	} else if err != io.EOF {
-		return fmt.Errorf("ric: pool snapshot read after last sample at offset %d: %w", cr.n, err)
-	}
-	return nil
+	return d.end()
 }
 
 // noEOF normalizes a bare io.EOF from a partial ReadFull into

@@ -33,6 +33,8 @@ import (
 	"imc/internal/gen"
 	"imc/internal/job"
 	"imc/internal/poolcache"
+	"imc/internal/ric"
+	"imc/internal/shard"
 	"imc/internal/stats"
 )
 
@@ -58,6 +60,17 @@ type Config struct {
 	// Carlo score, and /metrics exposes the hit/miss/extend counters.
 	// Nil disables caching (every request samples from scratch).
 	PoolCache *poolcache.Cache
+	// ShardCoordinator, when set, runs this server as the distributed
+	// shard coordinator: /solve farms RIC generation out to the
+	// registered workers (splicing the shards back byte-identically),
+	// POST /shard/join accepts worker registrations, and /metrics gains
+	// a "shard" section. With no registered workers every solve simply
+	// generates locally, so enabling it is always safe.
+	ShardCoordinator *shard.Coordinator
+	// ShardWorker, when set, mounts the shard worker endpoints
+	// (/shard/ping, /shard/generate, /shard/pool, /shard/eval) so this
+	// server can serve sample ranges to a coordinator.
+	ShardWorker *shard.Worker
 }
 
 // DefaultSolveTimeout is the per-request deadline when none is set.
@@ -106,6 +119,11 @@ type Server struct {
 	// poolCache is the shared snapshot store; nil disables caching
 	// (poolcache methods are nil-safe, so call sites stay unconditional).
 	poolCache *poolcache.Cache //imc:guardedby immutable
+
+	// shardCoord/shardWorker are nil unless Config enabled the
+	// distributed shard runtime roles.
+	shardCoord  *shard.Coordinator //imc:guardedby immutable
+	shardWorker *shard.Worker      //imc:guardedby immutable
 }
 
 // buildResult is one singleflight build slot. inst and err are written
@@ -164,6 +182,8 @@ func NewWithOptions(logger *slog.Logger, now clock.Func, cfg Config) *Server {
 		s.jobPool = cfg.JobPool
 	}
 	s.poolCache = cfg.PoolCache
+	s.shardCoord = cfg.ShardCoordinator
+	s.shardWorker = cfg.ShardWorker
 	return s
 }
 
@@ -197,6 +217,9 @@ func metricsPath(p string) string {
 	if strings.HasPrefix(p, "/v1/jobs/") {
 		return "/v1/jobs"
 	}
+	if strings.HasPrefix(p, "/shard/") {
+		return "/shard"
+	}
 	return "other"
 }
 
@@ -213,6 +236,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.jobStore != nil {
 		s.registerJobRoutes(mux)
+	}
+	if s.shardWorker != nil {
+		s.shardWorker.Routes(mux)
+	}
+	if s.shardCoord != nil {
+		mux.HandleFunc("POST "+shard.JoinPath, s.shardCoord.HandleJoin)
 	}
 	return s.logRequests(mux)
 }
@@ -301,6 +330,10 @@ type Metrics struct {
 	// PoolCache reports the shared pool snapshot store (hits, misses,
 	// extends, eviction pressure); absent when caching is disabled.
 	PoolCache *poolcache.Stats `json:"poolCache,omitempty"`
+	// Shard reports the distributed shard coordinator (worker registry,
+	// dispatch/retry/reassignment counters, splice-latency histogram);
+	// absent when the server is not a coordinator.
+	Shard *shard.Metrics `json:"shard,omitempty"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -338,7 +371,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		LatencySeconds:  lat,
 		Jobs:            s.jobMetrics(),
 		PoolCache:       s.poolCacheMetrics(),
+		Shard:           s.shardMetrics(),
 	})
+}
+
+// shardMetrics snapshots the coordinator for /metrics; nil when this
+// server is not a coordinator, so the section is omitted entirely.
+func (s *Server) shardMetrics() *shard.Metrics {
+	if s.shardCoord == nil {
+		return nil
+	}
+	m := s.shardCoord.Metrics()
+	return &m
 }
 
 // poolCacheMetrics snapshots the pool cache for /metrics; nil when
@@ -457,19 +501,36 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		MaxSamples: req.MaxSamples,
 		BTMaxRoots: req.BTMaxRoots,
 	}
+	// One cache session per request: the core solvers adopt cached
+	// samples through Grow and store grown pools back at every
+	// checkpoint boundary. Cache trouble is never a solve failure —
+	// Save errors are logged and the request proceeds. (A nil session,
+	// when no cache is configured, adopts and saves nothing.)
+	var sess *poolcache.Session
 	if s.poolCache != nil {
-		// One cache session per request: the core solvers adopt cached
-		// samples through Grow and store grown pools back at every
-		// checkpoint boundary. Cache trouble is never a solve failure —
-		// Save errors are logged and the request proceeds.
-		sess := s.poolCache.Begin(inst.G, inst.Part, diffusion.IC, req.Seed)
-		cfg.Grow = sess.Grow
+		sess = s.poolCache.Begin(inst.G, inst.Part, diffusion.IC, req.Seed)
 		cfg.Checkpoint = func(cp core.Checkpoint) error {
 			if err := sess.Save(cp.Pool); err != nil {
 				s.logger.Warn("pool cache save failed", "err", err)
 			}
 			return nil
 		}
+	}
+	switch {
+	case s.shardCoord != nil:
+		// Coordinator mode: adopt whatever the cache holds, then farm the
+		// missing tail out to the shard workers. Both halves splice
+		// stream-indexed samples, so the grown pool is byte-identical to
+		// local generation — distribution changes where samples come
+		// from, never what they are.
+		spec := shardSpec(req.InstanceRequest)
+		coord := s.shardCoord
+		cfg.Grow = func(ctx context.Context, pool *ric.Pool, target int) error {
+			sess.Adopt(pool, target)
+			return coord.Grow(ctx, spec, pool, target)
+		}
+	case sess != nil:
+		cfg.Grow = sess.Grow
 	}
 	res, err := expt.RunAlgCtx(ctx, inst, alg, req.K, cfg)
 	if err != nil {

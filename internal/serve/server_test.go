@@ -66,7 +66,7 @@ func TestDatasets(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&rows); err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 5 || rows[0].Name != "facebook" {
+	if len(rows) != 6 || rows[0].Name != "facebook" {
 		t.Fatalf("rows = %+v", rows)
 	}
 }

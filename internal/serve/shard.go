@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"strings"
+
+	"imc/internal/community"
+	"imc/internal/expt"
+	"imc/internal/graph"
+	"imc/internal/shard"
+)
+
+// This file is the bridge between the HTTP layer and the distributed
+// shard runtime: it is the single place where an InstanceRequest, a
+// shard.InstanceSpec, and an expt.InstanceConfig are kept in sync, so
+// a coordinator's spec and a worker's rebuild cannot drift apart.
+
+// shardSpec names the instance a request selects, after the same
+// normalization instance() applies — coordinator-side spec and
+// worker-side rebuild must describe the identical instance.
+func shardSpec(req InstanceRequest) shard.InstanceSpec {
+	if req.Dataset == "" {
+		req.Dataset = "facebook"
+	}
+	if req.Scale == 0 {
+		req.Scale = 0.1
+	}
+	formation := "louvain"
+	if strings.EqualFold(req.Formation, "random") {
+		formation = "random"
+	}
+	return shard.InstanceSpec{
+		Dataset:   req.Dataset,
+		Scale:     req.Scale,
+		Formation: formation,
+		SizeCap:   req.SizeCap,
+		Bounded:   req.Bounded,
+		Seed:      req.Seed,
+	}
+}
+
+// ShardInstanceBuilder returns the worker-side instance factory: a spec
+// rebuilds through expt.BuildInstance, the exact path the coordinator's
+// own instance cache uses, so both ends hold byte-identical graphs and
+// partitions (and the IMCS weight-digest check stays a formality).
+func ShardInstanceBuilder() shard.BuildFunc {
+	return func(spec shard.InstanceSpec) (*graph.Graph, *community.Partition, error) {
+		formation := expt.Louvain
+		if strings.EqualFold(spec.Formation, "random") {
+			formation = expt.RandomFormation
+		}
+		inst, err := expt.BuildInstance(expt.InstanceConfig{
+			Dataset:   spec.Dataset,
+			Scale:     spec.Scale,
+			Formation: formation,
+			SizeCap:   spec.SizeCap,
+			Bounded:   spec.Bounded,
+			Seed:      spec.Seed,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return inst.G, inst.Part, nil
+	}
+}

@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"imc/internal/shard"
+)
+
+// solveReq is the karate solve both the distributed and the
+// single-process servers run: small enough to finish in milliseconds,
+// fixed enough to compare byte-for-byte.
+var shardSolveReq = map[string]any{
+	"dataset": "karate", "scale": 1.0, "alg": "UBG", "k": 3, "seed": 7,
+}
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(discard{}, nil))
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// startShardWorker boots one worker imcserve-style: the real
+// expt-backed instance builder, no persistence (workers are stateless
+// between these requests).
+func startShardWorker(t *testing.T) *httptest.Server {
+	t.Helper()
+	w, err := shard.NewWorker(shard.WorkerConfig{Build: ShardInstanceBuilder(), Logger: quietLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewWithOptions(quietLogger(), nil, Config{
+		MaxInflight: 64, ShardWorker: w,
+	}).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestSolveDistributedMatchesSingleProcess is the serve-level
+// worker-count independence pin: a coordinator with 1, 2, or 4
+// workers returns the exact seed set and benefit a plain
+// single-process server does on karate.
+func TestSolveDistributedMatchesSingleProcess(t *testing.T) {
+	var want SolveResponse
+	if code, body := postJSON(t, newTestServer(t).URL+"/solve", shardSolveReq, &want); code != http.StatusOK {
+		t.Fatalf("single-process solve: %d %s", code, body)
+	}
+
+	for _, workers := range []int{1, 2, 4} {
+		coord := shard.NewCoordinator(shard.CoordinatorConfig{Logger: quietLogger()})
+		for i := 0; i < workers; i++ {
+			coord.Register(startShardWorker(t).URL)
+		}
+		ts := httptest.NewServer(NewWithOptions(quietLogger(), nil, Config{
+			MaxInflight: 64, ShardCoordinator: coord,
+		}).Handler())
+		t.Cleanup(ts.Close)
+
+		var got SolveResponse
+		if code, body := postJSON(t, ts.URL+"/solve", shardSolveReq, &got); code != http.StatusOK {
+			t.Fatalf("%d-worker solve: %d %s", workers, code, body)
+		}
+		if !reflect.DeepEqual(want.Seeds, got.Seeds) || want.Benefit != got.Benefit {
+			t.Fatalf("%d-worker solve = %+v, single-process = %+v", workers, got, want)
+		}
+		m := coord.Metrics()
+		if m.RangesDispatched == 0 || m.Merges == 0 {
+			t.Fatalf("%d-worker coordinator did no distributed work: %+v", workers, m)
+		}
+	}
+}
+
+// TestShardJoinOverServe: a worker joins through the coordinator
+// server's own mux and is counted in /metrics.
+func TestShardJoinOverServe(t *testing.T) {
+	coord := shard.NewCoordinator(shard.CoordinatorConfig{Logger: quietLogger()})
+	ts := httptest.NewServer(NewWithOptions(quietLogger(), nil, Config{
+		MaxInflight: 4, ShardCoordinator: coord,
+	}).Handler())
+	t.Cleanup(ts.Close)
+
+	worker := startShardWorker(t)
+	if err := shard.Join(t.Context(), nil, ts.URL, worker.URL); err != nil {
+		t.Fatal(err)
+	}
+	if m := coord.Metrics(); m.WorkersRegistered != 1 || m.WorkersAlive != 1 {
+		t.Fatalf("after join: %+v", m)
+	}
+}
+
+// TestMetricsShardSection pins the JSON shape of the /metrics "shard"
+// section: present (with every counter key and the latency histogram)
+// on a coordinator, absent otherwise.
+func TestMetricsShardSection(t *testing.T) {
+	coord := shard.NewCoordinator(shard.CoordinatorConfig{Logger: quietLogger()})
+	coord.Register("http://127.0.0.1:1") // registered but never dialed
+	ts := httptest.NewServer(NewWithOptions(quietLogger(), nil, Config{
+		MaxInflight: 4, ShardCoordinator: coord,
+	}).Handler())
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	raw, ok := m["shard"]
+	if !ok {
+		t.Fatal("coordinator /metrics has no shard section")
+	}
+	var sec map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &sec); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"workersRegistered", "workersAlive", "rangesDispatched",
+		"retries", "reassignments", "localFallbacks", "merges",
+		"mergeLatencySeconds",
+	} {
+		if _, ok := sec[key]; !ok {
+			t.Errorf("shard section missing %q: %s", key, raw)
+		}
+	}
+	var workers int
+	if err := json.Unmarshal(sec["workersRegistered"], &workers); err != nil || workers != 1 {
+		t.Errorf("workersRegistered = %s, want 1", sec["workersRegistered"])
+	}
+
+	// A non-coordinator server omits the section entirely.
+	plain := newTestServer(t)
+	resp2, err := http.Get(plain.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var m2 map[string]json.RawMessage
+	if err := json.NewDecoder(resp2.Body).Decode(&m2); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m2["shard"]; ok {
+		t.Error("plain server /metrics leaked a shard section")
+	}
+}

@@ -1,0 +1,60 @@
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"imc/internal/atomicio"
+)
+
+// Binary payloads (the IMCS pool export) cross the wire as one frame:
+//
+//	u64 LE payload length | payload | u32 LE CRC-32 (IEEE) of payload
+//
+// The trailing checksum is the same frame internal/atomicio uses for
+// durable files, verified with atomicio.VerifyCRCFrame — a flipped bit
+// in transit or a truncated body is a descriptive decode error, never a
+// silently wrong pool.
+
+// WriteFrame writes payload as one length-prefixed CRC frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("shard: write frame length: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("shard: write frame payload: %w", err)
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(tail[:]); err != nil {
+		return fmt.Errorf("shard: write frame crc: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one frame, verifies the checksum, and returns the
+// payload. maxSize bounds the declared length so a corrupt prefix
+// cannot trigger an unbounded allocation.
+func ReadFrame(r io.Reader, maxSize uint64) ([]byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("shard: read frame length: %w", err)
+	}
+	n := binary.LittleEndian.Uint64(hdr[:])
+	if n > maxSize {
+		return nil, fmt.Errorf("shard: frame declares %d bytes, limit %d", n, maxSize)
+	}
+	buf := make([]byte, n+4)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("shard: read frame body: %w", err)
+	}
+	body, err := atomicio.VerifyCRCFrame(buf)
+	if err != nil {
+		return nil, fmt.Errorf("shard: frame: %w", err)
+	}
+	return body, nil
+}
